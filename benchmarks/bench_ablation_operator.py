@@ -1,0 +1,137 @@
+"""Ablations of the native ModelJoin's design choices (Section 5.4).
+
+- vector size: the inference is "vectorized per set of column vectors";
+  tiny vectors pay per-call overhead, huge ones lose cache residency
+  (here: NumPy call amortization),
+- bias-matrix replication: one big copy + sgemm-accumulate vs repeated
+  fine-grained bias additions,
+- parallelism: partition-parallel build + inference scaling,
+- UDF calling convention: vectorized (once per vector, the CIDR'22
+  optimization) vs tuple-at-a-time.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.modeljoin.runner import NativeModelJoin
+from repro.core.registry import publish_model
+from repro.core.udf_integration.inference_udf import UdfModelJoin
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+ROWS = 4_000
+
+
+def _prepare(vector_size=1024, parallelism=1, partitions=1):
+    db = repro.connect(parallelism=parallelism)
+    db.vector_size = vector_size
+    load_iris_table(db, ROWS, num_partitions=partitions)
+    model = make_dense_model(64, 4, seed=2)
+    publish_model(
+        db, "abl", model, model_table_partitions=partitions
+    )
+    return db, model
+
+
+@pytest.mark.parametrize("vector_size", [128, 1024, 8192])
+def test_operator_vector_size(benchmark, vector_size):
+    db, _ = _prepare(vector_size=vector_size)
+    runner = NativeModelJoin(db, "abl")
+    benchmark.pedantic(
+        lambda: runner.execute("iris", list(FEATURE_COLUMNS)),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["vector_size"] = vector_size
+
+
+@pytest.mark.parametrize("replicate", [True, False])
+def test_operator_bias_replication(benchmark, replicate):
+    db, model = _prepare()
+    runner = NativeModelJoin(db, "abl", replicate_bias=replicate)
+    predictions = benchmark.pedantic(
+        lambda: runner.predict("iris", "id", list(FEATURE_COLUMNS)),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    # Correctness unaffected by the optimization.
+    features = np.column_stack(
+        [
+            db.execute(f"SELECT id, {c} FROM iris ORDER BY id").column(c)
+            for c in FEATURE_COLUMNS
+        ]
+    )
+    np.testing.assert_allclose(
+        predictions, model.predict(features), atol=1e-5
+    )
+    benchmark.extra_info["replicate_bias"] = replicate
+
+
+@pytest.mark.parametrize("parallelism", [1, 4])
+def test_operator_parallelism(benchmark, parallelism):
+    db, _ = _prepare(parallelism=parallelism, partitions=parallelism)
+    runner = NativeModelJoin(db, "abl")
+    benchmark.pedantic(
+        lambda: runner.execute(
+            "iris", list(FEATURE_COLUMNS), parallel=parallelism > 1
+        ),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["parallelism"] = parallelism
+
+
+@pytest.mark.parametrize("vectorized", [True, False])
+def test_udf_calling_convention(benchmark, vectorized):
+    """Per-vector vs per-tuple UDF calls (the [21] optimization)."""
+    db, _ = _prepare()
+    model = make_dense_model(8, 2, seed=4)
+    runner = UdfModelJoin(
+        db,
+        model,
+        name=f"udf_{'vec' if vectorized else 'tup'}",
+        vectorized=vectorized,
+    )
+    rows = 1_000 if vectorized else 300  # per-tuple is brutally slow
+    db.execute("DROP TABLE IF EXISTS small")
+    db.execute(
+        "CREATE TABLE small (id INTEGER, sepal_length FLOAT, "
+        "sepal_width FLOAT, petal_length FLOAT, petal_width FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO small SELECT id, sepal_length, sepal_width, "
+        f"petal_length, petal_width FROM iris WHERE id < {rows}"
+    )
+    benchmark.pedantic(
+        lambda: runner.execute("small", "id", list(FEATURE_COLUMNS)),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["vectorized"] = vectorized
+    benchmark.extra_info["rows"] = rows
+    calls = sum(udf.statistics.calls for udf in runner.udfs)
+    benchmark.extra_info["udf_calls"] = calls
+
+
+@pytest.mark.parametrize("marshal", [True, False])
+def test_udf_marshalling_boundary(benchmark, marshal):
+    """The serialized engine/interpreter boundary on vs off."""
+    db, model = _prepare()
+    runner = UdfModelJoin(
+        db,
+        model,
+        name=f"udfm_{int(marshal)}",
+        marshal=marshal,
+    )
+    benchmark.pedantic(
+        lambda: runner.execute("iris", "id", list(FEATURE_COLUMNS)),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["marshal"] = marshal

@@ -1,0 +1,70 @@
+"""Ablation: the ML-To-SQL optimizations of paper Section 4.4.
+
+Compares the generated-query variants:
+
+- *classic* (Layer, Node) pair joins + Layer filter  vs
+- *optimized* unique node ids + node-range predicates (prunable), and
+- native activation functions vs portable arithmetic/CASE SQL,
+- block pruning on vs off at the engine level.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.ml_to_sql.generator import MlToSqlModelJoin
+from repro.core.ml_to_sql.representation import MlToSqlOptions
+from repro.db.planner import PlannerOptions
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+ROWS = 1_000
+
+
+def _run(benchmark, options: MlToSqlOptions, planner_options=None):
+    db = repro.Database(planner_options=planner_options or PlannerOptions())
+    repro.attach(db)
+    load_iris_table(db, ROWS)
+    model = make_dense_model(16, 2, seed=3)
+    runner = MlToSqlModelJoin(db, model, options=options)
+    columns = list(FEATURE_COLUMNS)
+
+    def run():
+        return runner.predict("iris", "id", columns)
+
+    predictions = benchmark.pedantic(
+        run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    reference = None
+    features = np.column_stack(
+        [
+            db.execute("SELECT id, " + c + " FROM iris ORDER BY id").column(c)
+            for c in columns
+        ]
+    )
+    reference = model.predict(features)
+    np.testing.assert_allclose(predictions, reference, atol=1e-4)
+
+
+def test_sql_opts_optimized_node_ids(benchmark):
+    _run(benchmark, MlToSqlOptions(optimized_node_ids=True))
+
+
+def test_sql_opts_classic_pairs(benchmark):
+    _run(benchmark, MlToSqlOptions(optimized_node_ids=False))
+
+
+def test_sql_opts_native_activations(benchmark):
+    _run(benchmark, MlToSqlOptions(native_activation_functions=True))
+
+
+def test_sql_opts_portable_activations(benchmark):
+    _run(benchmark, MlToSqlOptions(native_activation_functions=False))
+
+
+def test_sql_opts_no_block_pruning(benchmark):
+    _run(
+        benchmark,
+        MlToSqlOptions(),
+        planner_options=PlannerOptions(use_block_pruning=False),
+    )

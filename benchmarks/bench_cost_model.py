@@ -1,0 +1,65 @@
+"""Cost-model validation (paper Section 7).
+
+"our evaluation showed that costs increase linearly with model size" —
+measures the native operator across model sizes, fits the
+:class:`~repro.core.cost.model.InferenceCostModel`, and asserts the
+linear fit predicts a held-out configuration within a factor of ~2
+(Python timing noise included).
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.core.cost.model import (
+    InferenceCostModel,
+    flops_per_tuple_of_model,
+)
+from repro.core.modeljoin.runner import NativeModelJoin
+from repro.core.registry import publish_model
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+
+def _measure(db, model, name, rows):
+    publish_model(db, name, model, replace=True)
+    runner = NativeModelJoin(db, name)
+    # median of 3 to tame scheduler noise
+    samples = []
+    for _ in range(3):
+        started = time.perf_counter()
+        runner.execute("iris", list(FEATURE_COLUMNS))
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples))
+
+
+def test_cost_model_linearity(benchmark):
+    db = repro.connect()
+    rows = 3_000
+    load_iris_table(db, rows)
+    train_widths = [16, 48, 96, 160]
+    observations = []
+    for width in train_widths:
+        model = make_dense_model(width, 4, seed=width)
+        seconds = _measure(db, model, f"cm_{width}", rows)
+        observations.append(
+            (rows, flops_per_tuple_of_model(model), seconds)
+        )
+    cost_model = InferenceCostModel()
+    cost_model.calibrate(observations)
+
+    held_out = make_dense_model(128, 4, seed=99)
+
+    def predict_and_measure():
+        estimate = cost_model.estimate(held_out, rows)
+        actual = _measure(db, held_out, "cm_held_out", rows)
+        return estimate.predicted_seconds, actual
+
+    predicted, actual = benchmark.pedantic(
+        predict_and_measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["predicted_seconds"] = predicted
+    benchmark.extra_info["actual_seconds"] = actual
+    assert predicted > 0
+    assert 0.4 < predicted / actual < 2.5

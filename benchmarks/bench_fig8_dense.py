@@ -1,0 +1,47 @@
+"""Figure 8 — runtime for dense-layer networks, all eight variants.
+
+Regenerates the series of the paper's Figure 8 at benchmark scale: the
+same variant legend, the paper's widths, two depths, one fact size per
+run (``REPRO_BENCH_ROWS``).  ML-To-SQL is restricted to the small
+model, exactly where the paper's own evaluation still shows it as
+viable — its quadratic intermediate growth (Section 6.2.1) makes the
+large cells infeasible on a Python substrate (see EXPERIMENTS.md).
+
+The full tuple-count sweep is ``python -m repro.bench fig8``.
+"""
+
+import pytest
+
+from benchmarks.conftest import dense_environment, run_variant_benchmark
+
+FAST_VARIANTS = (
+    "ModelJoin_CPU",
+    "ModelJoin_GPU",
+    "TF_CAPI_CPU",
+    "TF_CAPI_GPU",
+    "TF_CPU",
+    "TF_GPU",
+    "UDF",
+)
+
+
+@pytest.mark.parametrize("variant", FAST_VARIANTS)
+@pytest.mark.parametrize("width,depth", [(32, 2), (128, 4)])
+def test_fig8_dense(benchmark, variant, width, depth):
+    env = dense_environment(width, depth)
+    measurement = run_variant_benchmark(benchmark, variant, env)
+    assert measurement.rows == env.database.table("iris").row_count
+
+
+@pytest.mark.parametrize("variant", ("ModelJoin_CPU", "TF_CAPI_CPU"))
+def test_fig8_dense_wide(benchmark, variant):
+    """The paper's largest width for the native integrations."""
+    env = dense_environment(512, 4)
+    run_variant_benchmark(benchmark, variant, env)
+
+
+def test_fig8_dense_ml_to_sql(benchmark):
+    """ML-To-SQL on the small dense model (its viable regime)."""
+    env = dense_environment(32, 2)
+    measurement = run_variant_benchmark(benchmark, "ML-To-SQL", env)
+    assert measurement.seconds > 0

@@ -1,0 +1,48 @@
+"""Figure 9 — runtime for LSTM networks, all eight variants.
+
+The paper's LSTM experiment: a single LSTM layer (widths from the
+paper's grid, scaled) over 3-step sinus windows, followed by a one-
+neuron output layer.  ML-To-SQL appears on the small width — the
+regime where the paper itself reports it as significantly more viable
+than in the dense experiment (only one layer, smaller intermediates).
+
+The full tuple-count sweep is ``python -m repro.bench fig9``.
+"""
+
+import pytest
+
+from benchmarks.conftest import lstm_environment, run_variant_benchmark
+
+FAST_VARIANTS = (
+    "ModelJoin_CPU",
+    "ModelJoin_GPU",
+    "TF_CAPI_CPU",
+    "TF_CAPI_GPU",
+    "TF_CPU",
+    "TF_GPU",
+    "UDF",
+)
+
+
+@pytest.mark.parametrize("variant", FAST_VARIANTS)
+@pytest.mark.parametrize("width", [32, 128])
+def test_fig9_lstm(benchmark, variant, width):
+    env = lstm_environment(width)
+    measurement = run_variant_benchmark(benchmark, variant, env)
+    assert measurement.rows == env.database.table(
+        "sinus_windows"
+    ).row_count
+
+
+@pytest.mark.parametrize("variant", ("ModelJoin_CPU", "TF_CAPI_CPU"))
+def test_fig9_lstm_wide(benchmark, variant):
+    """The paper's largest LSTM width for the native integrations."""
+    env = lstm_environment(512)
+    run_variant_benchmark(benchmark, variant, env)
+
+
+def test_fig9_lstm_ml_to_sql(benchmark):
+    """ML-To-SQL on the small LSTM (one layer => viable, §6.2.1)."""
+    env = lstm_environment(16)
+    measurement = run_variant_benchmark(benchmark, "ML-To-SQL", env)
+    assert measurement.seconds > 0

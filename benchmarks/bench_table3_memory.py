@@ -1,0 +1,47 @@
+"""Table 3 — peak memory for model inference.
+
+Reproduces the paper's Table 3 columns (ModelJoin, TF C-API,
+TF Python, ML-To-SQL) for its representative models.  The benchmark
+*time* is incidental; the reproduced quantity is
+``extra_info["peak_memory_bytes"]`` — engine-accounted peak for the
+in-DBMS variants, traced client allocation peak for TF(Python).
+
+Expected shape (paper §6.2.2): ModelJoin lowest and nearly flat across
+model sizes; TF C-API similar with a higher fixed part; TF(Python) and
+ML-To-SQL orders of magnitude above (client row materialization /
+generic-operator intermediates).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    dense_environment,
+    lstm_environment,
+    run_variant_benchmark,
+)
+
+VARIANTS = ("ModelJoin_CPU", "TF_CAPI_CPU", "TF_CPU")
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("width", [32, 128, 512])
+def test_table3_dense_memory(benchmark, variant, width):
+    env = dense_environment(width, 4)
+    measurement = run_variant_benchmark(benchmark, variant, env)
+    assert measurement.peak_memory_bytes > 0
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_table3_lstm_memory(benchmark, variant):
+    env = lstm_environment(128)
+    measurement = run_variant_benchmark(benchmark, variant, env)
+    assert measurement.peak_memory_bytes > 0
+
+
+def test_table3_ml_to_sql_memory(benchmark):
+    """ML-To-SQL on Dense(32,4): the cell that is feasible in Python;
+    its peak dwarfs the native operator's (generic operators buffer
+    the full per-layer intermediates, paper §6.2.2)."""
+    env = dense_environment(32, 4)
+    measurement = run_variant_benchmark(benchmark, "ML-To-SQL", env)
+    assert measurement.peak_memory_bytes > 10 * (1 << 20)

@@ -1,0 +1,95 @@
+"""Shared benchmark fixtures and helpers.
+
+Benchmark cells are scaled for pytest-benchmark's repeated execution
+(seconds per cell, not the full sweep of ``python -m repro.bench``);
+the grid identity — which widths/depths/variants appear — follows the
+paper.  Set ``REPRO_BENCH_ROWS`` to change the fact-table size.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.variants import BenchEnvironment, make_variant
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model, make_lstm_model
+from repro.workloads.timeseries import load_windowed_series_table
+
+#: default fact-table size for benchmark cells
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "2000"))
+
+
+def dense_environment(
+    width: int,
+    depth: int,
+    rows: int = BENCH_ROWS,
+    parallelism: int = 1,
+    parallel: bool = False,
+) -> BenchEnvironment:
+    database = repro.connect(parallelism=parallelism)
+    load_iris_table(
+        database,
+        rows,
+        num_partitions=parallelism if parallel else 1,
+    )
+    model = make_dense_model(width, depth, seed=width + depth)
+    return BenchEnvironment(
+        database=database,
+        model=model,
+        fact_table="iris",
+        id_column="id",
+        input_columns=list(FEATURE_COLUMNS),
+        parallel=parallel,
+    )
+
+
+def lstm_environment(
+    width: int,
+    rows: int = BENCH_ROWS,
+    time_steps: int = 3,
+    parallelism: int = 1,
+    parallel: bool = False,
+) -> BenchEnvironment:
+    database = repro.connect(parallelism=parallelism)
+    load_windowed_series_table(
+        database,
+        rows,
+        time_steps=time_steps,
+        num_partitions=parallelism if parallel else 1,
+    )
+    model = make_lstm_model(width, time_steps=time_steps, seed=width)
+    return BenchEnvironment(
+        database=database,
+        model=model,
+        fact_table="sinus_windows",
+        id_column="id",
+        input_columns=[f"x{step}" for step in range(1, time_steps + 1)],
+        parallel=parallel,
+    )
+
+
+def run_variant_benchmark(benchmark, variant_name: str, env, **variant_kwargs):
+    """Prepare once, then benchmark the variant's run()."""
+    variant = make_variant(variant_name, **variant_kwargs)
+    variant.prepare(env)
+    measurement = benchmark.pedantic(
+        lambda: variant.run(env), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["variant"] = variant_name
+    benchmark.extra_info["rows"] = env.database.table(
+        env.fact_table
+    ).row_count
+    benchmark.extra_info["effective_seconds"] = measurement.seconds
+    benchmark.extra_info["peak_memory_bytes"] = (
+        measurement.peak_memory_bytes
+    )
+    return measurement
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,102 @@
+"""Model-table semantics in the catalog (paper Section 5.5).
+
+"One could think about introducing semantics in the model table
+definition ...  This way, one could fix the model table schema and
+maintain a model's meta information in the database catalog.  Making
+the DBMS aware that a table is a model additionally enables custom
+query optimizations, sanity checks and also potential model lifetime
+cycle management."
+
+This example exercises exactly that: publish two versions of a model,
+inspect the catalog, run MODEL JOIN without naming input columns (the
+catalog knows the arity), estimate query cost from the metadata before
+running, swap the active model, and drop the backing table — the
+catalog cascades.
+
+Run:  python examples/model_catalog.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.cost.model import InferenceCostModel
+from repro.core.registry import publish_model
+from repro.nn import Dense, Sequential
+from repro.workloads.iris import load_iris_table
+
+
+def main() -> None:
+    db = repro.connect()
+    load_iris_table(db, rows=1_000)
+
+    # Publish v1 (small) and v2 (wider) of the same classifier.
+    v1 = Sequential([Dense(4, "relu"), Dense(1, "sigmoid")], 4, seed=1)
+    v2 = Sequential([Dense(32, "relu"), Dense(1, "sigmoid")], 4, seed=2)
+    publish_model(db, "clf_v1", v1)
+    publish_model(db, "clf_v2", v2)
+
+    print("registered models:")
+    for name, metadata in sorted(db.catalog.models.items()):
+        layers = " -> ".join(
+            f"{layer.layer_type}({layer.units})"
+            for layer in metadata.layers
+        )
+        print(
+            f"  {name}: table={metadata.table_name}, "
+            f"inputs={metadata.input_width}, {layers}"
+        )
+
+    # The catalog knows the input arity: MODEL JOIN needs no USING —
+    # the first four float columns of the flow feed the model.
+    r1 = db.execute(
+        "SELECT id, prediction_0 FROM iris MODEL JOIN clf_v1 ORDER BY id"
+    )
+    r2 = db.execute(
+        "SELECT id, prediction_0 FROM iris MODEL JOIN clf_v2 ORDER BY id"
+    )
+    print(
+        "\nv1 vs v2 mean score:",
+        round(float(np.mean(r1.column("prediction_0"))), 4),
+        "vs",
+        round(float(np.mean(r2.column("prediction_0"))), 4),
+    )
+
+    # Cost estimation from the catalog metadata alone (Section 7).
+    cost_model = InferenceCostModel()
+    observations = []
+    for rows in (200, 500, 1000):
+        for name in ("clf_v1", "clf_v2"):
+            metadata = db.catalog.model(name)
+            from repro.core.cost.model import flops_per_tuple_of_metadata
+
+            db.execute(
+                f"SELECT id, prediction_0 FROM "
+                f"(SELECT * FROM iris WHERE id < {rows}) AS s "
+                f"MODEL JOIN {name}"
+            )
+            observations.append(
+                (
+                    rows,
+                    flops_per_tuple_of_metadata(metadata),
+                    db.last_profile.wall_seconds,
+                )
+            )
+    cost_model.calibrate(observations)
+    estimate = cost_model.estimate(db.catalog.model("clf_v2"), 100_000)
+    print(
+        f"\ncalibrated cost model predicts "
+        f"{estimate.predicted_seconds * 1e3:.1f} ms for 100k tuples "
+        f"with clf_v2 ({estimate.total_flops:.2e} FLOPs)"
+    )
+
+    # Lifecycle: dropping the backing table deregisters the model.
+    table = db.catalog.model("clf_v1").table_name
+    db.execute(f"DROP TABLE {table}")
+    print(
+        "\nafter dropping", table, "->",
+        "clf_v1 registered?" , db.catalog.has_model("clf_v1"),
+    )
+
+
+if __name__ == "__main__":
+    main()

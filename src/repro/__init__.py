@@ -1,0 +1,30 @@
+"""repro — reproduction of "Exploration of Approaches for In-Database ML".
+
+Kläbe, Hagedorn, Sattler; EDBT 2023.  The package provides a columnar
+vectorized SQL engine, a neural-network substrate, and five in-database
+inference approaches built on top of them: Python UDFs, ML-runtime
+C-API integration, ML-To-SQL, the native ModelJoin operator (CPU and
+simulated GPU), plus the external-Python baseline.
+
+Quickstart::
+
+    import repro
+    from repro.nn import Dense, Sequential
+    from repro.core.registry import publish_model
+
+    db = repro.connect()
+    db.execute("CREATE TABLE iris (id INTEGER, f0 FLOAT, f1 FLOAT, "
+               "f2 FLOAT, f3 FLOAT)")
+    ...
+    model = Sequential([Dense(8, "relu"), Dense(1, "sigmoid")],
+                       input_width=4)
+    publish_model(db, "clf", model)
+    db.execute("SELECT id, prediction_0 FROM iris MODEL JOIN clf")
+"""
+
+from repro.core.attach import attach, connect
+from repro.db.engine import Database, Result
+
+__version__ = "1.0.0"
+
+__all__ = ["attach", "connect", "Database", "Result", "__version__"]

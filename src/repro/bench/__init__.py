@@ -1,0 +1,35 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 6).
+
+- :mod:`repro.bench.variants` — a uniform interface over the eight
+  evaluated approaches (the legend of Figures 8/9),
+- :mod:`repro.bench.harness` — sweep runners for Figures 8/9 and the
+  memory measurement of Table 3,
+- :mod:`repro.bench.reporting` — paper-style series/table printers,
+  including the qualitative Table 2.
+
+CLI: ``python -m repro.bench fig8|fig9|table2|table3 [--preset smoke|default|paper]``.
+"""
+
+from repro.bench.variants import (
+    ALL_VARIANT_NAMES,
+    RunMeasurement,
+    make_variant,
+)
+from repro.bench.harness import (
+    BenchConfig,
+    SweepPoint,
+    measure_memory_table,
+    run_dense_sweep,
+    run_lstm_sweep,
+)
+
+__all__ = [
+    "ALL_VARIANT_NAMES",
+    "RunMeasurement",
+    "make_variant",
+    "BenchConfig",
+    "SweepPoint",
+    "run_dense_sweep",
+    "run_lstm_sweep",
+    "measure_memory_table",
+]

@@ -1,0 +1,123 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench fig8   [--preset smoke|default|paper] [--out F]
+    python -m repro.bench fig9   ...
+    python -m repro.bench table2 ...
+    python -m repro.bench table3 ...
+    python -m repro.bench all    ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import (
+    BenchConfig,
+    measure_memory_table,
+    run_dense_sweep,
+    run_lstm_sweep,
+)
+from repro.bench.reporting import (
+    format_memory_table,
+    format_qualitative_table,
+    format_runtime_series,
+    points_to_csv,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation artifacts",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig8", "fig9", "table2", "table3", "all"],
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["smoke", "default", "paper"],
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
+    parser.add_argument(
+        "--csv", default=None, help="write raw sweep points as CSV"
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="enable partition-parallel execution",
+    )
+    parser.add_argument(
+        "--variants",
+        default=None,
+        help="comma-separated subset of the Figure-8/9 variant names",
+    )
+    arguments = parser.parse_args(argv)
+    config = BenchConfig.from_preset(arguments.preset)
+    if arguments.parallel:
+        config = BenchConfig(
+            **{**config.__dict__, "parallel": True}
+        )
+    if arguments.variants:
+        config = config.with_variants(
+            tuple(name.strip() for name in arguments.variants.split(","))
+        )
+
+    sections: list[str] = []
+    all_points = []
+    if arguments.experiment in ("fig8", "all", "table2"):
+        dense = run_dense_sweep(config)
+        all_points.extend(dense)
+        sections.append(
+            format_runtime_series(
+                dense,
+                "Figure 8 — runtime results for dense layer networks "
+                f"(preset {config.preset})",
+            )
+        )
+    if arguments.experiment in ("fig9", "all", "table2"):
+        lstm = run_lstm_sweep(config)
+        all_points.extend(lstm)
+        sections.append(
+            format_runtime_series(
+                lstm,
+                "Figure 9 — runtime results for LSTM layer networks "
+                f"(preset {config.preset})",
+            )
+        )
+    if arguments.experiment in ("table3", "all", "table2"):
+        memory = measure_memory_table(config)
+        all_points.extend(memory)
+        sections.append(format_memory_table(memory, config.table3_rows))
+    if arguments.experiment in ("table2", "all"):
+        runtime_points = [
+            point
+            for point in all_points
+            if point.experiment in ("fig8", "fig9")
+        ]
+        memory_points = [
+            point for point in all_points if point.experiment == "table3"
+        ]
+        sections.append(
+            format_qualitative_table(runtime_points, memory_points)
+        )
+
+    report = "\n\n".join(sections)
+    print(report)
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            handle.write(report + "\n")
+    if arguments.csv:
+        with open(arguments.csv, "w") as handle:
+            handle.write(points_to_csv(all_points) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Wiring: attach the paper's operators to a database instance."""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+
+
+def attach(database: Database) -> Database:
+    """Install the native ModelJoin operator factory on *database*.
+
+    After attaching, ``SELECT * FROM t MODEL JOIN m`` works against
+    models registered in the catalog (paper Sections 1 and 5.5).
+    Returns the database for chaining.
+    """
+    from repro.core.modeljoin.operator import modeljoin_operator_factory
+
+    database.set_modeljoin_factory(modeljoin_operator_factory)
+    return database
+
+
+def connect(
+    parallelism: int = 1,
+    vector_size: int = 1024,
+) -> Database:
+    """Create a new database with the full repro feature set attached."""
+    return attach(
+        Database(parallelism=parallelism, vector_size=vector_size)
+    )

@@ -1,0 +1,12 @@
+"""The baseline: pull data out of the DBMS and infer in Python.
+
+Approach (0) of the evaluation — TF(Python): data leaves the database
+over a (simulated) ODBC connection, inference happens in an external
+Python environment, and the per-row marshalling of the transfer is what
+dominates (paper Section 6.2.1).
+"""
+
+from repro.core.client.odbc import OdbcConnection, TransferStats
+from repro.core.client.external import ExternalInference
+
+__all__ = ["OdbcConnection", "TransferStats", "ExternalInference"]

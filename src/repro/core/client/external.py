@@ -1,0 +1,103 @@
+"""External-Python inference baseline (TF(Python) / TF(GPU)).
+
+Fetches the fact table over the simulated ODBC link and runs inference
+in the "client" Python environment, using the ML runtime directly —
+on the host CPU or on the simulated GPU.  Measurements include data
+movement and classification runtime, exactly as in the paper's setup
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.client.odbc import OdbcConnection, TransferStats
+from repro.db.engine import Database
+from repro.device.base import Device, DeviceWindow
+from repro.nn.model import Sequential
+from repro.nn.runtime import InferenceSession, TensorBuffer
+
+
+@dataclass
+class ExternalRunReport:
+    """Timing breakdown of one external inference run."""
+
+    predictions: np.ndarray
+    transfer: TransferStats
+    fetch_seconds: float
+    inference_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.fetch_seconds
+            + self.inference_seconds
+            + self.transfer.modeled_wire_seconds
+        )
+
+
+class ExternalInference:
+    """The move-data-out baseline."""
+
+    def __init__(
+        self,
+        database: Database,
+        model: Sequential,
+        device: Device | None = None,
+        bandwidth_bytes_per_second: float | None = None,
+    ):
+        self.connection = OdbcConnection(
+            database, bandwidth_bytes_per_second
+        )
+        self.model = model
+        self.device = device
+        self.session = InferenceSession(model, device)
+
+    def run(
+        self,
+        fact_table: str,
+        id_column: str,
+        input_columns: list[str],
+        batch_size: int = 1024,
+    ) -> ExternalRunReport:
+        """Fetch the data, classify it client-side, report timings.
+
+        Inference runs in client batches (the framework's batch size),
+        like ``model.predict(..., batch_size=...)`` would.
+        """
+        columns = ", ".join([id_column] + list(input_columns))
+        started = time.perf_counter()
+        arrays = self.connection.fetch_arrays(
+            f"SELECT {columns} FROM {fact_table}"
+        )
+        fetch_seconds = time.perf_counter() - started
+        matrix = np.column_stack(
+            [
+                arrays[name].astype(np.float32)
+                for name in input_columns
+            ]
+        )
+        outputs = []
+        window_device = self.device or self.session.device
+        with DeviceWindow(window_device) as window:
+            for start in range(0, len(matrix), batch_size):
+                chunk = np.ascontiguousarray(
+                    matrix[start : start + batch_size]
+                )
+                outputs.append(self.session.run(TensorBuffer(chunk)).array)
+        inference_seconds = window.seconds
+        predictions = (
+            np.concatenate(outputs)
+            if outputs
+            else np.empty((0, self.model.output_width), np.float32)
+        )
+        order = np.argsort(arrays[id_column], kind="stable")
+        return ExternalRunReport(
+            predictions=predictions[order],
+            transfer=self.connection.last_stats,
+            fetch_seconds=fetch_seconds,
+            inference_seconds=inference_seconds,
+        )

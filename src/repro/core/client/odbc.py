@@ -1,0 +1,146 @@
+"""Simulated ODBC data transfer.
+
+The paper's TF(Python) baseline moves data from the database to the
+Python client over ODBC.  On a loopback connection the dominating cost
+is per-row serialization, so this simulation *really* serializes: each
+result row is packed with :mod:`struct` into a wire buffer and unpacked
+again on the "client" side — an honest per-value CPU cost, not a sleep.
+An optional bandwidth model additionally accounts (without sleeping)
+the seconds a remote link of the given speed would add; the reported
+baseline times include it only when a bandwidth is configured.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.db.schema import Schema
+from repro.db.types import SqlType
+from repro.errors import ExecutionError
+
+
+@dataclass
+class TransferStats:
+    """Accounting of one ODBC fetch."""
+
+    rows: int = 0
+    bytes_on_wire: int = 0
+    serialize_seconds: float = 0.0
+    modeled_wire_seconds: float = 0.0
+
+
+_PACK_CODES = {
+    SqlType.INTEGER: "q",
+    SqlType.FLOAT: "f",
+    SqlType.DOUBLE: "d",
+    SqlType.BOOLEAN: "?",
+}
+
+
+@dataclass
+class OdbcConnection:
+    """A client-side connection that fetches query results by value.
+
+    ``bandwidth_bytes_per_second=None`` models a loopback connection
+    (the paper's setup: client and server on the same machine); a
+    finite bandwidth accounts the extra wire time a remote client
+    would see — "moving large datasets from a database server to a
+    separate machine ... would further decrease the performance of the
+    Tensorflow variant" (Section 6.2.1).
+    """
+
+    database: Database
+    bandwidth_bytes_per_second: float | None = None
+    last_stats: TransferStats = field(default_factory=TransferStats)
+
+    def fetch_arrays(self, sql: str) -> dict[str, np.ndarray]:
+        """Run *sql* server-side and fetch the result to the client.
+
+        Returns client-side NumPy arrays per column, after a real
+        pack/unpack round trip per row.
+        """
+        import time
+
+        result = self.database.execute(sql)
+        schema = result.schema
+        row_format = "<" + "".join(
+            _PACK_CODES.get(column.sql_type, "")
+            for column in schema
+        )
+        if len(row_format) - 1 != len(schema):
+            raise ExecutionError(
+                "ODBC simulation supports numeric/boolean columns only"
+            )
+        packer = struct.Struct(row_format)
+        started = time.perf_counter()
+        # Server side: serialize each row onto the wire.
+        wire = bytearray()
+        rows = 0
+        for batch in result.batches:
+            for row in batch.to_rows():
+                wire += packer.pack(*row)
+                rows += 1
+        # Client side: parse the wire format back into typed columns.
+        columns: list[list] = [[] for _ in schema]
+        for values in struct.iter_unpack(row_format, bytes(wire)):
+            for slot, value in enumerate(values):
+                columns[slot].append(value)
+        serialize_seconds = time.perf_counter() - started
+        arrays = self._to_arrays(schema, columns)
+        stats = TransferStats(
+            rows=rows,
+            bytes_on_wire=len(wire),
+            serialize_seconds=serialize_seconds,
+        )
+        if self.bandwidth_bytes_per_second:
+            stats.modeled_wire_seconds = (
+                len(wire) / self.bandwidth_bytes_per_second
+            )
+        self.last_stats = stats
+        return arrays
+
+    @staticmethod
+    def _to_arrays(
+        schema: Schema, columns: list[list]
+    ) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for column, values in zip(schema, columns):
+            arrays[column.name] = np.asarray(
+                values, dtype=column.sql_type.numpy_dtype
+            )
+        return arrays
+
+    def upload_arrays(
+        self, table_name: str, arrays: dict[str, np.ndarray]
+    ) -> TransferStats:
+        """Ship client-side arrays back into a server table (row-wise)."""
+        import time
+
+        table = self.database.table(table_name)
+        row_format = "<" + "".join(
+            _PACK_CODES[column.sql_type] for column in table.schema
+        )
+        packer = struct.Struct(row_format)
+        names = list(table.schema.names)
+        started = time.perf_counter()
+        wire = bytearray()
+        rows = list(zip(*(arrays[name].tolist() for name in names)))
+        for row in rows:
+            wire += packer.pack(*row)
+        unpacked = list(struct.iter_unpack(row_format, bytes(wire)))
+        table.append_rows(unpacked)
+        stats = TransferStats(
+            rows=len(unpacked),
+            bytes_on_wire=len(wire),
+            serialize_seconds=time.perf_counter() - started,
+        )
+        if self.bandwidth_bytes_per_second:
+            stats.modeled_wire_seconds = (
+                len(wire) / self.bandwidth_bytes_per_second
+            )
+        self.last_stats = stats
+        return stats

@@ -1,0 +1,5 @@
+"""Inference cost model (paper Section 7, future work)."""
+
+from repro.core.cost.model import CostEstimate, InferenceCostModel
+
+__all__ = ["CostEstimate", "InferenceCostModel"]

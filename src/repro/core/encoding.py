@@ -1,0 +1,98 @@
+"""Feature encodings in plain SQL (paper Section 4, first paragraph).
+
+"We waive the topic of data encoding, as basic approaches like
+Min-Max-Encoding or One-Hot-Encoding can be implemented in SQL in a
+straight-forward way" — this module is that straightforward way, so the
+examples can run realistic preprocessing inside the engine.  It also
+implements the time-series windowing self-join of Section 4: turning a
+plain (timestamp, value) series into one row per forecast window by
+self-joining the table ``n - 1`` times.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+from repro.errors import DatabaseError
+
+
+def min_max_expression(
+    column: str, minimum: float, maximum: float
+) -> str:
+    """SQL scaling *column* into [0, 1] given its min and max."""
+    span = maximum - minimum
+    if span == 0:
+        return "0.0"
+    return f"(({column} - {minimum!r}) / {span!r})"
+
+
+def min_max_encode_query(
+    database: Database,
+    table: str,
+    id_column: str,
+    columns: list[str],
+) -> str:
+    """SELECT with all *columns* min-max scaled (stats read via SQL)."""
+    selects = [id_column]
+    for column in columns:
+        # Global min/max via SQL (the engine has no global aggregation,
+        # so aggregate over a constant key).
+        stats = database.execute(
+            f"SELECT one, MIN({column}) AS lo, MAX({column}) AS hi FROM "
+            f"(SELECT 1 AS one, {column} FROM {table}) AS t GROUP BY one"
+        )
+        lo = stats.column("lo")[0]
+        hi = stats.column("hi")[0]
+        selects.append(
+            f"{min_max_expression(column, float(lo), float(hi))} "
+            f"AS {column}_scaled"
+        )
+    return f"SELECT {', '.join(selects)} FROM {table}"
+
+
+def one_hot_expressions(
+    column: str, categories: list[int | str]
+) -> list[str]:
+    """One indicator expression per category value."""
+    expressions = []
+    for value in categories:
+        literal = f"'{value}'" if isinstance(value, str) else repr(value)
+        safe = str(value).replace("-", "m").replace(".", "_")
+        expressions.append(
+            f"CASE WHEN {column} = {literal} THEN 1.0 ELSE 0.0 END "
+            f"AS {column}_is_{safe}"
+        )
+    return expressions
+
+
+def window_self_join_query(
+    series_table: str,
+    id_column: str,
+    value_column: str,
+    time_steps: int,
+    window_table_alias: str = "w",
+) -> str:
+    """The Section 4 windowing self-join for LSTM inputs.
+
+    "Starting from a simple time series, this can be achieved by
+    self-joining the table n-1 times ... with a join predicate that
+    lets tuples match with their predecessor in the series."  Produces
+    one row per window: ``(id, x1, ..., xn)`` where ``x1`` is the
+    oldest value; ``id`` is the identifier of the *last* element of the
+    window, so predictions line up with forecast targets.
+    """
+    if time_steps < 1:
+        raise DatabaseError("a window needs at least one time step")
+    aliases = [f"s{step}" for step in range(time_steps)]
+    selects = [f"{aliases[-1]}.{id_column} AS {id_column}"]
+    selects.extend(
+        f"{alias}.{value_column} AS x{position + 1}"
+        for position, alias in enumerate(aliases)
+    )
+    froms = [f"{series_table} AS {alias}" for alias in aliases]
+    conditions = [
+        f"{aliases[i + 1]}.{id_column} = {aliases[i]}.{id_column} + 1"
+        for i in range(time_steps - 1)
+    ]
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    del window_table_alias
+    return f"SELECT {', '.join(selects)} FROM {', '.join(froms)}{where}"

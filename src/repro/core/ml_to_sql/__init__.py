@@ -1,0 +1,30 @@
+"""ML-To-SQL: relational model representation and SQL generation.
+
+The framework of paper Section 4: a trained model is loaded into a
+single 16-column relational table (one row per edge of the network
+graph), and inference over a fact table is expressed as one nested SQL
+query built from four generic building blocks — input, layer-forward,
+activation and output functions (Table 1, Listing 1).
+"""
+
+from repro.core.ml_to_sql.representation import (
+    MlToSqlOptions,
+    RelationalModel,
+    build_relational_model,
+    model_table_schema,
+)
+from repro.core.ml_to_sql.loader import (
+    insert_statements,
+    load_model_table,
+)
+from repro.core.ml_to_sql.generator import SqlGenerator
+
+__all__ = [
+    "MlToSqlOptions",
+    "RelationalModel",
+    "build_relational_model",
+    "model_table_schema",
+    "insert_statements",
+    "load_model_table",
+    "SqlGenerator",
+]

@@ -1,0 +1,327 @@
+"""SQL templates for the ML-To-SQL building blocks (paper Table 1).
+
+Every template returns SQL text; the generator nests them into the one
+big inference query of Listing 1::
+
+    ModelJoin := Output(Activate(Layer_forward(... Input(R, model) ...)))
+
+Activation functions can be emitted either through the engine's native
+``SIGMOID``/``TANH``/``RELU`` functions, or as *portable* standard SQL
+(arithmetic + CASE) that runs on any SQL-compliant system — the
+portability the paper claims for this approach.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedModelError
+
+
+def activation_sql(
+    activation: str, column: str, native_functions: bool
+) -> str:
+    """SQL expression applying *activation* to *column* (§4.3.5)."""
+    if activation == "linear":
+        return column
+    if native_functions:
+        native = {"relu": "RELU", "sigmoid": "SIGMOID", "tanh": "TANH"}
+        if activation in native:
+            return f"{native[activation]}({column})"
+    if activation == "relu":
+        return f"CASE WHEN {column} > 0 THEN {column} ELSE 0.0 END"
+    if activation == "sigmoid":
+        return f"1.0 / (1.0 + EXP(-({column})))"
+    if activation == "tanh":
+        return (
+            f"(EXP(2.0 * ({column})) - 1.0) / (EXP(2.0 * ({column})) + 1.0)"
+        )
+    raise UnsupportedModelError(
+        f"no SQL template for activation {activation!r}"
+    )
+
+
+def node_range_predicate(alias: str, low: int, high: int) -> str:
+    """Range predicate on the node id (prunable via zone maps, §4.4)."""
+    return f"{alias}.node >= {low} AND {alias}.node <= {high}"
+
+
+# ----------------------------------------------------------------------
+# input functions (paper §4.3.1, Listings 2 and 3)
+# ----------------------------------------------------------------------
+def dense_input_optimized(
+    fact_table: str,
+    id_column: str,
+    input_columns: list[str],
+    model_table: str,
+    first_node: int,
+) -> str:
+    """Listing 3 with unique node ids: cross join + CASE column switch."""
+    renames = ", ".join(
+        f"d.{column} AS c{index}"
+        for index, column in enumerate(input_columns)
+    )
+    branches = " ".join(
+        f"WHEN node = {first_node + index} THEN c{index}"
+        for index in range(len(input_columns))
+    )
+    high = first_node + len(input_columns) - 1
+    return (
+        f"SELECT id, node, CASE {branches} END AS output_activated "
+        f"FROM (SELECT d.{id_column} AS id, {renames}, m.node AS node "
+        f"FROM {fact_table} AS d, {model_table} AS m "
+        f"WHERE m.node_in = -1 AND "
+        f"{node_range_predicate('m', first_node, high)}) AS t"
+    )
+
+
+def dense_input_classic(
+    fact_table: str,
+    id_column: str,
+    input_columns: list[str],
+    model_table: str,
+    input_layer: int,
+) -> str:
+    """Listing 3 verbatim: (Layer, Node) addressing."""
+    renames = ", ".join(
+        f"d.{column} AS c{index}"
+        for index, column in enumerate(input_columns)
+    )
+    branches = " ".join(
+        f"WHEN node = {index} THEN c{index}"
+        for index in range(len(input_columns))
+    )
+    return (
+        f"SELECT id, layer, node, CASE {branches} END AS output_activated "
+        f"FROM (SELECT d.{id_column} AS id, {renames}, "
+        f"m.layer AS layer, m.node AS node "
+        f"FROM {fact_table} AS d, {model_table} AS m "
+        f"WHERE m.layer_in = -1 AND m.layer = {input_layer}) AS t"
+    )
+
+
+# ----------------------------------------------------------------------
+# dense layer forward (paper §4.3.2, Listing 4)
+# ----------------------------------------------------------------------
+def dense_forward_optimized(
+    previous_query: str,
+    model_table: str,
+    first_node: int,
+    last_node: int,
+) -> str:
+    """Listing 4 with the §4.4 optimizations: one-column join plus a
+    node-range filter instead of the (Layer, Node) pair."""
+    return (
+        "SELECT id, node, s + bias AS output FROM ("
+        "SELECT t.id AS id, m.node AS node, "
+        "SUM(t.output_activated * m.w_i) AS s, m.b_i AS bias "
+        f"FROM ({previous_query}) AS t, {model_table} AS m "
+        f"WHERE t.node = m.node_in AND "
+        f"{node_range_predicate('m', first_node, last_node)} "
+        "GROUP BY t.id, m.node, m.b_i) AS q"
+    )
+
+
+def dense_forward_classic(
+    previous_query: str, model_table: str, layer: int
+) -> str:
+    """Listing 4 verbatim: pair join plus a Layer filter."""
+    return (
+        "SELECT id, layer, node, s + bias AS output FROM ("
+        "SELECT t.id AS id, m.layer AS layer, m.node AS node, "
+        "SUM(t.output_activated * m.w_i) AS s, m.b_i AS bias "
+        f"FROM ({previous_query}) AS t, {model_table} AS m "
+        "WHERE t.node = m.node_in AND t.layer = m.layer_in "
+        f"AND m.layer = {layer} "
+        "GROUP BY t.id, m.layer, m.node, m.b_i) AS q"
+    )
+
+
+def activate(
+    previous_query: str,
+    activation: str,
+    native_functions: bool,
+    carry_layer: bool,
+) -> str:
+    """Activation function: projection over the layer-forward output."""
+    expression = activation_sql(activation, "output", native_functions)
+    layer_column = "layer, " if carry_layer else ""
+    return (
+        f"SELECT id, {layer_column}node, "
+        f"{expression} AS output_activated "
+        f"FROM ({previous_query}) AS a"
+    )
+
+
+# ----------------------------------------------------------------------
+# LSTM steps (paper §4.3.3)
+# ----------------------------------------------------------------------
+#
+# The model table stores the LSTM as ONE block of w state nodes with
+# w*w recurrent edges (node_in -> node carrying U weights); the w
+# diagonal self-edges (node_in == node) additionally carry the kernel
+# weights W and the biases b — both matrices are stored exactly once,
+# as required by §4.3.3.  Each time step is then a *single* pass over
+# the previous step's result:
+#
+#   z_g(id, node) = SUM( h_prev * U_g
+#                        + CASE WHEN self-edge THEN x_t * W_g + b_g END )
+#   c_prev(id, node) = SUM( CASE WHEN self-edge THEN c END )
+#
+# grouped by (id, node).  This refines the paper's two-sublayer
+# formulation, whose "backward edges" would make the generated nested
+# query reference the previous step twice (doubling work per step);
+# the relational representation and the per-step algebra (join the
+# state with the model edges, aggregate per node, gate arithmetic) are
+# unchanged.
+
+_GATES = ("i", "f", "c", "o")
+
+
+def _carry_select(carried: list[str], prefix: str) -> str:
+    if not carried:
+        return ""
+    return ", " + ", ".join(f"{prefix}{name} AS {name}" for name in carried)
+
+
+def lstm_first_step(
+    fact_table: str,
+    id_column: str,
+    step_column: str,
+    carried_columns: list[str],
+    carried_sources: list[str],
+    model_table: str,
+    first_node: int,
+    last_node: int,
+    activation: str,
+    recurrent_activation: str,
+    native_functions: bool,
+) -> str:
+    """Time step 1: kernel-only (no recurrence, empty cell state)."""
+    act = lambda column: activation_sql(  # noqa: E731 - local shorthand
+        activation, column, native_functions
+    )
+    ract = lambda column: activation_sql(  # noqa: E731
+        recurrent_activation, column, native_functions
+    )
+    carries_inner = "".join(
+        f", d.{source} AS {name}"
+        for source, name in zip(carried_sources, carried_columns)
+    )
+    carries_outer = _carry_select(carried_columns, "g.")
+    x = f"d.{step_column}"
+    return (
+        f"SELECT g.id AS id, g.node AS node, "
+        f"g.o * {act('g.c')} AS h, g.c AS c{carries_outer} FROM ("
+        f"SELECT d.{id_column} AS id, m.node AS node, "
+        f"{ract(f'{x} * m.w_i + m.b_i')} * "
+        f"{act(f'{x} * m.w_c + m.b_c')} AS c, "
+        f"{ract(f'{x} * m.w_o + m.b_o')} AS o"
+        f"{carries_inner} "
+        f"FROM {fact_table} AS d, {model_table} AS m "
+        f"WHERE m.node_in = m.node AND "
+        f"{node_range_predicate('m', first_node, last_node)}"
+        f") AS g"
+    )
+
+
+def lstm_step(
+    previous_query: str,
+    step_column: str,
+    carried_columns: list[str],
+    model_table: str,
+    first_node: int,
+    last_node: int,
+    activation: str,
+    recurrent_activation: str,
+    native_functions: bool,
+) -> str:
+    """Time step t >= 2: recurrence + kernel in one aggregation pass."""
+    act = lambda column: activation_sql(  # noqa: E731
+        activation, column, native_functions
+    )
+    ract = lambda column: activation_sql(  # noqa: E731
+        recurrent_activation, column, native_functions
+    )
+    self_edge = "m.node_in = m.node"
+    gate_sums = ", ".join(
+        f"SUM(p.h * m.u_{gate} + CASE WHEN {self_edge} "
+        f"THEN p.{step_column} * m.w_{gate} + m.b_{gate} "
+        f"ELSE 0.0 END) AS z_{gate}"
+        for gate in _GATES
+    )
+    carry_aggregates = "".join(
+        f", MAX(p.{name}) AS {name}" for name in carried_columns
+    )
+    carries_z = _carry_select(carried_columns, "z.")
+    carries_g = _carry_select(carried_columns, "g.")
+    return (
+        f"SELECT g.id AS id, g.node AS node, "
+        f"g.o * {act('g.c')} AS h, g.c AS c{carries_g} FROM ("
+        f"SELECT z.id AS id, z.node AS node, "
+        f"{ract('z.z_f')} * z.c_prev + "
+        f"{ract('z.z_i')} * {act('z.z_c')} AS c, "
+        f"{ract('z.z_o')} AS o{carries_z} FROM ("
+        f"SELECT p.id AS id, m.node AS node, {gate_sums}, "
+        f"SUM(CASE WHEN {self_edge} THEN p.c ELSE 0.0 END) AS c_prev"
+        f"{carry_aggregates} "
+        f"FROM ({previous_query}) AS p, {model_table} AS m "
+        f"WHERE p.node = m.node_in AND "
+        f"{node_range_predicate('m', first_node, last_node)} "
+        f"GROUP BY p.id, m.node"
+        f") AS z"
+        f") AS g"
+    )
+
+
+def lstm_to_dense_bridge(previous_query: str) -> str:
+    """Expose the final hidden state under the dense-path column name."""
+    return (
+        "SELECT id, node, h AS output_activated "
+        f"FROM ({previous_query}) AS b"
+    )
+
+
+# ----------------------------------------------------------------------
+# output function (paper §4.3.4): the "late projection" join
+# ----------------------------------------------------------------------
+def output_join(
+    previous_query: str,
+    fact_table: str,
+    id_column: str,
+    payload_columns: list[str],
+    output_nodes: list[int],
+    prediction_prefix: str,
+    node_column_available: bool = True,
+) -> str:
+    """Join predictions back to the fact tuples on the unique ID.
+
+    One join per output node, each filtered on the Node column — for
+    the single-output models of the paper's evaluation this collapses
+    to one join and a rename (§4.3.4).
+    """
+    payload = ", ".join(
+        [f"f.{id_column} AS {id_column}"]
+        + [f"f.{column} AS {column}" for column in payload_columns]
+    )
+    if len(output_nodes) == 1:
+        return (
+            f"SELECT {payload}, r.output_activated AS "
+            f"{prediction_prefix}_0 "
+            f"FROM {fact_table} AS f, ({previous_query}) AS r "
+            f"WHERE f.{id_column} = r.id"
+        )
+    selects = [payload]
+    froms = [f"{fact_table} AS f"]
+    conditions = []
+    for index, node in enumerate(output_nodes):
+        alias = f"r{index}"
+        selects.append(
+            f"{alias}.output_activated AS {prediction_prefix}_{index}"
+        )
+        froms.append(f"({previous_query}) AS {alias}")
+        conditions.append(f"f.{id_column} = {alias}.id")
+        if node_column_available:
+            conditions.append(f"{alias}.node = {node}")
+    return (
+        f"SELECT {', '.join(selects)} FROM {', '.join(froms)} "
+        f"WHERE {' AND '.join(conditions)}"
+    )

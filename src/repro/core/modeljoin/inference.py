@@ -1,0 +1,159 @@
+"""Vectorized model inference (paper Section 5.4, Figure 7, Listing 5).
+
+The inference phase receives a set of column vectors, packs them into a
+``(rows, n)`` input matrix (each column copied exactly once), walks the
+model layers through the BLAS-style device interface, and unpacks the
+result matrix into output column vectors.
+
+The bias-matrix replication optimization is honoured: when the builder
+replicated each bias vector to ``(vector_size, units)``, the layer
+forward starts from a copy of that matrix and lets ``sgemm`` accumulate
+into it (``y := Ax + y``), turning many fine-grained bias additions
+into one large copy (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.modeljoin.builder import (
+    BuiltModel,
+    DenseLayerWeights,
+    LstmLayerWeights,
+)
+from repro.device.base import Device
+from repro.errors import ModelJoinError
+
+
+def pack_columns(columns: list[np.ndarray]) -> np.ndarray:
+    """Copy input column vectors into a row-major (rows, n) matrix.
+
+    Each column vector is touched exactly once (first step of Figure 7).
+    """
+    if not columns:
+        raise ModelJoinError("inference needs at least one input column")
+    rows = len(columns[0])
+    matrix = np.empty((rows, len(columns)), dtype=np.float32)
+    for index, column in enumerate(columns):
+        matrix[:, index] = column.astype(np.float32, copy=False)
+    return matrix
+
+
+def unpack_columns(matrix: np.ndarray) -> list[np.ndarray]:
+    """Break the result matrix back into column vectors (last step)."""
+    return [
+        np.ascontiguousarray(matrix[:, index])
+        for index in range(matrix.shape[1])
+    ]
+
+
+class VectorizedInference:
+    """Executes the layer-forward functions for one built model."""
+
+    def __init__(self, built: BuiltModel, device: Device):
+        self.built = built
+        self.device = device
+
+    def infer(self, input_matrix: np.ndarray) -> np.ndarray:
+        """Run the model for a packed ``(rows, input_width)`` matrix.
+
+        Returns the host-resident ``(rows, output_width)`` result.
+        """
+        if input_matrix.shape[1] != self.built.input_width:
+            raise ModelJoinError(
+                f"model expects {self.built.input_width} input columns, "
+                f"got {input_matrix.shape[1]}"
+            )
+        device = self.device
+        current = device.to_device(input_matrix)
+        for layer in self.built.layers:
+            if isinstance(layer, DenseLayerWeights):
+                current = self._dense_forward(layer, current)
+            else:
+                current = self._lstm_forward(layer, current)
+        return device.to_host(current)
+
+    # ------------------------------------------------------------------
+    # layer forward functions
+    # ------------------------------------------------------------------
+    def _bias_accumulator(
+        self,
+        bias: np.ndarray,
+        bias_matrix: np.ndarray | None,
+        rows: int,
+    ) -> np.ndarray:
+        """The ``y`` of ``y := Ax + y``: replicated bias rows."""
+        if bias_matrix is not None:
+            if rows > bias_matrix.shape[0]:
+                raise ModelJoinError(
+                    f"batch of {rows} rows exceeds the replicated bias "
+                    f"matrix ({bias_matrix.shape[0]} rows); increase the "
+                    "vector size the model was built for"
+                )
+            return bias_matrix[:rows]
+        # Unreplicated fallback (the ablation case): broadcast add.
+        return bias[np.newaxis, :]
+
+    def _dense_forward(
+        self, layer: DenseLayerWeights, current: np.ndarray
+    ) -> np.ndarray:
+        device = self.device
+        accumulator = self._bias_accumulator(
+            layer.bias, layer.bias_matrix, current.shape[0]
+        )
+        pre = device.gemm(current, layer.kernel, accumulate=accumulator)
+        return device.activation(layer.activation, pre)
+
+    def _lstm_forward(
+        self, layer: LstmLayerWeights, sequence: np.ndarray
+    ) -> np.ndarray:
+        """Listing 5: the LSTM layer forward via BLAS primitives."""
+        device = self.device
+        rows = sequence.shape[0]
+        features = layer.kernel.shape[0]
+        steps = sequence.shape[1] // features
+        if steps != layer.time_steps:
+            raise ModelJoinError(
+                f"LSTM built for {layer.time_steps} time steps, input "
+                f"provides {steps}"
+            )
+        units = layer.units
+        hidden: np.ndarray | None = None
+        cell: np.ndarray | None = None
+        for step in range(steps):
+            x_t = np.ascontiguousarray(
+                sequence[:, step * features : (step + 1) * features]
+            )
+            accumulator = self._bias_accumulator(
+                layer.bias, layer.bias_matrix, rows
+            )
+            # z_x := x W + b (sger for the rank-1 scalar-series case).
+            z = device.gemm(x_t, layer.kernel, accumulate=accumulator)
+            if hidden is not None:
+                # z_x := h U + z_x (sgemm accumulate).
+                z = device.add(
+                    z, device.gemm(hidden, layer.recurrent_kernel)
+                )
+            gate_i = device.activation(
+                layer.recurrent_activation, z[:, :units]
+            )
+            gate_f = device.activation(
+                layer.recurrent_activation, z[:, units : 2 * units]
+            )
+            candidate = device.activation(
+                layer.activation, z[:, 2 * units : 3 * units]
+            )
+            gate_o = device.activation(
+                layer.recurrent_activation, z[:, 3 * units :]
+            )
+            fresh = device.multiply(gate_i, candidate)  # vsMul
+            if cell is None:
+                cell = device.copy(fresh)
+            else:
+                cell = device.add(device.multiply(gate_f, cell), fresh)
+            hidden = device.multiply(
+                gate_o, device.activation(layer.activation, cell)
+            )
+        if hidden is None:
+            raise ModelJoinError("LSTM with zero time steps")
+        return hidden

@@ -1,0 +1,220 @@
+"""The ModelJoin as a physical query operator (paper Section 5.1).
+
+A two-phase join in the Volcano model (Figure 5): on the first
+``next()`` the operator drains the model side and builds the shared
+weight matrices (cooperating with the other partition pipelines through
+a barrier); afterwards every ``next()`` pulls a vector from the input
+flow, runs vectorized inference and returns the input columns plus the
+prediction columns.  Because it is a regular operator, it can be nested
+into arbitrary queries — aggregations over predictions and the like.
+
+Unlike ML-To-SQL, payload columns are simply passed through untouched
+(no "late projection" join needed, Section 5.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+
+from repro.core.modeljoin.builder import ModelBuilder
+from repro.core.modeljoin.inference import (
+    VectorizedInference,
+    pack_columns,
+    unpack_columns,
+)
+from repro.db.catalog import ModelMetadata
+from repro.db.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    UnaryOperator,
+)
+from repro.db.schema import Column, Schema
+from repro.db.table import Table
+from repro.db.types import SqlType
+from repro.db.vector import VectorBatch
+from repro.device.base import Device
+from repro.device.host import HostDevice
+from repro.errors import ModelJoinError
+
+_shared_state_lock = threading.Lock()
+
+
+class ModelJoinOperator(UnaryOperator):
+    """Native ModelJoin: child (input flow) x model table -> predictions."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        metadata: ModelMetadata,
+        model_table: Table,
+        input_columns: list[str] | None = None,
+        output_prefix: str = "prediction",
+        device: Device | None = None,
+        partition_index: int | None = None,
+        replicate_bias: bool = True,
+    ):
+        self.metadata = metadata
+        self.model_table = model_table
+        self.device = device or HostDevice()
+        self.partition_index = partition_index or 0
+        self.replicate_bias = replicate_bias
+        self.output_prefix = output_prefix
+        self.input_columns = self._resolve_input_columns(
+            child.schema, metadata, input_columns
+        )
+        prediction_columns = tuple(
+            Column(f"{output_prefix}_{index}", SqlType.FLOAT)
+            for index in range(metadata.output_width)
+        )
+        schema = Schema(child.schema.columns + prediction_columns)
+        super().__init__(context, schema, child)
+        self._accounted_bytes = 0
+
+    @staticmethod
+    def _resolve_input_columns(
+        child_schema: Schema,
+        metadata: ModelMetadata,
+        input_columns: list[str] | None,
+    ) -> list[str]:
+        if input_columns is not None:
+            if len(input_columns) != metadata.input_width:
+                raise ModelJoinError(
+                    f"model {metadata.model_name!r} expects "
+                    f"{metadata.input_width} input columns, "
+                    f"got {len(input_columns)}"
+                )
+            for name in input_columns:
+                child_schema.position_of(name)
+            return list(input_columns)
+        # Default: the first input_width floating-point columns of the
+        # input flow, in schema order.
+        candidates = [
+            column.name
+            for column in child_schema
+            if column.sql_type in (SqlType.FLOAT, SqlType.DOUBLE)
+        ]
+        if len(candidates) < metadata.input_width:
+            raise ModelJoinError(
+                f"input flow offers {len(candidates)} float columns, "
+                f"model {metadata.model_name!r} needs "
+                f"{metadata.input_width}; pass input columns explicitly"
+            )
+        return candidates[: metadata.input_width]
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        return self.child.ordering
+
+    # ------------------------------------------------------------------
+    # build phase
+    # ------------------------------------------------------------------
+    def _shared_builder(self) -> ModelBuilder:
+        key = (
+            "modeljoin",
+            self.model_table.name.lower(),
+            self.metadata.model_name.lower(),
+            self.output_prefix,
+        )
+        with _shared_state_lock:
+            builder = self.context.shared_state.get(key)
+            if builder is None:
+                builder = ModelBuilder(
+                    input_width=self.metadata.input_width,
+                    layers=list(self.metadata.layers),
+                    parties=self.context.parallelism,
+                    vector_size=self.context.vector_size,
+                    replicate_bias=self.replicate_bias,
+                )
+                self.context.shared_state[key] = builder
+            return builder
+
+    def _my_model_partitions(self) -> list[int]:
+        """Model-table partitions this pipeline parses (round-robin)."""
+        total = self.model_table.num_partitions
+        stride = max(self.context.parallelism, 1)
+        return list(range(self.partition_index, total, stride))
+
+    def _build(self) -> VectorizedInference:
+        builder = self._shared_builder()
+        # The model side is drained in large batches: the build phase
+        # is bulk weight placement, not tuple-at-a-time processing, so
+        # there is no reason to chop it into execution-sized vectors.
+        build_vector_size = max(self.context.vector_size, 65536)
+        with self.context.stopwatch.measure("modeljoin-build"):
+            for partition in self._my_model_partitions():
+                for batch in self.model_table.scan_partition(
+                    partition, vector_size=build_vector_size
+                ):
+                    builder.consume_batch(batch)
+            built = builder.wait_and_finalize(self.device)
+        if self.partition_index == 0:
+            self._accounted_bytes = built.nominal_bytes()
+            self.context.memory.allocate(self._accounted_bytes, "model")
+        return VectorizedInference(built, self.device)
+
+    # ------------------------------------------------------------------
+    # inference phase
+    # ------------------------------------------------------------------
+    def _produce(self) -> Iterator[VectorBatch]:
+        inference = self._build()
+        stopwatch = self.context.stopwatch
+        prediction_schema = Schema(
+            self.schema.columns[len(self.child.schema) :]
+        )
+        for batch in self.child.next_batches():
+            if len(batch) == 0:
+                continue
+            with stopwatch.measure("modeljoin-infer"):
+                matrix = pack_columns(
+                    [batch.column(name) for name in self.input_columns]
+                )
+                transient = matrix.nbytes
+                self.context.memory.allocate(transient, "modeljoin-vector")
+                try:
+                    result = inference.infer(matrix)
+                finally:
+                    self.context.memory.release(
+                        transient, "modeljoin-vector"
+                    )
+                predictions = VectorBatch(
+                    prediction_schema, unpack_columns(result)
+                )
+            yield batch.concat_columns(predictions)
+
+    def close(self) -> None:
+        if self._accounted_bytes:
+            self.context.memory.release(self._accounted_bytes, "model")
+            self._accounted_bytes = 0
+        super().close()
+
+    def describe(self) -> str:
+        return (
+            f"ModelJoin(model={self.metadata.model_name}, "
+            f"device={self.device.name}, "
+            f"inputs=[{', '.join(self.input_columns)}])"
+        )
+
+
+def modeljoin_operator_factory(
+    context: ExecutionContext,
+    child: PhysicalOperator,
+    metadata: ModelMetadata,
+    model_table: Table,
+    input_columns: list[str] | None = None,
+    output_prefix: str = "prediction",
+    partition_index: int | None = None,
+    device: Device | None = None,
+) -> ModelJoinOperator:
+    """Factory the planner calls for ``MODEL JOIN`` FROM items."""
+    return ModelJoinOperator(
+        context,
+        child,
+        metadata,
+        model_table,
+        input_columns=input_columns,
+        output_prefix=output_prefix,
+        partition_index=partition_index,
+        device=device,
+    )

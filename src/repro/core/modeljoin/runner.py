@@ -1,0 +1,113 @@
+"""Direct execution of the native ModelJoin (bench + API convenience).
+
+Builds the minimal physical plan — partition scan of the fact table
+feeding the ModelJoin operator — one pipeline per partition, exactly
+the shape the engine's parallel executor would produce for
+``SELECT * FROM fact MODEL JOIN m``, without the SQL layer in the
+measured path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.modeljoin.operator import ModelJoinOperator
+from repro.db.catalog import ModelMetadata
+from repro.db.engine import Database
+from repro.db.operators import ExecutionContext, TableScan
+from repro.db.parallel import run_partitioned
+from repro.db.profiler import QueryProfile
+from repro.db.vector import VectorBatch
+from repro.device.base import Device, DeviceWindow
+from repro.device.host import HostDevice
+
+
+class NativeModelJoin:
+    """Runs a registered model with the native operator."""
+
+    def __init__(
+        self,
+        database: Database,
+        model_name: str,
+        device: Device | None = None,
+        replicate_bias: bool = True,
+    ):
+        self.database = database
+        self.metadata: ModelMetadata = database.catalog.model(model_name)
+        self.device = device or HostDevice()
+        self.replicate_bias = replicate_bias
+        self.last_profile: QueryProfile | None = None
+        self.last_seconds: float = 0.0
+
+    def execute(
+        self,
+        fact_table: str,
+        input_columns: list[str] | None = None,
+        parallel: bool = False,
+    ) -> tuple[list[VectorBatch], ExecutionContext]:
+        """Run the ModelJoin; returns output batches and the context."""
+        table = self.database.table(fact_table)
+        model_table = self.database.table(self.metadata.table_name)
+        parallelism = (
+            self.database.parallelism
+            if parallel and self.database.parallelism > 1
+            else 1
+        )
+        context = ExecutionContext(
+            vector_size=self.database.vector_size, parallelism=parallelism
+        )
+
+        def build(partition_index: int) -> ModelJoinOperator:
+            scan_partition = (
+                partition_index if parallelism > 1 else None
+            )
+            if scan_partition is not None and table.num_partitions == 1:
+                scan_partition = None
+            scan = TableScan(
+                context, table, partition_index=scan_partition
+            )
+            return ModelJoinOperator(
+                context,
+                scan,
+                self.metadata,
+                model_table,
+                input_columns=input_columns,
+                device=self.device,
+                partition_index=partition_index if parallelism > 1 else 0,
+                replicate_bias=self.replicate_bias,
+            )
+
+        with DeviceWindow(self.device) as window:
+            _, batches = run_partitioned(
+                build, parallelism, max_workers=parallelism
+            )
+        self.last_seconds = window.seconds
+        profile = QueryProfile(
+            wall_seconds=window.wall_seconds,
+            memory=context.memory,
+            stopwatch=context.stopwatch,
+        )
+        profile.rows_returned = sum(len(batch) for batch in batches)
+        self.last_profile = profile
+        return batches, context
+
+    def predict(
+        self,
+        fact_table: str,
+        id_column: str,
+        input_columns: list[str] | None = None,
+        parallel: bool = False,
+    ) -> np.ndarray:
+        """Predictions ordered by the fact table's unique ID."""
+        batches, _ = self.execute(
+            fact_table, input_columns=input_columns, parallel=parallel
+        )
+        ids = np.concatenate([batch.column(id_column) for batch in batches])
+        order = np.argsort(ids, kind="stable")
+        outputs = []
+        for index in range(self.metadata.output_width):
+            column = np.concatenate(
+                [batch.column(f"prediction_{index}") for batch in batches]
+            )
+            outputs.append(column[order])
+        return np.column_stack(outputs)

@@ -1,0 +1,88 @@
+"""Publishing models into the database catalog (paper Section 5.5).
+
+:func:`publish_model` loads a trained model into its relational model
+table *and* registers the semantic metadata (layer dimensions, types,
+activations) in the catalog, making the DBMS aware that the table is a
+model.  After publishing, both the native operator API and the
+``SELECT ... FROM t MODEL JOIN name`` syntax can use the model by name.
+"""
+
+from __future__ import annotations
+
+from repro.core.ml_to_sql.loader import load_model_table
+from repro.core.ml_to_sql.representation import (
+    MlToSqlOptions,
+    build_relational_model,
+)
+from repro.db.catalog import LayerMetadata, ModelMetadata
+from repro.db.engine import Database
+from repro.errors import UnsupportedModelError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+def model_metadata(
+    model_name: str, table_name: str, model: Sequential
+) -> ModelMetadata:
+    """Catalog metadata describing *model* stored in *table_name*."""
+    layers = []
+    for layer in model.layers:
+        if isinstance(layer, Lstm):
+            layers.append(
+                LayerMetadata(
+                    "lstm",
+                    layer.units,
+                    layer.activation.name,
+                    time_steps=model.time_steps,
+                )
+            )
+        elif isinstance(layer, Dense):
+            layers.append(
+                LayerMetadata("dense", layer.units, layer.activation.name)
+            )
+        else:  # pragma: no cover - closed layer set
+            raise UnsupportedModelError(
+                f"cannot register layer type {layer.layer_type}"
+            )
+    return ModelMetadata(
+        model_name=model_name,
+        table_name=table_name,
+        input_width=model.input_width,
+        layers=tuple(layers),
+    )
+
+
+def publish_model(
+    database: Database,
+    model_name: str,
+    model: Sequential,
+    table_name: str | None = None,
+    options: MlToSqlOptions | None = None,
+    model_table_partitions: int | None = None,
+    replace: bool = False,
+) -> ModelMetadata:
+    """Load the model table and register the model in the catalog.
+
+    The native ModelJoin operator requires the optimized node-id
+    scheme, which is the default.  With *model_table_partitions* > 1
+    the parallel build phase splits the table across the execution
+    threads (Section 5.2).
+    """
+    options = options or MlToSqlOptions()
+    if not options.optimized_node_ids:
+        raise UnsupportedModelError(
+            "the native ModelJoin requires the optimized node-id scheme"
+        )
+    if model_table_partitions is not None:
+        options = MlToSqlOptions(
+            optimized_node_ids=options.optimized_node_ids,
+            native_activation_functions=options.native_activation_functions,
+            sort_tables=options.sort_tables,
+            model_table_partitions=model_table_partitions,
+        )
+    table_name = table_name or f"{model_name}_table"
+    relational = build_relational_model(model, options)
+    load_model_table(database, table_name, relational, replace=replace)
+    metadata = model_metadata(model_name, table_name, model)
+    database.register_model(metadata, replace=replace)
+    return metadata

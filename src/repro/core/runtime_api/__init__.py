@@ -1,0 +1,19 @@
+"""Raven-like integration of an ML runtime over its native API.
+
+Approach (2) of the paper: the engine embeds the ML runtime (here
+:class:`repro.nn.runtime.MlRuntime`, standing in for the Tensorflow
+C-API) and converts between the engine's columnar vectors and the
+runtime's row-major tensors on every call (Section 6.1).
+"""
+
+from repro.core.runtime_api.conversion import (
+    columnar_to_row_major,
+    row_major_to_columnar,
+)
+from repro.core.runtime_api.operator import RuntimeApiOperator
+
+__all__ = [
+    "columnar_to_row_major",
+    "row_major_to_columnar",
+    "RuntimeApiOperator",
+]

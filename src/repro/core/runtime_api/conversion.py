@@ -1,0 +1,40 @@
+"""Columnar <-> row-major layout conversion.
+
+"Using the C-API, data does not need to be moved, but converted to the
+expected input format of the Tensorflow API.  This requires moving data
+from a columnar format into a row-major matrix, and results back to
+columnar layout." (paper Section 6.1)
+
+The runtime's :class:`~repro.nn.runtime.TensorBuffer` *enforces*
+C-contiguous row-major float32 input, so these conversions are real
+copies, not free casts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelJoinError
+from repro.nn.runtime import TensorBuffer
+
+
+def columnar_to_row_major(columns: list[np.ndarray]) -> TensorBuffer:
+    """Interleave column vectors into the runtime's row-major layout."""
+    if not columns:
+        raise ModelJoinError("conversion needs at least one column")
+    rows = len(columns[0])
+    matrix = np.empty((rows, len(columns)), dtype=np.float32)
+    for index, column in enumerate(columns):
+        if len(column) != rows:
+            raise ModelJoinError("ragged input columns")
+        matrix[:, index] = column.astype(np.float32, copy=False)
+    return TensorBuffer(matrix)
+
+
+def row_major_to_columnar(buffer: TensorBuffer) -> list[np.ndarray]:
+    """De-interleave a runtime result back into column vectors."""
+    matrix = buffer.array
+    return [
+        np.ascontiguousarray(matrix[:, index])
+        for index in range(matrix.shape[1])
+    ]

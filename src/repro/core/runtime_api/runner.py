@@ -1,0 +1,105 @@
+"""Direct execution of the runtime-API integration (TF_CAPI variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.runtime_api.operator import RuntimeApiOperator
+from repro.db.engine import Database
+from repro.db.operators import ExecutionContext, TableScan
+from repro.db.parallel import run_partitioned
+from repro.db.profiler import QueryProfile
+from repro.db.vector import VectorBatch
+from repro.device.base import Device, DeviceWindow
+from repro.device.host import HostDevice
+from repro.nn.model import Sequential
+from repro.nn.runtime import MlRuntime
+
+
+class RuntimeApiModelJoin:
+    """Runs inference through the embedded ML runtime (paper approach 2).
+
+    Each partition pipeline gets its own runtime session, mirroring the
+    per-thread private plans of the engine; the runtime itself (and the
+    device) is shared.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        model: Sequential,
+        device: Device | None = None,
+    ):
+        self.database = database
+        self.model = model
+        self.device = device or HostDevice()
+        self.runtime = MlRuntime(self.device)
+        self.last_profile: QueryProfile | None = None
+        self.last_seconds: float = 0.0
+
+    def execute(
+        self,
+        fact_table: str,
+        input_columns: list[str],
+        parallel: bool = False,
+    ) -> tuple[list[VectorBatch], ExecutionContext]:
+        table = self.database.table(fact_table)
+        parallelism = (
+            self.database.parallelism
+            if parallel and self.database.parallelism > 1
+            else 1
+        )
+        context = ExecutionContext(
+            vector_size=self.database.vector_size, parallelism=parallelism
+        )
+
+        def build(partition_index: int) -> RuntimeApiOperator:
+            scan_partition = (
+                partition_index if parallelism > 1 else None
+            )
+            if scan_partition is not None and table.num_partitions == 1:
+                scan_partition = None
+            scan = TableScan(
+                context, table, partition_index=scan_partition
+            )
+            return RuntimeApiOperator(
+                context,
+                scan,
+                self.model,
+                input_columns=input_columns,
+                runtime=self.runtime,
+            )
+
+        with DeviceWindow(self.device) as window:
+            _, batches = run_partitioned(
+                build, parallelism, max_workers=parallelism
+            )
+        self.last_seconds = window.seconds
+        profile = QueryProfile(
+            wall_seconds=window.wall_seconds,
+            memory=context.memory,
+            stopwatch=context.stopwatch,
+        )
+        profile.rows_returned = sum(len(batch) for batch in batches)
+        self.last_profile = profile
+        return batches, context
+
+    def predict(
+        self,
+        fact_table: str,
+        id_column: str,
+        input_columns: list[str],
+        parallel: bool = False,
+    ) -> np.ndarray:
+        batches, _ = self.execute(
+            fact_table, input_columns, parallel=parallel
+        )
+        ids = np.concatenate([batch.column(id_column) for batch in batches])
+        order = np.argsort(ids, kind="stable")
+        outputs = []
+        for index in range(self.model.output_width):
+            column = np.concatenate(
+                [batch.column(f"prediction_{index}") for batch in batches]
+            )
+            outputs.append(column[order])
+        return np.column_stack(outputs)

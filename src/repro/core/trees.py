@@ -1,0 +1,172 @@
+"""Decision trees to SQL (the paper's §3/§4 extension point).
+
+The paper notes that ML-To-SQL's approach of "stored parameters in the
+relational table representation and extensible building blocks for SQL
+code generation" also covers the existing decision-tree translations
+(Sattler & Dunemann [33], Raven's tree translation).  This module
+implements that adjacent technique: a small CART-style decision tree
+trained in Python and translated into a single nested ``CASE``
+expression — inference then runs as one projection, no joins at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class TreeNode:
+    """A binary split node (leaves have ``feature is None``)."""
+
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree (variance reduction, depth-limited)."""
+
+    def __init__(self, max_depth: int = 4, min_samples: int = 4):
+        if max_depth < 1:
+            raise ModelError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples = max(min_samples, 2)
+        self.root: TreeNode | None = None
+        self.n_features: int | None = None
+
+    def fit(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> "DecisionTreeRegressor":
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if inputs.ndim != 2 or len(inputs) != len(targets):
+            raise ModelError("fit expects (n, k) inputs and (n,) targets")
+        self.n_features = inputs.shape[1]
+        self.root = self._grow(inputs, targets, depth=0)
+        return self
+
+    def _grow(
+        self, inputs: np.ndarray, targets: np.ndarray, depth: int
+    ) -> TreeNode:
+        node = TreeNode(value=float(targets.mean()))
+        if depth >= self.max_depth or len(targets) < self.min_samples:
+            return node
+        best = self._best_split(inputs, targets)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = inputs[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(inputs[mask], targets[mask], depth + 1)
+        node.right = self._grow(inputs[~mask], targets[~mask], depth + 1)
+        return node
+
+    @staticmethod
+    def _best_split(
+        inputs: np.ndarray, targets: np.ndarray
+    ) -> tuple[int, float] | None:
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        total = len(targets)
+        for feature in range(inputs.shape[1]):
+            values = inputs[:, feature]
+            candidates = np.unique(values)
+            if len(candidates) < 2:
+                continue
+            midpoints = (candidates[:-1] + candidates[1:]) / 2.0
+            for threshold in midpoints:
+                mask = values <= threshold
+                left_count = int(mask.sum())
+                if left_count == 0 or left_count == total:
+                    continue
+                left_var = targets[mask].var()
+                right_var = targets[~mask].var()
+                score = (
+                    left_count * left_var + (total - left_count) * right_var
+                )
+                if score < best_score:
+                    best_score = score
+                    best = (feature, float(threshold))
+        return best
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise ModelError("predict before fit")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        return np.array(
+            [self._predict_row(row) for row in inputs], dtype=np.float64
+        )
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        def walk(node: TreeNode | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def leaf_count(self) -> int:
+        def walk(node: TreeNode | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root)
+
+
+def tree_to_sql(
+    tree: DecisionTreeRegressor, feature_columns: list[str]
+) -> str:
+    """Translate a fitted tree into one nested CASE expression."""
+    if tree.root is None:
+        raise ModelError("translate after fit")
+    if tree.n_features != len(feature_columns):
+        raise ModelError(
+            f"tree uses {tree.n_features} features, "
+            f"{len(feature_columns)} column names given"
+        )
+
+    def walk(node: TreeNode) -> str:
+        if node.is_leaf:
+            return repr(float(node.value))
+        column = feature_columns[node.feature]
+        return (
+            f"CASE WHEN {column} <= {node.threshold!r} "
+            f"THEN {walk(node.left)} ELSE {walk(node.right)} END"
+        )
+
+    return walk(tree.root)
+
+
+def tree_inference_query(
+    tree: DecisionTreeRegressor,
+    fact_table: str,
+    id_column: str,
+    feature_columns: list[str],
+    prediction_name: str = "prediction",
+) -> str:
+    """Full inference SELECT for a fitted tree."""
+    expression = tree_to_sql(tree, feature_columns)
+    return (
+        f"SELECT {id_column}, {expression} AS {prediction_name} "
+        f"FROM {fact_table}"
+    )

@@ -1,0 +1,8 @@
+"""Model inference through Python UDFs (approach 1 of the paper)."""
+
+from repro.core.udf_integration.inference_udf import (
+    UdfModelJoin,
+    make_inference_udf,
+)
+
+__all__ = ["UdfModelJoin", "make_inference_udf"]

@@ -1,0 +1,173 @@
+"""Model-table sanity checks (paper Section 5.5).
+
+"Making the DBMS aware that a table is a model additionally enables
+custom query optimizations, sanity checks and also potential model
+lifetime cycle management."
+
+:func:`verify_model_table` cross-checks a stored model table against
+its registered catalog metadata: schema shape, node-id ranges, edge
+counts per layer, dangling references, and weight finiteness.  The
+native ModelJoin's build phase assumes these properties; running the
+check surfaces corruption *before* a query silently builds a wrong
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ml_to_sql.representation import (
+    LayerBlock,
+    WEIGHT_COLUMNS,
+    blocks_from_dims,
+)
+from repro.db.catalog import ModelMetadata
+from repro.db.engine import Database
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one model-table verification."""
+
+    model_name: str
+    table_name: str
+    issues: list[str] = field(default_factory=list)
+    edges_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, issue: str) -> None:
+        self.issues.append(issue)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        lines = [
+            f"model {self.model_name!r} in table {self.table_name!r}: "
+            f"{status} ({self.edges_checked} edges)"
+        ]
+        lines.extend(f"  - {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+def _expected_edges(blocks: list[LayerBlock]) -> dict[str, int]:
+    """Expected edge count per forward block (keyed by first node)."""
+    expected: dict[str, int] = {}
+    previous: LayerBlock | None = None
+    for block in blocks:
+        if block.kind == "input":
+            expected[str(block.first_node)] = block.units
+        elif block.kind == "lstm_state":
+            expected[str(block.first_node)] = block.units * block.units
+        elif block.kind == "dense":
+            if previous is None:
+                raise ValueError("dense block without predecessor")
+            expected[str(block.first_node)] = previous.units * block.units
+        previous = block
+    return expected
+
+
+def verify_model_table(
+    database: Database, model_name: str
+) -> ValidationReport:
+    """Check the stored model table against its catalog metadata."""
+    metadata: ModelMetadata = database.catalog.model(model_name)
+    table = database.table(metadata.table_name)
+    report = ValidationReport(model_name, metadata.table_name)
+
+    # 1. Schema shape: the optimized 14-column layout.
+    expected_columns = ("node_in", "node") + WEIGHT_COLUMNS
+    if tuple(name.lower() for name in table.schema.names) != expected_columns:
+        report.add(
+            f"schema mismatch: expected {expected_columns}, "
+            f"found {table.schema.names}"
+        )
+        return report
+
+    blocks = blocks_from_dims(
+        metadata.input_width,
+        [
+            (layer.layer_type, layer.units, layer.activation)
+            for layer in metadata.layers
+        ],
+    )
+    total_nodes = blocks[-1].last_node + 1
+    expected = _expected_edges(blocks)
+
+    node_in_chunks: list[np.ndarray] = []
+    node_chunks: list[np.ndarray] = []
+    for batch in table.scan():
+        report.edges_checked += len(batch)
+        node_in_chunks.append(batch.column("node_in"))
+        node_chunks.append(batch.column("node"))
+        for name in WEIGHT_COLUMNS:
+            weights = batch.column(name)
+            if not np.isfinite(weights).all():
+                report.add(f"non-finite weights in column {name}")
+    if not node_chunks:
+        report.add("model table is empty")
+        return report
+    node_in = np.concatenate(node_in_chunks)
+    node = np.concatenate(node_chunks)
+
+    # 2. Node-id ranges.
+    if node.min() < 0 or node.max() >= total_nodes:
+        report.add(
+            f"target node ids outside [0, {total_nodes}): "
+            f"[{node.min()}, {node.max()}]"
+        )
+    if node_in.min() < -1 or node_in.max() >= total_nodes:
+        report.add(
+            f"source node ids outside [-1, {total_nodes}): "
+            f"[{node_in.min()}, {node_in.max()}]"
+        )
+
+    # 3. Edge counts and source ranges per block.
+    previous: LayerBlock | None = None
+    for block in blocks:
+        mask = (node >= block.first_node) & (node <= block.last_node)
+        count = int(mask.sum())
+        want = expected[str(block.first_node)]
+        label = f"{block.kind}@{block.first_node}"
+        if count != want:
+            report.add(
+                f"{label}: expected {want} edges, found {count}"
+            )
+        sources = node_in[mask]
+        if block.kind == "input":
+            if count and not (sources == -1).all():
+                report.add(
+                    f"{label}: input edges must originate from the "
+                    "artificial node (-1)"
+                )
+        elif block.kind == "lstm_state":
+            bad = (sources < block.first_node) | (
+                sources > block.last_node
+            )
+            if bad.any():
+                report.add(
+                    f"{label}: {int(bad.sum())} recurrent edges leave "
+                    "the state block"
+                )
+        elif block.kind == "dense" and previous is not None:
+            bad = (sources < previous.first_node) | (
+                sources > previous.last_node
+            )
+            if count and bad.any():
+                report.add(
+                    f"{label}: {int(bad.sum())} edges do not originate "
+                    "from the previous layer"
+                )
+        previous = block
+
+    # 4. Duplicate edges.
+    packed = node_in.astype(np.int64) * (total_nodes + 2) + node
+    unique = np.unique(packed)
+    if len(unique) != len(packed):
+        report.add(
+            f"{len(packed) - len(unique)} duplicate (node_in, node) edges"
+        )
+    return report

@@ -1,0 +1,112 @@
+"""System catalog: tables, registered models, UDFs.
+
+Besides plain tables, the catalog implements the paper's Section 5.5
+vision: a model table can be *registered* with its semantic metadata
+(layer dimensions, layer types, activation functions), making the DBMS
+aware that a table is a model.  The ``MODEL JOIN`` SQL syntax resolves
+model names against this registry, and the planner uses the metadata to
+instantiate the native operator without the caller passing shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class LayerMetadata:
+    """Catalog entry describing one layer of a registered model."""
+
+    layer_type: str  # "dense" | "lstm"
+    units: int
+    activation: str
+    time_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.layer_type not in ("dense", "lstm"):
+            raise CatalogError(f"unknown layer type {self.layer_type!r}")
+        if self.units < 1:
+            raise CatalogError("layer must have at least one unit")
+
+
+@dataclass(frozen=True)
+class ModelMetadata:
+    """Semantic description of a model stored in a model table (§5.5)."""
+
+    model_name: str
+    table_name: str
+    input_width: int
+    layers: tuple[LayerMetadata, ...]
+
+    @property
+    def output_width(self) -> int:
+        return self.layers[-1].units
+
+
+@dataclass
+class Catalog:
+    """Name -> object registry of the database."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    models: dict[str, ModelMetadata] = field(default_factory=dict)
+
+    def create_table(self, table: Table, replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self.tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self.tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self.tables[key]
+        # Cascade: forget models whose backing table is gone.
+        orphaned = [
+            model_name
+            for model_name, metadata in self.models.items()
+            if metadata.table_name.lower() == key
+        ]
+        for model_name in orphaned:
+            del self.models[model_name]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return table
+
+    def table_schema(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    def register_model(
+        self, metadata: ModelMetadata, replace: bool = False
+    ) -> None:
+        if not self.has_table(metadata.table_name):
+            raise CatalogError(
+                f"model table {metadata.table_name!r} does not exist"
+            )
+        key = metadata.model_name.lower()
+        if key in self.models and not replace:
+            raise CatalogError(
+                f"model {metadata.model_name!r} is already registered"
+            )
+        self.models[key] = metadata
+
+    def model(self, name: str) -> ModelMetadata:
+        metadata = self.models.get(name.lower())
+        if metadata is None:
+            raise CatalogError(f"model {name!r} is not registered")
+        return metadata
+
+    def has_model(self, name: str) -> bool:
+        return name.lower() in self.models

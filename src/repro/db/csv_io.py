@@ -1,0 +1,123 @@
+"""CSV import/export for the engine.
+
+Real deployments load fact tables from files; these helpers keep the
+examples and benchmarks honest about that path and give the engine a
+minimal bulk-loading story (type-checked against the table schema,
+loaded in vector-sized chunks).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.engine import Database, Result
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.db.types import SqlType
+from repro.errors import TypeMismatchError
+
+
+def _parse_value(text: str, sql_type: SqlType):
+    if sql_type is SqlType.INTEGER:
+        return int(text)
+    if sql_type in (SqlType.FLOAT, SqlType.DOUBLE):
+        return float(text)
+    if sql_type is SqlType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise TypeMismatchError(f"not a boolean: {text!r}")
+    return text
+
+
+def load_csv(
+    database: Database,
+    table_name: str,
+    path: str | Path,
+    has_header: bool = True,
+    chunk_rows: int = 8192,
+) -> int:
+    """Append the rows of a CSV file to an existing table.
+
+    With a header, columns are matched by name (any order); without,
+    the file must list the columns in schema order.  Returns the number
+    of rows loaded.
+    """
+    table: Table = database.table(table_name)
+    schema: Schema = table.schema
+    loaded = 0
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        positions = list(range(len(schema)))
+        if has_header:
+            header = next(reader, None)
+            if header is None:
+                return 0
+            positions = [schema.position_of(name) for name in header]
+            if sorted(positions) != list(range(len(schema))):
+                raise TypeMismatchError(
+                    f"CSV header {header} does not cover the schema "
+                    f"{list(schema.names)}"
+                )
+        chunk: list[tuple] = []
+        for row in reader:
+            if len(row) != len(positions):
+                raise TypeMismatchError(
+                    f"CSV row has {len(row)} fields, expected "
+                    f"{len(positions)}"
+                )
+            ordered: list = [None] * len(schema)
+            for field_text, position in zip(row, positions):
+                ordered[position] = _parse_value(
+                    field_text, schema.columns[position].sql_type
+                )
+            chunk.append(tuple(ordered))
+            if len(chunk) >= chunk_rows:
+                table.append_rows(chunk)
+                loaded += len(chunk)
+                chunk = []
+        if chunk:
+            table.append_rows(chunk)
+            loaded += len(chunk)
+    return loaded
+
+
+def export_csv(
+    result_or_database: Result | Database,
+    path: str | Path,
+    query: str | None = None,
+    include_header: bool = True,
+) -> int:
+    """Write a query result (or an already materialized Result) as CSV.
+
+    Either pass a :class:`Result`, or a :class:`Database` plus *query*.
+    Returns the number of data rows written.
+    """
+    if isinstance(result_or_database, Database):
+        if query is None:
+            raise TypeMismatchError("export_csv needs a query")
+        result = result_or_database.execute(query)
+    else:
+        result = result_or_database
+    written = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if include_header:
+            writer.writerow(result.schema.names)
+        for batch in result.batches:
+            for row in batch.to_rows():
+                writer.writerow(
+                    [
+                        format(value, ".9g")
+                        if isinstance(value, (float, np.floating))
+                        else value
+                        for value in row
+                    ]
+                )
+                written += 1
+    return written

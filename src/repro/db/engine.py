@@ -1,0 +1,390 @@
+"""The Database facade: parse, plan, execute.
+
+This is the engine's public entry point.  It owns the catalog, applies
+DDL/DML, and executes SELECT statements either serially or
+partition-parallel (one pipeline per partition of the partitioned base
+tables, see :mod:`repro.db.parallel`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.db.catalog import Catalog, ModelMetadata
+from repro.db.operators import ExecutionContext, LimitOperator, SortOperator
+from repro.db.operators.base import PhysicalOperator
+from repro.db.expressions import ColumnRef
+from repro.db.parallel import run_partitioned
+from repro.db.planner import ModelJoinFactory, Planner, PlannerOptions
+from repro.db.profiler import QueryProfile
+from repro.db.schema import Column, Schema
+from repro.db.sql.ast import (
+    CreateTable,
+    DropTable,
+    Explain,
+    InsertSelect,
+    InsertValues,
+    SelectStatement,
+    Statement,
+)
+from repro.db.sql.parser import parse_statement
+from repro.db.table import Table
+from repro.db.types import SqlType, parse_type_name
+from repro.db.udf import PythonUdf, register_udf
+from repro.db.vector import VECTOR_SIZE, VectorBatch, concat_batches
+from repro.errors import ExecutionError, PlanError, TypeMismatchError
+
+
+class Result:
+    """The materialized result of a statement."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        batches: list[VectorBatch],
+        profile: QueryProfile,
+    ):
+        self.schema = schema
+        self.batches = batches
+        self.profile = profile
+        self._rows: list[tuple] | None = None
+
+    @classmethod
+    def empty(cls, profile: QueryProfile | None = None) -> "Result":
+        return cls(Schema(()), [], profile or QueryProfile())
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    @property
+    def rows(self) -> list[tuple]:
+        if self._rows is None:
+            self._rows = [
+                row for batch in self.batches for row in batch.to_rows()
+            ]
+        return self._rows
+
+    def column(self, name: str) -> np.ndarray:
+        """All values of one output column as a single array."""
+        if not self.batches:
+            dtype = self.schema.type_of(name).numpy_dtype
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(
+            [batch.column(name) for batch in self.batches]
+        )
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return {name: self.column(name) for name in self.schema.names}
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        rows = self.rows
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {len(rows)} rows"
+            )
+        return rows[0][0]
+
+
+class _MaterializedSource(PhysicalOperator):
+    """Feeds already-materialized batches into post-merge operators."""
+
+    def __init__(self, context, schema: Schema, batches: list[VectorBatch]):
+        super().__init__(context, schema)
+        self._batches = batches
+
+    def _produce(self):
+        yield from self._batches
+
+
+class Database:
+    """An in-process database instance.
+
+    Parameters mirror the paper's experimental setup: *parallelism* is
+    the number of partition pipelines a parallel query uses (12 in the
+    paper), *vector_size* the execution batch size (1024).
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        vector_size: int = VECTOR_SIZE,
+        planner_options: PlannerOptions | None = None,
+    ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.catalog = Catalog()
+        self.parallelism = parallelism
+        self.vector_size = vector_size
+        self.planner_options = planner_options or PlannerOptions()
+        self._modeljoin_factory: ModelJoinFactory | None = None
+        self.last_profile: QueryProfile | None = None
+
+    # ------------------------------------------------------------------
+    # catalog-level API
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        num_partitions: int | None = None,
+        partition_key: str | None = None,
+        sort_key: tuple[str, ...] = (),
+        replace: bool = False,
+    ) -> Table:
+        """Create a table programmatically (bulk loaders use this)."""
+        table = Table(
+            name,
+            schema,
+            num_partitions=num_partitions or 1,
+            partition_key=partition_key,
+            sort_key=sort_key,
+        )
+        self.catalog.create_table(table, replace=replace)
+        return table
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def register_udf(self, udf: PythonUdf) -> PythonUdf:
+        return register_udf(udf)
+
+    def register_model(
+        self, metadata: ModelMetadata, replace: bool = False
+    ) -> None:
+        """Register model-table semantics in the catalog (paper §5.5)."""
+        self.catalog.register_model(metadata, replace=replace)
+
+    def set_modeljoin_factory(self, factory: ModelJoinFactory) -> None:
+        """Install the MODEL JOIN operator factory (done by repro.core)."""
+        self._modeljoin_factory = factory
+
+    def _planner(self) -> Planner:
+        return Planner(
+            self.catalog,
+            options=self.planner_options,
+            modeljoin_factory=self._modeljoin_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parallel: bool = False) -> Result:
+        """Parse and execute one SQL statement.
+
+        With ``parallel=True`` a SELECT runs one pipeline per partition
+        of its partitioned base tables; the caller asserts the query is
+        partition-compatible (see :mod:`repro.db.parallel`).
+        """
+        statement = parse_statement(sql)
+        return self.execute_statement(statement, parallel=parallel)
+
+    def execute_statement(
+        self, statement: Statement, parallel: bool = False
+    ) -> Result:
+        if isinstance(statement, Explain):
+            return self._execute_explain(statement)
+        if isinstance(statement, CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTable):
+            self.catalog.drop_table(
+                statement.table_name, if_exists=statement.if_exists
+            )
+            return Result.empty()
+        if isinstance(statement, InsertValues):
+            return self._execute_insert_values(statement)
+        if isinstance(statement, InsertSelect):
+            return self._execute_insert_select(statement)
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement, parallel=parallel)
+        raise PlanError(f"unsupported statement {type(statement).__name__}")
+
+    def explain(self, sql: str) -> str:
+        statement = parse_statement(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        if not isinstance(statement, SelectStatement):
+            raise PlanError("EXPLAIN supports only SELECT statements")
+        context = ExecutionContext(vector_size=self.vector_size)
+        plan = self._planner().plan_select(statement, context)
+        return plan.explain()
+
+    def explain_analyze(self, sql: str) -> tuple[str, Result]:
+        """Execute *sql* and return the plan annotated with the rows
+        each operator emitted, plus the result (EXPLAIN ANALYZE)."""
+        statement = parse_statement(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        if not isinstance(statement, SelectStatement):
+            raise PlanError("EXPLAIN ANALYZE supports only SELECT")
+        context = ExecutionContext(vector_size=self.vector_size)
+        profile = QueryProfile(
+            memory=context.memory, stopwatch=context.stopwatch
+        )
+        started = time.perf_counter()
+        plan = self._planner().plan_select(statement, context)
+        batches = list(plan.batches())
+        profile.wall_seconds = time.perf_counter() - started
+        result = Result(plan.schema, batches, profile)
+        profile.rows_returned = result.row_count
+        self.last_profile = profile
+        return plan.explain(stats=True), result
+
+    # ------------------------------------------------------------------
+    # statement handlers
+    # ------------------------------------------------------------------
+    def _execute_explain(self, statement: Explain) -> Result:
+        inner = statement.statement
+        if not isinstance(inner, SelectStatement):
+            raise PlanError("EXPLAIN supports only SELECT statements")
+        context = ExecutionContext(vector_size=self.vector_size)
+        plan = self._planner().plan_select(inner, context)
+        lines = plan.explain().splitlines()
+        schema = Schema((Column("plan", SqlType.VARCHAR),))
+        batch = VectorBatch(schema, [np.array(lines, dtype=object)])
+        return Result(schema, [batch], QueryProfile())
+
+    def _execute_create_table(self, statement: CreateTable) -> Result:
+        if statement.if_not_exists and self.catalog.has_table(
+            statement.table_name
+        ):
+            return Result.empty()
+        schema = Schema(
+            tuple(
+                Column(definition.name, parse_type_name(definition.type_name))
+                for definition in statement.columns
+            )
+        )
+        self.create_table(
+            statement.table_name,
+            schema,
+            num_partitions=statement.num_partitions,
+            partition_key=statement.partition_key,
+            sort_key=statement.sort_key,
+        )
+        return Result.empty()
+
+    def _execute_insert_values(self, statement: InsertValues) -> Result:
+        table = self.catalog.table(statement.table_name)
+        rows = self._reorder_rows(
+            table.schema, statement.rows, statement.column_names
+        )
+        table.append_rows(rows)
+        return Result.empty()
+
+    @staticmethod
+    def _reorder_rows(
+        schema: Schema,
+        rows: tuple[tuple[object, ...], ...],
+        column_names: tuple[str, ...],
+    ) -> list[tuple]:
+        width = len(column_names) if column_names else len(schema)
+        for row in rows:
+            if len(row) != width:
+                raise TypeMismatchError(
+                    f"INSERT row has {len(row)} values, expected {width}"
+                )
+        if not column_names:
+            return list(rows)
+        if len(column_names) != len(schema):
+            raise TypeMismatchError(
+                "INSERT must provide values for all columns "
+                f"({list(schema.names)})"
+            )
+        positions = [schema.position_of(name) for name in column_names]
+        reordered = []
+        for row in rows:
+            target: list[object] = [None] * len(schema)
+            for position, value in zip(positions, row):
+                target[position] = value
+            reordered.append(tuple(target))
+        return reordered
+
+    def _execute_insert_select(self, statement: InsertSelect) -> Result:
+        if statement.column_names:
+            raise PlanError(
+                "INSERT ... SELECT with a column list is not supported"
+            )
+        table = self.catalog.table(statement.table_name)
+        result = self._execute_select(statement.query, parallel=False)
+        if len(result.schema) != len(table.schema):
+            raise TypeMismatchError(
+                f"INSERT SELECT produces {len(result.schema)} columns, "
+                f"table {table.name} has {len(table.schema)}"
+            )
+        for batch in result.batches:
+            coerced = [
+                array.astype(column.sql_type.numpy_dtype, copy=False)
+                if array.dtype != np.dtype(object)
+                else array
+                for array, column in zip(batch.arrays, table.schema)
+            ]
+            table.append_batch(VectorBatch(table.schema, coerced))
+        return Result.empty(result.profile)
+
+    def _execute_select(
+        self, statement: SelectStatement, parallel: bool
+    ) -> Result:
+        context = ExecutionContext(
+            vector_size=self.vector_size,
+            parallelism=self.parallelism if parallel else 1,
+        )
+        profile = QueryProfile(memory=context.memory, stopwatch=context.stopwatch)
+        started = time.perf_counter()
+        if parallel and self.parallelism > 1:
+            if statement.distinct:
+                raise PlanError("DISTINCT is not supported in parallel mode")
+            result = self._execute_select_parallel(statement, context, profile)
+        else:
+            plan = self._planner().plan_select(statement, context)
+            batches = list(plan.batches())
+            result = Result(plan.schema, batches, profile)
+        profile.wall_seconds = time.perf_counter() - started
+        profile.rows_returned = result.row_count
+        self.last_profile = profile
+        return result
+
+    def _execute_select_parallel(
+        self,
+        statement: SelectStatement,
+        context: ExecutionContext,
+        profile: QueryProfile,
+    ) -> Result:
+        # ORDER BY / LIMIT are global operations: run the core of the
+        # query per partition and apply them on the merged result.
+        core = dataclasses.replace(
+            statement, order_by=(), limit=None, offset=0
+        )
+        planner = self._planner()
+
+        def build(partition_index: int):
+            return planner.plan_select(
+                core, context, partition_index=partition_index
+            )
+
+        schema, batches = run_partitioned(
+            build, self.parallelism, max_workers=self.parallelism
+        )
+        if not statement.order_by and statement.limit is None:
+            return Result(schema, batches, profile)
+        merged = concat_batches(schema, batches)
+        plan: PhysicalOperator = _MaterializedSource(context, schema, [merged])
+        if statement.order_by:
+            keys, ascending = [], []
+            for item in statement.order_by:
+                if not isinstance(item.expression, ColumnRef):
+                    raise PlanError(
+                        "ORDER BY supports only output column references"
+                    )
+                keys.append(ColumnRef(item.expression.name))
+                ascending.append(item.ascending)
+            plan = SortOperator(context, plan, keys, ascending)
+        if statement.limit is not None:
+            plan = LimitOperator(
+                context, plan, statement.limit, statement.offset
+            )
+        return Result(plan.schema, list(plan.batches()), profile)

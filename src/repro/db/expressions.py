@@ -1,0 +1,313 @@
+"""Vectorized scalar expression trees.
+
+Expressions are evaluated against a :class:`~repro.db.vector.VectorBatch`
+and return a NumPy array of the batch length.  Arithmetic follows SQL
+promotion rules (INTEGER < FLOAT < DOUBLE); division always produces a
+floating-point result, which keeps generated formulas like
+``1/(1+EXP(-x))`` correct without explicit casts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.functions import lookup_function
+from repro.db.schema import Schema
+from repro.db.types import SqlType, common_numeric_type, type_of_dtype
+from repro.db.vector import VectorBatch
+from repro.errors import ExecutionError, TypeMismatchError
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_type(self, schema: Schema) -> SqlType:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column of the input relation by name."""
+
+    name: str
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        return batch.column(self.name)
+
+    def output_type(self, schema: Schema) -> SqlType:
+        return schema.type_of(self.name)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name.lower()}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value, broadcast to the batch length."""
+
+    value: object
+    sql_type: SqlType
+
+    @classmethod
+    def of(cls, value: object) -> "Literal":
+        if isinstance(value, bool):
+            return cls(value, SqlType.BOOLEAN)
+        if isinstance(value, int):
+            return cls(value, SqlType.INTEGER)
+        if isinstance(value, float):
+            return cls(value, SqlType.DOUBLE)
+        if isinstance(value, str):
+            return cls(value, SqlType.VARCHAR)
+        raise TypeMismatchError(f"unsupported literal {value!r}")
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        return np.full(len(batch), self.value, dtype=self.sql_type.numpy_dtype)
+
+    def output_type(self, schema: Schema) -> SqlType:
+        return self.sql_type
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        if self.sql_type is SqlType.VARCHAR:
+            escaped = str(self.value).replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+_ARITHMETIC = {"+", "-", "*", "/"}
+_COMPARISON = {"=", "<>", "<", "<=", ">", ">="}
+_LOGICAL = {"AND", "OR"}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison or logical binary operation."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        left = self.left.evaluate(batch)
+        right = self.right.evaluate(batch)
+        operator = self.operator
+        if operator in _ARITHMETIC:
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            # SQL-style: division is always floating point in this engine.
+            if left.dtype.kind in "iu" and right.dtype.kind in "iu":
+                return left / right  # NumPy true division -> float64
+            return left / right
+        if operator in _COMPARISON:
+            if operator == "=":
+                return left == right
+            if operator == "<>":
+                return left != right
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            return left >= right
+        if operator in _LOGICAL:
+            if left.dtype != np.bool_ or right.dtype != np.bool_:
+                raise ExecutionError(
+                    f"{operator} requires boolean operands"
+                )
+            if operator == "AND":
+                return left & right
+            return left | right
+        raise ExecutionError(f"unknown binary operator {operator!r}")
+
+    def output_type(self, schema: Schema) -> SqlType:
+        left = self.left.output_type(schema)
+        right = self.right.output_type(schema)
+        if self.operator in _COMPARISON or self.operator in _LOGICAL:
+            return SqlType.BOOLEAN
+        if self.operator == "/":
+            promoted = common_numeric_type(left, right)
+            if promoted is SqlType.INTEGER:
+                return SqlType.DOUBLE
+            return promoted
+        return common_numeric_type(left, right)
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus or NOT."""
+
+    operator: str
+    operand: Expression
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        values = self.operand.evaluate(batch)
+        if self.operator == "-":
+            return -values
+        if self.operator == "NOT":
+            if values.dtype != np.bool_:
+                raise ExecutionError("NOT requires a boolean operand")
+            return ~values
+        raise ExecutionError(f"unknown unary operator {self.operator!r}")
+
+    def output_type(self, schema: Schema) -> SqlType:
+        inner = self.operand.output_type(schema)
+        if self.operator == "NOT":
+            return SqlType.BOOLEAN
+        if not inner.is_numeric:
+            raise TypeMismatchError(f"cannot negate a {inner}")
+        return inner
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        if self.operator == "NOT":
+            return f"(NOT {self.operand})"
+        # The space matters: "-" followed by a negative literal would
+        # otherwise render "--", which SQL lexes as a line comment.
+        return f"(- {self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A call to a registered built-in scalar function."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        function = lookup_function(self.name)
+        values = [argument.evaluate(batch) for argument in self.arguments]
+        return function.implementation(*values)
+
+    def output_type(self, schema: Schema) -> SqlType:
+        function = lookup_function(self.name)
+        return function.type_check(
+            [argument.output_type(schema) for argument in self.arguments]
+        )
+
+    def referenced_columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for argument in self.arguments:
+            referenced |= argument.referenced_columns()
+        return referenced
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(argument) for argument in self.arguments)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """``CASE WHEN c1 THEN v1 ... [ELSE e] END`` evaluated branch-free.
+
+    All branch values are computed for the full vector and combined with
+    ``np.select`` — the standard way a vectorized engine executes CASE.
+    """
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    otherwise: Expression | None = None
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        conditions = [
+            condition.evaluate(batch) for condition, _ in self.branches
+        ]
+        values = [value.evaluate(batch) for _, value in self.branches]
+        for condition in conditions:
+            if condition.dtype != np.bool_:
+                raise ExecutionError("CASE condition must be boolean")
+        if self.otherwise is not None:
+            default = self.otherwise.evaluate(batch)
+        else:
+            result_dtype = np.result_type(*values) if values else np.float64
+            if result_dtype == object:
+                default = np.full(len(batch), None, dtype=object)
+            else:
+                default = np.zeros(len(batch), dtype=result_dtype)
+        return np.select(conditions, values, default=default)
+
+    def output_type(self, schema: Schema) -> SqlType:
+        types = [value.output_type(schema) for _, value in self.branches]
+        if self.otherwise is not None:
+            types.append(self.otherwise.output_type(schema))
+        result = types[0]
+        for candidate in types[1:]:
+            if candidate is result:
+                continue
+            result = common_numeric_type(result, candidate)
+        return result
+
+    def referenced_columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for condition, value in self.branches:
+            referenced |= condition.referenced_columns()
+            referenced |= value.referenced_columns()
+        if self.otherwise is not None:
+            referenced |= self.otherwise.referenced_columns()
+        return referenced
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition} THEN {value}")
+        if self.otherwise is not None:
+            parts.append(f"ELSE {self.otherwise}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    """Explicit ``CAST(expr AS type)``."""
+
+    operand: Expression
+    target: SqlType
+
+    def evaluate(self, batch: VectorBatch) -> np.ndarray:
+        values = self.operand.evaluate(batch)
+        if self.target is SqlType.VARCHAR:
+            return np.array([str(value) for value in values], dtype=object)
+        if values.dtype == object:
+            return values.astype(self.target.numpy_dtype)
+        return values.astype(self.target.numpy_dtype, copy=False)
+
+    def output_type(self, schema: Schema) -> SqlType:
+        return self.target
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"CAST({self.operand} AS {self.target})"
+
+
+def infer_type_from_array(values: np.ndarray) -> SqlType:
+    """Engine type of an already-evaluated array (for derived schemas)."""
+    return type_of_dtype(values.dtype)

@@ -1,0 +1,603 @@
+"""Grouped aggregation: hash-based and order-based.
+
+The hash aggregate is the generic strategy: it materializes its input
+(a pipeline breaker with memory proportional to the input), groups via
+a sort over packed keys, and reduces each group with ``ufunc.reduceat``.
+
+The order-based aggregate is the optimization of paper Section 4.4: if
+the input is already sorted on the group keys it emits a group the
+moment its key changes, holding only constant state — this is what
+makes the ML-To-SQL pipeline fully streaming and low-memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.expressions import ColumnRef, Expression
+from repro.db.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    UnaryOperator,
+)
+from repro.db.operators.keys import pack_keys, pack_keys_slow, supports_fast_keys
+from repro.db.schema import Column, Schema
+from repro.db.types import SqlType
+from repro.db.vector import VectorBatch
+from repro.errors import PlanError
+
+_SUPPORTED = ("SUM", "COUNT", "MIN", "MAX", "AVG")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate of the SELECT list, e.g. ``SUM(x * w) AS s``."""
+
+    function: str
+    argument: Expression | None
+    name: str
+
+    def __post_init__(self) -> None:
+        function = self.function.upper()
+        if function not in _SUPPORTED:
+            raise PlanError(f"unsupported aggregate function {self.function}")
+        if function != "COUNT" and self.argument is None:
+            raise PlanError(f"{function} requires an argument")
+        object.__setattr__(self, "function", function)
+
+    def output_type(self, input_schema: Schema) -> SqlType:
+        if self.function == "COUNT":
+            return SqlType.INTEGER
+        argument_type = self.argument.output_type(input_schema)
+        if self.function == "AVG":
+            return SqlType.DOUBLE
+        if not argument_type.is_numeric and self.function == "SUM":
+            raise PlanError("SUM requires a numeric argument")
+        return argument_type
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.function}({inner})"
+
+
+def _output_schema(
+    input_schema: Schema,
+    group_expressions: list[Expression],
+    group_names: list[str],
+    aggregates: list[AggregateSpec],
+) -> Schema:
+    columns = [
+        Column(name, expression.output_type(input_schema))
+        for expression, name in zip(group_expressions, group_names)
+    ]
+    columns.extend(
+        Column(spec.name, spec.output_type(input_schema))
+        for spec in aggregates
+    )
+    return Schema(tuple(columns))
+
+
+def _evaluate_argument(
+    spec: AggregateSpec, batch: VectorBatch
+) -> np.ndarray:
+    if spec.argument is None:  # COUNT(*)
+        return np.ones(len(batch), dtype=np.int64)
+    values = spec.argument.evaluate(batch)
+    if spec.function == "COUNT":
+        return np.ones(len(batch), dtype=np.int64)
+    return values
+
+
+def _reduce_segments(
+    spec: AggregateSpec, values: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    """Reduce contiguous segments beginning at *starts*."""
+    if spec.function in ("SUM", "COUNT", "AVG"):
+        return np.add.reduceat(values, starts)
+    if spec.function == "MIN":
+        return np.minimum.reduceat(values, starts)
+    return np.maximum.reduceat(values, starts)
+
+
+def _merge_partials(spec: AggregateSpec, left, right):
+    """Combine two partial aggregates of the same group."""
+    if spec.function in ("SUM", "COUNT", "AVG"):
+        return left + right
+    if spec.function == "MIN":
+        return min(left, right)
+    return max(left, right)
+
+
+class HashAggregate(UnaryOperator):
+    """Generic grouped aggregation; materializes its input."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        group_expressions: list[Expression],
+        group_names: list[str],
+        aggregates: list[AggregateSpec],
+    ):
+        if not group_expressions:
+            raise PlanError("global aggregation uses group keys = ()")
+        schema = _output_schema(
+            child.schema, group_expressions, group_names, aggregates
+        )
+        super().__init__(context, schema, child)
+        self.group_expressions = list(group_expressions)
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+        self._accounted_bytes = 0
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        key_chunks: list[list[np.ndarray]] = [
+            [] for _ in self.group_expressions
+        ]
+        value_chunks: list[list[np.ndarray]] = [[] for _ in self.aggregates]
+        counts_needed = any(
+            spec.function == "AVG" for spec in self.aggregates
+        )
+        for batch in self.child.next_batches():
+            if len(batch) == 0:
+                continue
+            for slot, expression in enumerate(self.group_expressions):
+                values = expression.evaluate(batch)
+                key_chunks[slot].append(values)
+                self._account(values)
+            for slot, spec in enumerate(self.aggregates):
+                values = _evaluate_argument(spec, batch)
+                value_chunks[slot].append(values)
+                self._account(values)
+        if not key_chunks[0]:
+            return
+        keys = [np.concatenate(chunks) for chunks in key_chunks]
+        values = [np.concatenate(chunks) for chunks in value_chunks]
+        if supports_fast_keys(keys):
+            packed = pack_keys(keys)
+        else:
+            packed = pack_keys_slow(keys)
+        order = np.argsort(packed, kind="stable")
+        sorted_packed = packed[order]
+        if len(sorted_packed) == 0:
+            return
+        new_group = np.empty(len(sorted_packed), dtype=np.bool_)
+        new_group[0] = True
+        new_group[1:] = sorted_packed[1:] != sorted_packed[:-1]
+        starts = np.flatnonzero(new_group)
+        group_counts = np.diff(
+            np.append(starts, len(sorted_packed))
+        ).astype(np.int64)
+        arrays: list[np.ndarray] = [key[order][starts] for key in keys]
+        for spec, column in zip(self.aggregates, values):
+            reduced = _reduce_segments(spec, column[order], starts)
+            if spec.function == "AVG":
+                reduced = reduced.astype(np.float64) / group_counts
+            arrays.append(reduced)
+        result = VectorBatch(
+            self.schema,
+            [
+                array.astype(column.sql_type.numpy_dtype, copy=False)
+                for array, column in zip(arrays, self.schema)
+            ],
+        )
+        del counts_needed
+        for start in range(0, len(result), self.context.vector_size):
+            yield result.slice(start, start + self.context.vector_size)
+
+    def _account(self, values: np.ndarray) -> None:
+        nbytes = values.nbytes if values.dtype != object else len(values) * 16
+        self._accounted_bytes += nbytes
+        self.context.memory.allocate(nbytes, "aggregation")
+
+    def close(self) -> None:
+        if self._accounted_bytes:
+            self.context.memory.release(self._accounted_bytes, "aggregation")
+            self._accounted_bytes = 0
+        super().close()
+
+    def describe(self) -> str:
+        keys = ", ".join(map(str, self.group_expressions))
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return f"HashAggregate(by [{keys}] compute [{aggs}])"
+
+
+class OrderedAggregate(UnaryOperator):
+    """Streaming aggregation over input sorted by the group keys.
+
+    Only legal when the child's ordering starts with the group key
+    columns (the planner checks this).  Group keys must be bare column
+    references.  Memory is constant: one open group.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        group_expressions: list[Expression],
+        group_names: list[str],
+        aggregates: list[AggregateSpec],
+    ):
+        for expression in group_expressions:
+            if not isinstance(expression, ColumnRef):
+                raise PlanError(
+                    "order-based aggregation requires bare column group keys"
+                )
+        key_names = {
+            expression.name.lower() for expression in group_expressions
+        }
+        child_order = tuple(name.lower() for name in child.ordering)
+        # The first len(keys) ordering columns must be exactly the group
+        # keys (their relative order is irrelevant: rows of one group are
+        # contiguous either way).
+        if set(child_order[: len(key_names)]) != key_names:
+            raise PlanError(
+                f"input ordering {child.ordering} does not cover group "
+                f"keys {sorted(key_names)}; use HashAggregate"
+            )
+        schema = _output_schema(
+            child.schema, group_expressions, group_names, aggregates
+        )
+        super().__init__(context, schema, child)
+        self.group_expressions = list(group_expressions)
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        return tuple(self.group_names)
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        pending_key_rows: list | None = None
+        pending_packed = None
+        pending_partials: list = []
+        pending_count = 0
+
+        for batch in self.child.next_batches():
+            if len(batch) == 0:
+                continue
+            keys = [
+                expression.evaluate(batch)
+                for expression in self.group_expressions
+            ]
+            if supports_fast_keys(keys):
+                packed = pack_keys(keys)
+            else:
+                packed = pack_keys_slow(keys)
+            new_group = np.empty(len(packed), dtype=np.bool_)
+            new_group[0] = True
+            new_group[1:] = packed[1:] != packed[:-1]
+            starts = np.flatnonzero(new_group)
+            counts = np.diff(np.append(starts, len(packed))).astype(np.int64)
+            partials = []
+            for spec in self.aggregates:
+                values = _evaluate_argument(spec, batch)
+                reduced = _reduce_segments(spec, values, starts)
+                partials.append(reduced)
+            segment_keys = [key[starts] for key in keys]
+            merged_row: list | None = None
+            first = 0
+            if pending_packed is not None and packed[0] == pending_packed:
+                # The open group continues into this batch: fold in the
+                # first segment.
+                pending_partials = [
+                    _merge_partials(spec, old, new[0])
+                    for spec, old, new in zip(
+                        self.aggregates, pending_partials, partials
+                    )
+                ]
+                pending_count += int(counts[0])
+                first = 1
+                if len(starts) > 1:
+                    # More segments follow, so the merged group is done.
+                    merged_row = self._finish_group(
+                        pending_key_rows, pending_partials, pending_count
+                    )
+                    pending_packed = None
+            elif pending_packed is not None:
+                merged_row = self._finish_group(
+                    pending_key_rows, pending_partials, pending_count
+                )
+                pending_packed = None
+            # Segments [first, last) are complete within the batch: emit
+            # them as one array slice (no per-group Python work).
+            last = len(starts) - 1
+            complete = self._segments_to_batch(
+                segment_keys, partials, counts, first, last, merged_row
+            )
+            if complete is not None:
+                yield complete
+            if last >= first:
+                pending_key_rows = [key[last] for key in segment_keys]
+                pending_partials = [column[last] for column in partials]
+                pending_count = int(counts[last])
+                pending_packed = packed[starts[last]]
+        if pending_packed is not None:
+            final = self._finish_group(
+                pending_key_rows, pending_partials, pending_count
+            )
+            yield self._rows_to_batch([final])
+
+    def _segments_to_batch(
+        self,
+        segment_keys: list[np.ndarray],
+        partials: list[np.ndarray],
+        counts: np.ndarray,
+        first: int,
+        last: int,
+        merged_row: list | None,
+    ) -> VectorBatch | None:
+        """Completed segments [first, last) (+ one merged boundary row)
+        as a single output batch, built with array slicing."""
+        if first >= last and merged_row is None:
+            return None
+        arrays: list[np.ndarray] = []
+        slot = 0
+        for key in segment_keys:
+            arrays.append(key[first:last])
+            slot += 1
+        for spec, column in zip(self.aggregates, partials):
+            values = column[first:last]
+            if spec.function == "AVG":
+                values = values.astype(np.float64) / counts[first:last]
+            arrays.append(values)
+        result = VectorBatch(
+            self.schema,
+            [
+                array.astype(column.sql_type.numpy_dtype, copy=False)
+                if array.dtype != np.dtype(object)
+                else array
+                for array, column in zip(arrays, self.schema)
+            ],
+        )
+        if merged_row is not None:
+            merged = self._rows_to_batch([merged_row])
+            # The merged boundary group precedes this batch's segments.
+            from repro.db.vector import concat_batches
+
+            result = concat_batches(self.schema, [merged, result])
+        return result
+
+    def _finish_group(self, key_row: list, partials: list, count: int) -> list:
+        row = list(key_row)
+        for spec, partial in zip(self.aggregates, partials):
+            if spec.function == "AVG":
+                row.append(float(partial) / count)
+            else:
+                row.append(partial)
+        return row
+
+    def _rows_to_batch(self, rows: list[list]) -> VectorBatch:
+        arrays = []
+        for position, column in enumerate(self.schema):
+            values = [row[position] for row in rows]
+            if column.sql_type.numpy_dtype == np.dtype(object):
+                array = np.array(values, dtype=object)
+            else:
+                array = np.asarray(
+                    values, dtype=column.sql_type.numpy_dtype
+                )
+            arrays.append(array)
+        return VectorBatch(self.schema, arrays)
+
+    def describe(self) -> str:
+        keys = ", ".join(map(str, self.group_expressions))
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return f"OrderedAggregate(by [{keys}] compute [{aggs}])"
+
+
+class SegmentedAggregate(UnaryOperator):
+    """Partially ordered aggregation (paper Section 4.4's pipelining).
+
+    When the input is sorted by a *prefix* of the group keys (the fact
+    table's unique ID in ModelJoin queries) but not by all of them, a
+    fully streaming aggregate is impossible — yet the pipeline does not
+    have to break: rows of one prefix value are contiguous, so the
+    operator buffers only the *current segment* (one ID's rows — a few
+    hundred values for the paper's models) and hash-aggregates each
+    segment as it closes.  "The aggregation does not need the full
+    dataset, leading to a low memory footprint and pipelined
+    execution."
+
+    The prefix keys must be the leading group keys and bare columns;
+    the planner arranges both.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        group_expressions: list[Expression],
+        group_names: list[str],
+        aggregates: list[AggregateSpec],
+        prefix_length: int,
+    ):
+        if not 0 < prefix_length <= len(group_expressions):
+            raise PlanError("invalid segmented-aggregation prefix length")
+        for expression in group_expressions[:prefix_length]:
+            if not isinstance(expression, ColumnRef):
+                raise PlanError(
+                    "segmented aggregation needs bare-column prefix keys"
+                )
+        prefix_names = {
+            expression.name.lower()
+            for expression in group_expressions[:prefix_length]
+        }
+        child_order = tuple(name.lower() for name in child.ordering)
+        if set(child_order[:prefix_length]) != prefix_names:
+            raise PlanError(
+                f"input ordering {child.ordering} does not cover the "
+                f"prefix keys {sorted(prefix_names)}"
+            )
+        schema = _output_schema(
+            child.schema, group_expressions, group_names, aggregates
+        )
+        super().__init__(context, schema, child)
+        self.group_expressions = list(group_expressions)
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+        self.prefix_length = prefix_length
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        # Output is ordered by the prefix keys (segments are emitted in
+        # input order); the within-segment order is unspecified.
+        return tuple(self.group_names[: self.prefix_length])
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        # Only the OPEN tail segment is ever buffered; all segments
+        # that close within a batch are aggregated together in one
+        # sort+reduceat pass (their prefixes are disjoint, so a single
+        # full-key grouping is equivalent to per-segment grouping and
+        # avoids a Python round trip per segment).
+        buffered_keys: list[list[np.ndarray]] = [
+            [] for _ in self.group_expressions
+        ]
+        buffered_values: list[list[np.ndarray]] = [
+            [] for _ in self.aggregates
+        ]
+        buffered_bytes = 0
+        pending_prefix = None
+
+        def account(arrays: list[np.ndarray]) -> int:
+            return sum(
+                array.nbytes if array.dtype != object else len(array) * 16
+                for array in arrays
+            )
+
+        def buffer_slice(
+            keys: list[np.ndarray],
+            values: list[np.ndarray],
+            start: int,
+            stop: int,
+        ) -> None:
+            nonlocal buffered_bytes
+            key_slices = [key[start:stop] for key in keys]
+            value_slices = [value[start:stop] for value in values]
+            for slot, piece in enumerate(key_slices):
+                buffered_keys[slot].append(piece)
+            for slot, piece in enumerate(value_slices):
+                buffered_values[slot].append(piece)
+            added = account(key_slices) + account(value_slices)
+            buffered_bytes += added
+            self.context.memory.allocate(added, "aggregation-segment")
+
+        def flush() -> VectorBatch | None:
+            nonlocal buffered_bytes
+            if not buffered_keys[0]:
+                return None
+            keys = [np.concatenate(chunks) for chunks in buffered_keys]
+            values = [np.concatenate(chunks) for chunks in buffered_values]
+            for chunks in buffered_keys:
+                chunks.clear()
+            for chunks in buffered_values:
+                chunks.clear()
+            self.context.memory.release(
+                buffered_bytes, "aggregation-segment"
+            )
+            buffered_bytes = 0
+            return self._aggregate_segment(keys, values)
+
+        for batch in self.child.next_batches():
+            if len(batch) == 0:
+                continue
+            keys = [
+                expression.evaluate(batch)
+                for expression in self.group_expressions
+            ]
+            values = [
+                _evaluate_argument(spec, batch) for spec in self.aggregates
+            ]
+            prefix_arrays = keys[: self.prefix_length]
+            if supports_fast_keys(prefix_arrays):
+                prefix_packed = pack_keys(prefix_arrays)
+            else:
+                prefix_packed = pack_keys_slow(prefix_arrays)
+            rows = len(prefix_packed)
+            # Start of the final (still open) segment of this batch.
+            change = prefix_packed[1:] != prefix_packed[:-1]
+            boundaries = np.flatnonzero(change) + 1
+            last_start = int(boundaries[-1]) if len(boundaries) else 0
+            # 1. Resolve the carried-over open segment.
+            continues = (
+                pending_prefix is not None
+                and prefix_packed[0] == pending_prefix
+            )
+            if continues:
+                # Extend the buffer with the first segment's rows.
+                first_stop = (
+                    int(boundaries[0]) if len(boundaries) else rows
+                )
+                buffer_slice(keys, values, 0, first_stop)
+                closed_start = first_stop
+                if first_stop < rows:
+                    result = flush()
+                    if result is not None:
+                        yield result
+            else:
+                result = flush()
+                if result is not None:
+                    yield result
+                closed_start = 0
+            # 2. All segments that both start and end in this batch.
+            if closed_start < last_start:
+                result = self._aggregate_segment(
+                    [key[closed_start:last_start] for key in keys],
+                    [
+                        value[closed_start:last_start]
+                        for value in values
+                    ],
+                )
+                yield result
+            # 3. Buffer the open tail segment.
+            tail_start = max(last_start, closed_start)
+            if tail_start < rows:
+                buffer_slice(keys, values, tail_start, rows)
+            pending_prefix = prefix_packed[-1]
+        final = flush()
+        if final is not None:
+            yield final
+
+    def _aggregate_segment(
+        self, keys: list[np.ndarray], values: list[np.ndarray]
+    ) -> VectorBatch:
+        """Hash-aggregate one closed segment (sort + reduceat)."""
+        if supports_fast_keys(keys):
+            packed = pack_keys(keys)
+        else:
+            packed = pack_keys_slow(keys)
+        order = np.argsort(packed, kind="stable")
+        sorted_packed = packed[order]
+        new_group = np.empty(len(sorted_packed), dtype=np.bool_)
+        new_group[0] = True
+        new_group[1:] = sorted_packed[1:] != sorted_packed[:-1]
+        starts = np.flatnonzero(new_group)
+        group_counts = np.diff(
+            np.append(starts, len(sorted_packed))
+        ).astype(np.int64)
+        arrays: list[np.ndarray] = [key[order][starts] for key in keys]
+        for spec, column in zip(self.aggregates, values):
+            reduced = _reduce_segments(spec, column[order], starts)
+            if spec.function == "AVG":
+                reduced = reduced.astype(np.float64) / group_counts
+            arrays.append(reduced)
+        return VectorBatch(
+            self.schema,
+            [
+                array.astype(column.sql_type.numpy_dtype, copy=False)
+                if array.dtype != np.dtype(object)
+                else array
+                for array, column in zip(arrays, self.schema)
+            ],
+        )
+
+    def describe(self) -> str:
+        keys = ", ".join(map(str, self.group_expressions))
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return (
+            f"SegmentedAggregate(prefix={self.prefix_length} "
+            f"by [{keys}] compute [{aggs}])"
+        )

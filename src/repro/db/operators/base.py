@@ -1,0 +1,150 @@
+"""Operator base class and execution context."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.db.profiler import MemoryAccountant, Stopwatch
+from repro.db.schema import Schema
+from repro.db.vector import VECTOR_SIZE, VectorBatch
+from repro.errors import ExecutionError
+
+
+@dataclass
+class ExecutionContext:
+    """Per-query execution state shared by all operators of a plan.
+
+    One context exists per query; in partition-parallel execution all
+    partition pipelines share the same context so that the memory
+    accountant sees the query-global peak (the model, for example, is a
+    shared allocation, see paper Section 5.2).
+    """
+
+    vector_size: int = VECTOR_SIZE
+    memory: MemoryAccountant = field(default_factory=MemoryAccountant)
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    #: number of partition pipelines executing this plan
+    parallelism: int = 1
+    #: arbitrary extension point (the ModelJoin stores its shared model
+    #: build state here, keyed by operator id)
+    shared_state: dict = field(default_factory=dict)
+
+
+class PhysicalOperator:
+    """Base class of all physical operators (Volcano iterator model)."""
+
+    def __init__(self, context: ExecutionContext, schema: Schema):
+        self.context = context
+        self.schema = schema
+        self._opened = False
+        #: rows this operator emitted (filled during execution;
+        #: rendered by EXPLAIN ANALYZE)
+        self.rows_emitted = 0
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        """Column names the output is guaranteed to be sorted by.
+
+        An empty tuple means no guaranteed order.  This property drives
+        the planner's choice between hash and order-based aggregation
+        (paper Section 4.4).
+        """
+        return ()
+
+    def open(self) -> None:
+        """Acquire resources. Subclasses must call ``super().open()``."""
+        if self._opened:
+            raise ExecutionError(f"{type(self).__name__} opened twice")
+        self._opened = True
+
+    def next_batches(self) -> Iterator[VectorBatch]:
+        """Yield output batches until exhausted (counts rows)."""
+        for batch in self._produce():
+            self.rows_emitted += len(batch)
+            yield batch
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        """Operator-specific batch production."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources. Subclasses must call ``super().close()``."""
+        self._opened = False
+
+    def batches(self) -> Iterator[VectorBatch]:
+        """Full lifecycle: open, stream all batches, close."""
+        self.open()
+        try:
+            yield from self.next_batches()
+        finally:
+            self.close()
+
+    def explain(self, indent: int = 0, stats: bool = False) -> str:
+        """Human-readable plan tree (EXPLAIN / EXPLAIN ANALYZE output)."""
+        line = " " * indent + self.describe()
+        if stats:
+            line += f"  [rows: {self.rows_emitted}]"
+        children = "\n".join(
+            child.explain(indent + 2, stats=stats)
+            for child in self.children()
+        )
+        return line + ("\n" + children if children else "")
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> list["PhysicalOperator"]:
+        return []
+
+
+class UnaryOperator(PhysicalOperator):
+    """An operator with exactly one input."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        schema: Schema,
+        child: PhysicalOperator,
+    ):
+        super().__init__(context, schema)
+        self.child = child
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+
+class BinaryOperator(PhysicalOperator):
+    """An operator with two inputs (joins)."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        schema: Schema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ):
+        super().__init__(context, schema)
+        self.left = left
+        self.right = right
+
+    def open(self) -> None:
+        super().open()
+        self.left.open()
+        self.right.open()
+
+    def close(self) -> None:
+        self.left.close()
+        self.right.close()
+        super().close()
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.left, self.right]

@@ -1,0 +1,87 @@
+"""Key packing shared by joins and aggregations.
+
+Multi-column keys are encoded into a single NumPy *structured* array of
+int64 codes.  The coding is value-deterministic (bit patterns, not
+factorization), so two relations can be coded independently and still
+compare equal — which is what lets the hash join code its build side
+once and probe in a streaming fashion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+def _int64_codes(values: np.ndarray) -> np.ndarray:
+    """Deterministic int64 code for one key column.
+
+    - integers/booleans: the value itself,
+    - floats: IEEE bit pattern of the float64 value (with ``-0.0``
+      normalized to ``0.0`` so SQL equality and code equality agree),
+    - anything else is rejected (string keys take the slow path in the
+      caller, not here).
+    """
+    kind = values.dtype.kind
+    if kind in "iu":
+        return values.astype(np.int64, copy=False)
+    if kind == "b":
+        return values.astype(np.int64)
+    if kind == "f":
+        as_double = values.astype(np.float64, copy=True)
+        zero_mask = as_double == 0.0
+        if zero_mask.any():
+            as_double[zero_mask] = 0.0
+        return as_double.view(np.int64)
+    raise ExecutionError(f"cannot pack key column of dtype {values.dtype}")
+
+
+def supports_fast_keys(arrays: list[np.ndarray]) -> bool:
+    """Whether all key columns can be bit-pattern coded."""
+    return all(array.dtype.kind in "iubf" for array in arrays)
+
+
+def pack_keys(arrays: list[np.ndarray]) -> np.ndarray:
+    """Encode the key columns into one comparable array.
+
+    Returns an int64 array for a single key column, otherwise a
+    structured array with one int64 field per key column.  The result
+    supports ``np.argsort`` and ``np.searchsorted`` with lexicographic
+    field order, which is all the join and aggregation need.
+    """
+    if not arrays:
+        raise ExecutionError("pack_keys needs at least one key column")
+    codes = [_int64_codes(array) for array in arrays]
+    if len(codes) == 1:
+        return codes[0]
+    stacked = np.ascontiguousarray(np.column_stack(codes))
+    dtype = np.dtype([(f"f{i}", np.int64) for i in range(len(codes))])
+    return stacked.view(dtype).reshape(len(arrays[0]))
+
+
+def pack_keys_slow(arrays: list[np.ndarray]) -> np.ndarray:
+    """Object-array-of-tuples coding for string or mixed keys.
+
+    Slower, but comparable and hashable — used as the fallback path for
+    VARCHAR join/group keys.
+    """
+    rows = list(zip(*(array.tolist() for array in arrays)))
+    packed = np.empty(len(rows), dtype=object)
+    packed[:] = rows
+    return packed
+
+
+def ranges_to_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flatten per-row match ranges ``[start, start+count)`` to indices.
+
+    Used by the join to expand ``searchsorted`` hit ranges into gather
+    indices without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    repeated_starts = np.repeat(starts, counts)
+    cumulative = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(cumulative, counts)
+    return repeated_starts + within

@@ -1,0 +1,70 @@
+"""Projection / map operator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.db.expressions import ColumnRef, Expression
+from repro.db.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    UnaryOperator,
+)
+from repro.db.schema import Column, Schema
+from repro.db.vector import VectorBatch
+
+
+class ProjectOperator(UnaryOperator):
+    """Computes a list of named expressions over each input vector."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        expressions: list[Expression],
+        names: list[str],
+    ):
+        columns = tuple(
+            Column(name, expression.output_type(child.schema))
+            for expression, name in zip(expressions, names)
+        )
+        super().__init__(context, Schema(columns), child)
+        self.expressions = list(expressions)
+        self.names = list(names)
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        # Ordering survives projection for the leading ordering columns
+        # that pass through as bare column references (possibly renamed).
+        passthrough: dict[str, str] = {}
+        for expression, name in zip(self.expressions, self.names):
+            if isinstance(expression, ColumnRef):
+                passthrough.setdefault(expression.name.lower(), name)
+        preserved: list[str] = []
+        for key in self.child.ordering:
+            new_name = passthrough.get(key.lower())
+            if new_name is None:
+                break
+            preserved.append(new_name)
+        return tuple(preserved)
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        for batch in self.child.next_batches():
+            arrays = []
+            for expression, column in zip(self.expressions, self.schema):
+                values = expression.evaluate(batch)
+                arrays.append(
+                    values.astype(column.sql_type.numpy_dtype, copy=False)
+                    if values.dtype != np.dtype(object)
+                    else values
+                )
+            yield VectorBatch(self.schema, arrays)
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{expression} AS {name}"
+            for expression, name in zip(self.expressions, self.names)
+        )
+        return f"Project({rendered})"

@@ -1,0 +1,71 @@
+"""Table scan with SMA block pruning."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.db.column import ColumnRange
+from repro.db.operators.base import ExecutionContext, PhysicalOperator
+from repro.db.table import Table
+from repro.db.vector import VectorBatch
+
+
+class TableScan(PhysicalOperator):
+    """Scans a table (or a single partition of it).
+
+    Range predicates extracted from the WHERE clause are used to skip
+    whole storage blocks via their min/max statistics — the mechanism
+    the paper uses to prune the model table to the layer being joined
+    (Section 4.4).  Pruned predicates are *hints*: rows of surviving
+    blocks are still filtered exactly by a FilterOperator above.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        table: Table,
+        ranges: list[ColumnRange] | None = None,
+        partition_index: int | None = None,
+    ):
+        super().__init__(context, table.schema)
+        self.table = table
+        self.ranges = ranges or []
+        self.partition_index = partition_index
+        self.blocks_scanned = 0
+        self.blocks_pruned = 0
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        # A declared sort key holds within each partition; a serial scan
+        # of a multi-partition table interleaves partitions and loses it.
+        if self.partition_index is not None or self.table.num_partitions == 1:
+            return self.table.sort_key
+        return ()
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        if self.partition_index is None:
+            partitions = self.table.partitions
+        else:
+            partitions = [self.table.partitions[self.partition_index]]
+        for partition in partitions:
+            for block in partition.blocks():
+                if self.ranges and not block.may_match(
+                    self.schema, self.ranges
+                ):
+                    self.blocks_pruned += 1
+                    continue
+                self.blocks_scanned += 1
+                batch = block.to_batch(self.schema)
+                for start in range(0, len(batch), self.context.vector_size):
+                    yield batch.slice(start, start + self.context.vector_size)
+
+    def describe(self) -> str:
+        parts = [f"TableScan({self.table.name}"]
+        if self.partition_index is not None:
+            parts.append(f", partition={self.partition_index}")
+        if self.ranges:
+            rendered = ", ".join(
+                f"{r.column} in [{r.low}, {r.high}]" for r in self.ranges
+            )
+            parts.append(f", prune: {rendered}")
+        return "".join(parts) + ")"

@@ -1,0 +1,80 @@
+"""Sort operator (pipeline breaker)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.db.expressions import ColumnRef
+from repro.db.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    UnaryOperator,
+)
+from repro.db.vector import VectorBatch, concat_batches
+from repro.errors import PlanError
+
+
+class SortOperator(UnaryOperator):
+    """Materializes its input and emits it sorted by the given columns."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        keys: list[ColumnRef],
+        ascending: list[bool] | None = None,
+    ):
+        super().__init__(context, child.schema, child)
+        if not keys:
+            raise PlanError("ORDER BY requires at least one key")
+        for key in keys:
+            if not isinstance(key, ColumnRef):
+                raise PlanError("ORDER BY keys must be column references")
+            child.schema.position_of(key.name)
+        self.keys = list(keys)
+        self.ascending = ascending or [True] * len(keys)
+        self._accounted_bytes = 0
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        if all(self.ascending):
+            return tuple(key.name for key in self.keys)
+        return ()
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        whole = concat_batches(self.schema, list(self.child.next_batches()))
+        self._accounted_bytes = whole.nominal_bytes()
+        self.context.memory.allocate(self._accounted_bytes, "sort")
+        if len(whole) == 0:
+            return
+        # np.lexsort sorts by the *last* key first, so reverse the list.
+        columns = []
+        for key, ascending in zip(reversed(self.keys), reversed(self.ascending)):
+            values = whole.column(key.name)
+            if not ascending:
+                if values.dtype.kind in "if":
+                    values = -values.astype(np.float64)
+                else:
+                    raise PlanError(
+                        "DESC is only supported for numeric sort keys"
+                    )
+            columns.append(values)
+        order = np.lexsort(columns)
+        ordered = whole.take(order)
+        for start in range(0, len(ordered), self.context.vector_size):
+            yield ordered.slice(start, start + self.context.vector_size)
+
+    def close(self) -> None:
+        if self._accounted_bytes:
+            self.context.memory.release(self._accounted_bytes, "sort")
+            self._accounted_bytes = 0
+        super().close()
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{key.name} {'ASC' if ascending else 'DESC'}"
+            for key, ascending in zip(self.keys, self.ascending)
+        )
+        return f"Sort({rendered})"

@@ -1,0 +1,67 @@
+"""Partition-parallel query execution.
+
+Mirrors x100's intra-query parallelism (paper Sections 4.4 and 5.2):
+each execution thread gets a *private plan instance* bound to one
+partition of the partitioned base tables, while unpartitioned tables
+(the model table) are scanned by every thread — the replication the
+paper describes for distributed setups.  All pipelines share one
+:class:`~repro.db.operators.base.ExecutionContext`, so memory accounting
+reflects the query-global peak and barrier-style shared state (the
+native ModelJoin's shared model build) is visible across threads.
+
+Correctness contract: a query may be executed partition-parallel when
+its result is the bag-union of per-partition results — true whenever
+every aggregation's group keys functionally include the fact table's
+partition key, which holds for all ModelJoin queries (group keys carry
+the unique tuple ID).  The caller asserts this by opting in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.db.operators.base import ExecutionContext, PhysicalOperator
+from repro.db.schema import Schema
+from repro.db.vector import VectorBatch
+
+PlanBuilder = Callable[[int], PhysicalOperator]
+
+
+def run_partitioned(
+    plan_builder: PlanBuilder,
+    num_partitions: int,
+    max_workers: int | None = None,
+) -> tuple[Schema, list[VectorBatch]]:
+    """Execute one plan instance per partition, in a thread pool.
+
+    Returns the output schema and all result batches, ordered by
+    partition (batch order within a partition is preserved).
+    """
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+
+    def run_one(
+        partition_index: int,
+    ) -> tuple[Schema, list[VectorBatch]]:
+        plan = plan_builder(partition_index)
+        return plan.schema, list(plan.batches())
+
+    if num_partitions == 1:
+        return run_one(0)
+
+    workers = max_workers or num_partitions
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        per_partition = list(pool.map(run_one, range(num_partitions)))
+    schema = per_partition[0][0]
+    batches = [
+        batch for _, partition in per_partition for batch in partition
+    ]
+    return schema, batches
+
+
+def make_context(
+    vector_size: int, parallelism: int
+) -> ExecutionContext:
+    """A fresh execution context for a (possibly parallel) query."""
+    return ExecutionContext(vector_size=vector_size, parallelism=parallelism)

@@ -1,0 +1,19 @@
+"""SQL frontend: lexer, AST and recursive-descent parser.
+
+The dialect covers what the paper's workloads need: DDL with
+partitioning and sort keys, ``INSERT ... VALUES``, and SELECT queries
+with derived tables, joins (comma and ANSI), GROUP BY / HAVING /
+ORDER BY / LIMIT, CASE, CAST, BETWEEN and scalar functions — plus the
+paper's envisioned ``MODEL JOIN`` extension (Section 1 / 5.5).
+"""
+
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.db.sql.parser import parse_statement, parse_expression
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_statement",
+    "parse_expression",
+]

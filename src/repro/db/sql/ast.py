@@ -1,0 +1,140 @@
+"""Abstract syntax tree for parsed SQL statements.
+
+Scalar expressions reuse the runtime expression classes from
+:mod:`repro.db.expressions`; at the AST stage a
+:class:`~repro.db.expressions.ColumnRef` may carry a qualified name
+("alias.column") that the planner later resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.expressions import Expression
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class of all parsed statements."""
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression | Star
+    alias: str | None = None
+
+
+class FromItem:
+    """Base class of FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    table_name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.table_name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    query: "SelectStatement"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class JoinRef(FromItem):
+    """ANSI ``left JOIN right ON condition``."""
+
+    left: FromItem
+    right: FromItem
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class ModelJoinRef(FromItem):
+    """The paper's ``table MODEL JOIN model_name`` extension (Section 1).
+
+    ``input_columns`` optionally restricts which columns feed the model
+    (``USING (c1, c2)``); the rest are passed through as payload —
+    exactly the native operator's prediction-column behaviour
+    (Section 5.3).
+    """
+
+    left: FromItem
+    model_name: str
+    input_columns: tuple[str, ...] = ()
+    output_prefix: str = "prediction"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    select_items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table_name: str
+    columns: tuple[ColumnDefinition, ...]
+    partition_key: str | None = None
+    num_partitions: int = 1
+    sort_key: tuple[str, ...] = ()
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table_name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertValues(Statement):
+    table_name: str
+    rows: tuple[tuple[object, ...], ...]
+    column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertSelect(Statement):
+    table_name: str
+    query: SelectStatement
+    column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    statement: Statement

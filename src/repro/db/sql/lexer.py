@@ -1,0 +1,134 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.IDENT and self.text.upper() == word
+
+    def is_operator(self, symbol: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text == symbol
+
+
+_MULTI_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "==")
+_SINGLE_CHAR_OPERATORS = set("+-*/()=<>,.;")
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL *text* into tokens; raises on unknown characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        character = text[position]
+        if character.isspace():
+            position += 1
+            continue
+        if character == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+        if character.lower() in _IDENT_START:
+            start = position
+            while (
+                position < length and text[position].lower() in _IDENT_CONT
+            ):
+                position += 1
+            tokens.append(
+                Token(TokenKind.IDENT, text[start:position], start)
+            )
+            continue
+        if character.isdigit() or (
+            character == "."
+            and position + 1 < length
+            and text[position + 1].isdigit()
+        ):
+            start = position
+            position = _scan_number(text, position)
+            tokens.append(
+                Token(TokenKind.NUMBER, text[start:position], start)
+            )
+            continue
+        if character == "'":
+            start = position
+            position += 1
+            pieces: list[str] = []
+            while True:
+                if position >= length:
+                    raise SqlSyntaxError("unterminated string literal", start)
+                if text[position] == "'":
+                    if position + 1 < length and text[position + 1] == "'":
+                        pieces.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                pieces.append(text[position])
+                position += 1
+            tokens.append(Token(TokenKind.STRING, "".join(pieces), start))
+            continue
+        if character == '"':
+            start = position
+            end = text.find('"', position + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", start)
+            tokens.append(Token(TokenKind.IDENT, text[start + 1 : end], start))
+            position = end + 1
+            continue
+        matched = False
+        for operator in _MULTI_CHAR_OPERATORS:
+            if text.startswith(operator, position):
+                tokens.append(Token(TokenKind.OPERATOR, operator, position))
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if character in _SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(TokenKind.OPERATOR, character, position))
+            position += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {character!r}", position)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens
+
+
+def _scan_number(text: str, position: int) -> int:
+    length = len(text)
+    while position < length and text[position].isdigit():
+        position += 1
+    if position < length and text[position] == ".":
+        position += 1
+        while position < length and text[position].isdigit():
+            position += 1
+    if position < length and text[position] in "eE":
+        lookahead = position + 1
+        if lookahead < length and text[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < length and text[lookahead].isdigit():
+            position = lookahead
+            while position < length and text[position].isdigit():
+                position += 1
+    return position

@@ -1,0 +1,127 @@
+"""SQL type system of the engine.
+
+The engine supports a deliberately small set of types — the ones the
+paper's workloads and the ML-To-SQL generated queries need.  Each SQL type
+maps onto a NumPy dtype used for columnar storage and vectorized
+execution.  ``FLOAT`` is 4-byte IEEE 754 (the paper stores all model
+weights as 4-byte floats, Section 4.1), ``DOUBLE`` is 8-byte.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """A SQL column type supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    VARCHAR = "VARCHAR"
+    BOOLEAN = "BOOLEAN"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype backing columns of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.FLOAT, SqlType.DOUBLE)
+
+    @property
+    def byte_width(self) -> int:
+        """Bytes per value; VARCHAR is charged a nominal pointer width."""
+        if self is SqlType.VARCHAR:
+            return 16
+        return self.numpy_dtype.itemsize
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_NUMPY_DTYPES: dict[SqlType, np.dtype] = {
+    SqlType.INTEGER: np.dtype(np.int64),
+    SqlType.FLOAT: np.dtype(np.float32),
+    SqlType.DOUBLE: np.dtype(np.float64),
+    SqlType.VARCHAR: np.dtype(object),
+    SqlType.BOOLEAN: np.dtype(np.bool_),
+}
+
+_TYPE_NAMES: dict[str, SqlType] = {
+    "INT": SqlType.INTEGER,
+    "INTEGER": SqlType.INTEGER,
+    "BIGINT": SqlType.INTEGER,
+    "FLOAT": SqlType.FLOAT,
+    "FLOAT4": SqlType.FLOAT,
+    "REAL": SqlType.FLOAT,
+    "DOUBLE": SqlType.DOUBLE,
+    "FLOAT8": SqlType.DOUBLE,
+    "VARCHAR": SqlType.VARCHAR,
+    "TEXT": SqlType.VARCHAR,
+    "STRING": SqlType.VARCHAR,
+    "BOOLEAN": SqlType.BOOLEAN,
+    "BOOL": SqlType.BOOLEAN,
+}
+
+
+def parse_type_name(name: str) -> SqlType:
+    """Resolve a SQL type name (as written in DDL) to a :class:`SqlType`.
+
+    Raises :class:`~repro.errors.TypeMismatchError` for unknown names.
+    """
+    sql_type = _TYPE_NAMES.get(name.upper())
+    if sql_type is None:
+        raise TypeMismatchError(f"unknown SQL type name: {name!r}")
+    return sql_type
+
+
+def type_of_dtype(dtype: np.dtype) -> SqlType:
+    """Map a NumPy dtype onto the engine type that stores it."""
+    kind = np.dtype(dtype).kind
+    if kind in "iu":
+        return SqlType.INTEGER
+    if kind == "f":
+        return SqlType.FLOAT if np.dtype(dtype).itemsize <= 4 else SqlType.DOUBLE
+    if kind == "b":
+        return SqlType.BOOLEAN
+    if kind in "OUS":
+        return SqlType.VARCHAR
+    raise TypeMismatchError(f"no SQL type for NumPy dtype {dtype!r}")
+
+
+def common_numeric_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of an arithmetic operation between two types.
+
+    Mirrors standard SQL numeric promotion: INTEGER < FLOAT < DOUBLE.
+    """
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(
+            f"arithmetic requires numeric operands, got {left} and {right}"
+        )
+    order = [SqlType.INTEGER, SqlType.FLOAT, SqlType.DOUBLE]
+    return order[max(order.index(left), order.index(right))]
+
+
+def coerce_array(values: np.ndarray, sql_type: SqlType) -> np.ndarray:
+    """Cast *values* to the storage dtype of *sql_type*.
+
+    Strings are only accepted for VARCHAR columns; numeric narrowing is
+    allowed (the engine, like most engines, truncates on explicit cast).
+    """
+    target = sql_type.numpy_dtype
+    array = np.asarray(values)
+    if sql_type is SqlType.VARCHAR:
+        if array.dtype.kind not in "OUS":
+            raise TypeMismatchError(
+                f"cannot store {array.dtype} values in a VARCHAR column"
+            )
+        return array.astype(object)
+    if array.dtype.kind in "OUS":
+        raise TypeMismatchError(f"cannot store strings in a {sql_type} column")
+    return array.astype(target, copy=False)

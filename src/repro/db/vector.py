@@ -1,0 +1,140 @@
+"""The unit of vectorized execution: a batch of column vectors.
+
+Mirroring x100's execution model, operators exchange
+:class:`VectorBatch` objects — a small set of equally long NumPy arrays,
+one per column, at most ``VECTOR_SIZE`` values long (1024 by default, as
+in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.errors import ExecutionError
+
+#: Default number of tuples per execution vector (paper Section 6.1).
+VECTOR_SIZE = 1024
+
+
+@dataclass
+class VectorBatch:
+    """A horizontal slice of a relation in columnar layout."""
+
+    schema: Schema
+    arrays: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if len(self.arrays) != len(self.schema):
+            raise ExecutionError(
+                f"batch has {len(self.arrays)} arrays for "
+                f"{len(self.schema)} schema columns"
+            )
+        lengths = {len(array) for array in self.arrays}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged batch: column lengths {lengths}")
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "VectorBatch":
+        arrays = [
+            np.empty(0, dtype=column.sql_type.numpy_dtype)
+            for column in schema
+        ]
+        return cls(schema, arrays)
+
+    @classmethod
+    def from_dict(
+        cls, schema: Schema, columns: dict[str, np.ndarray]
+    ) -> "VectorBatch":
+        """Build a batch from named arrays, coercing to storage dtypes."""
+        arrays = []
+        for column in schema:
+            values = np.asarray(columns[column.name])
+            arrays.append(
+                values.astype(column.sql_type.numpy_dtype, copy=False)
+            )
+        return cls(schema, arrays)
+
+    def __len__(self) -> int:
+        if not self.arrays:
+            return 0
+        return len(self.arrays[0])
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> np.ndarray:
+        """The array backing the column named *name*."""
+        return self.arrays[self.schema.position_of(name)]
+
+    def column_at(self, position: int) -> np.ndarray:
+        return self.arrays[position]
+
+    def with_schema(self, schema: Schema) -> "VectorBatch":
+        """Same data, different column names (e.g. after aliasing)."""
+        return VectorBatch(schema, self.arrays)
+
+    def filter(self, mask: np.ndarray) -> "VectorBatch":
+        """Keep only the rows where *mask* is true."""
+        if mask.dtype != np.bool_:
+            raise ExecutionError("filter mask must be boolean")
+        return VectorBatch(self.schema, [array[mask] for array in self.arrays])
+
+    def take(self, indices: np.ndarray) -> "VectorBatch":
+        """Gather rows by position (may repeat or reorder rows)."""
+        return VectorBatch(
+            self.schema, [array[indices] for array in self.arrays]
+        )
+
+    def slice(self, start: int, stop: int) -> "VectorBatch":
+        return VectorBatch(
+            self.schema, [array[start:stop] for array in self.arrays]
+        )
+
+    def concat_columns(self, other: "VectorBatch") -> "VectorBatch":
+        """Stitch two equally long batches side by side (join output)."""
+        if len(self) != len(other):
+            raise ExecutionError(
+                f"cannot concat batches of {len(self)} and {len(other)} rows"
+            )
+        return VectorBatch(
+            self.schema.concat(other.schema), self.arrays + other.arrays
+        )
+
+    def nominal_bytes(self) -> int:
+        """Approximate memory footprint, for the accountant."""
+        return sum(
+            array.nbytes if array.dtype != object else len(array) * 16
+            for array in self.arrays
+        )
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize as Python row tuples (result delivery / tests)."""
+        if not self.arrays:
+            return []
+        return list(zip(*(array.tolist() for array in self.arrays)))
+
+
+def concat_batches(schema: Schema, batches: list[VectorBatch]) -> VectorBatch:
+    """Vertically concatenate *batches* into one (possibly long) batch."""
+    if not batches:
+        return VectorBatch.empty(schema)
+    arrays = [
+        np.concatenate([batch.arrays[i] for batch in batches])
+        for i in range(len(schema))
+    ]
+    return VectorBatch(schema, arrays)
+
+
+def rebatch(batches: list[VectorBatch], schema: Schema, size: int = VECTOR_SIZE):
+    """Yield batches of exactly *size* rows (last one may be shorter).
+
+    Operators that buffer (e.g. aggregation output) use this to restore
+    the engine's vector granularity.
+    """
+    whole = concat_batches(schema, batches)
+    for start in range(0, len(whole), size):
+        yield whole.slice(start, start + size)

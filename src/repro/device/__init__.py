@@ -1,0 +1,23 @@
+"""Hardware abstraction: host CPU and a simulated GPU.
+
+Both the native ModelJoin operator and the ML-runtime session execute
+their linear algebra through a :class:`~repro.device.base.Device`.  The
+:class:`~repro.device.host.HostDevice` is plain NumPy.  The
+:class:`~repro.device.gpu.SimulatedGpu` *computes* with NumPy too (all
+results stay exact) but additionally accounts a modeled execution time
+(PCIe transfers, kernel launches, throughput) calibrated to the paper's
+A100-over-PCIe setup — see DESIGN.md Section 6 for the constants and
+the honesty rules around reporting GPU numbers.
+"""
+
+from repro.device.base import Device, DeviceStats
+from repro.device.host import HostDevice
+from repro.device.gpu import GpuCostModel, SimulatedGpu
+
+__all__ = [
+    "Device",
+    "DeviceStats",
+    "HostDevice",
+    "SimulatedGpu",
+    "GpuCostModel",
+]

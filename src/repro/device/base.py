@@ -1,0 +1,179 @@
+"""Device interface and statistics.
+
+A device exposes the BLAS-flavoured kernel set the paper's native
+operator needs (Section 5.4 / Listing 5): ``gemm`` (sgemm), elementwise
+multiply/add (vsMul/vsAdd), copy, and the activation kernels.  Arrays
+"resident on the device" are plain NumPy arrays; what distinguishes
+devices is *accounting*, not representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.nn.activations import get_activation
+
+
+@dataclass
+class DeviceStats:
+    """Resource counters a device accumulates across kernel calls."""
+
+    kernel_launches: int = 0
+    flops: int = 0
+    elementwise_elements: int = 0
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    #: wall-clock seconds actually spent in NumPy inside device kernels
+    host_kernel_seconds: float = 0.0
+    #: modeled seconds the kernels would take on the simulated device
+    modeled_kernel_seconds: float = 0.0
+    #: modeled seconds for host<->device transfers
+    modeled_transfer_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.kernel_launches = 0
+        self.flops = 0
+        self.elementwise_elements = 0
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self.host_kernel_seconds = 0.0
+        self.modeled_kernel_seconds = 0.0
+        self.modeled_transfer_seconds = 0.0
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.modeled_kernel_seconds + self.modeled_transfer_seconds
+
+    def merge(self, other: "DeviceStats") -> None:
+        self.kernel_launches += other.kernel_launches
+        self.flops += other.flops
+        self.elementwise_elements += other.elementwise_elements
+        self.bytes_to_device += other.bytes_to_device
+        self.bytes_to_host += other.bytes_to_host
+        self.host_kernel_seconds += other.host_kernel_seconds
+        self.modeled_kernel_seconds += other.modeled_kernel_seconds
+        self.modeled_transfer_seconds += other.modeled_transfer_seconds
+
+
+class Device:
+    """Base device: NumPy compute, no extra accounting (the host CPU)."""
+
+    name = "abstract"
+    is_gpu = False
+
+    def __init__(self) -> None:
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # memory movement
+    # ------------------------------------------------------------------
+    def to_device(self, array: np.ndarray) -> np.ndarray:
+        """Move a host array onto the device."""
+        return array
+
+    def to_host(self, array: np.ndarray) -> np.ndarray:
+        """Move a device array back to the host."""
+        return array
+
+    def allocate(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Allocate an uninitialized float32 buffer on the device."""
+        return np.empty(shape, dtype=np.float32)
+
+    def zeros(self, shape: tuple[int, ...]) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        accumulate: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``a @ b`` (+ *accumulate*), like BLAS sgemm's C := AB + C."""
+        self._check_float32(a, b)
+        if a.shape[1] != b.shape[0]:
+            raise DeviceError(
+                f"gemm shape mismatch: {a.shape} @ {b.shape}"
+            )
+        result = a @ b
+        if accumulate is not None:
+            result = result + accumulate
+        return result
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product (vsMul)."""
+        return a * b
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise sum (vsAdd)."""
+        return a + b
+
+    def copy(self, array: np.ndarray) -> np.ndarray:
+        return array.copy()
+
+    def activation(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Apply a named activation kernel."""
+        return get_activation(name)(array)
+
+    def transpose(self, array: np.ndarray) -> np.ndarray:
+        """Materialized transpose (the operator transposes the input
+        matrix once before the first layer, Section 5.4)."""
+        return np.ascontiguousarray(array.T)
+
+    def synchronize(self) -> None:
+        """Wait for outstanding device work (no-op on the host)."""
+
+    @staticmethod
+    def _check_float32(*arrays: np.ndarray) -> None:
+        for array in arrays:
+            if array.dtype != np.float32:
+                raise DeviceError(
+                    f"device kernels are float32-only, got {array.dtype}"
+                )
+
+
+class DeviceWindow:
+    """Context manager measuring wall time over a code region, with the
+    device's measured kernel time swapped for its modeled time.
+
+    For a host device the result is plain wall time (deltas are zero).
+    For the simulated GPU::
+
+        seconds = wall - host_kernel_delta + modeled_delta
+
+    Deltas are computed against a stats snapshot taken on entry, so
+    windows compose correctly across repeated runs on one device.
+    """
+
+    def __init__(self, device: "Device"):
+        self.device = device
+        self.seconds = 0.0
+        self.wall_seconds = 0.0
+        self._start = 0.0
+        self._host0 = 0.0
+        self._modeled0 = 0.0
+
+    def __enter__(self) -> "DeviceWindow":
+        import time
+
+        stats = self.device.stats
+        self._host0 = stats.host_kernel_seconds
+        self._modeled0 = stats.modeled_seconds
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        import time
+
+        self.wall_seconds = time.perf_counter() - self._start
+        stats = self.device.stats
+        host_delta = stats.host_kernel_seconds - self._host0
+        modeled_delta = stats.modeled_seconds - self._modeled0
+        self.seconds = max(
+            self.wall_seconds - host_delta + modeled_delta, 0.0
+        )

@@ -1,0 +1,39 @@
+"""Host (CPU) device.
+
+Plain NumPy execution — NumPy's BLAS plays the role of Intel MKL in
+the paper's CPU variant.  The host device still counts launches and
+FLOPs so ablation benches can reason about arithmetic intensity, but
+its modeled time is zero: CPU variants are reported at wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.base import Device
+
+
+class HostDevice(Device):
+    name = "cpu"
+    is_gpu = False
+
+    def gemm(self, a, b, accumulate=None):
+        result = super().gemm(a, b, accumulate)
+        self.stats.kernel_launches += 1
+        self.stats.flops += 2 * a.shape[0] * a.shape[1] * b.shape[1]
+        return result
+
+    def multiply(self, a, b):
+        self.stats.kernel_launches += 1
+        self.stats.elementwise_elements += int(np.size(a))
+        return super().multiply(a, b)
+
+    def add(self, a, b):
+        self.stats.kernel_launches += 1
+        self.stats.elementwise_elements += int(np.size(a))
+        return super().add(a, b)
+
+    def activation(self, name, array):
+        self.stats.kernel_launches += 1
+        self.stats.elementwise_elements += int(np.size(array))
+        return super().activation(name, array)

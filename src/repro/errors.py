@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the database engine substrate."""
+
+
+class CatalogError(DatabaseError):
+    """A catalog object (table, model, function) is missing or duplicated."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(DatabaseError):
+    """A name in the query could not be resolved against the catalog."""
+
+
+class PlanError(DatabaseError):
+    """The planner could not produce a physical plan for the query."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a physical plan."""
+
+
+class TypeMismatchError(DatabaseError):
+    """An expression or insert used a value of an incompatible type."""
+
+
+class ModelError(ReproError):
+    """Base class for errors raised by the neural-network substrate."""
+
+
+class ModelGraphError(ModelError):
+    """The model architecture is invalid or unsupported."""
+
+
+class DeviceError(ReproError):
+    """A device (host or simulated GPU) operation failed."""
+
+
+class ModelJoinError(ReproError):
+    """An error in one of the ModelJoin integration approaches."""
+
+
+class UnsupportedModelError(ModelJoinError):
+    """The given model uses features the chosen approach cannot handle."""

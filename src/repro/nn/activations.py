@@ -1,0 +1,71 @@
+"""Activation functions (paper Section 4.3.5: linear, ReLU, sigmoid, tanh).
+
+Each activation carries its forward function and its derivative (used
+by the trainer).  Forward functions preserve the input dtype, so a
+float32 pipeline stays float32 — matching the 4-byte-float arithmetic
+of the paper's engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelGraphError
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A named activation with forward and derivative functions."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    #: derivative expressed in terms of the *activated output* y
+    derivative: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.forward(values)
+
+
+def _linear(values: np.ndarray) -> np.ndarray:
+    return values
+
+
+def _relu(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, np.zeros(1, dtype=values.dtype))
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    clipped = np.clip(values, -80.0, 80.0)
+    return 1.0 / (1.0 + np.exp(-clipped))
+
+
+def _tanh(values: np.ndarray) -> np.ndarray:
+    return np.tanh(values)
+
+
+_ACTIVATIONS: dict[str, Activation] = {
+    "linear": Activation("linear", _linear, lambda y: np.ones_like(y)),
+    "relu": Activation(
+        "relu", _relu, lambda y: (y > 0).astype(y.dtype)
+    ),
+    "sigmoid": Activation("sigmoid", _sigmoid, lambda y: y * (1.0 - y)),
+    "tanh": Activation("tanh", _tanh, lambda y: 1.0 - y * y),
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name (case-insensitive)."""
+    activation = _ACTIVATIONS.get(name.lower())
+    if activation is None:
+        raise ModelGraphError(
+            f"unknown activation {name!r}; "
+            f"supported: {sorted(_ACTIVATIONS)}"
+        )
+    return activation
+
+
+def supported_activations() -> tuple[str, ...]:
+    return tuple(sorted(_ACTIVATIONS))

@@ -1,0 +1,34 @@
+"""Deterministic weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so a
+model built twice from the same seed is bit-identical — the equivalence
+tests across the five inference approaches depend on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Glorot/Xavier uniform — Keras's default kernel initializer."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def orthogonal(
+    rng: np.random.Generator, shape: tuple[int, int]
+) -> np.ndarray:
+    """Orthogonal init — Keras's default recurrent-kernel initializer."""
+    rows, columns = shape
+    size = max(rows, columns)
+    matrix = rng.normal(size=(size, size))
+    q, r = np.linalg.qr(matrix)
+    q = q * np.sign(np.diag(r))
+    return q[:rows, :columns].astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,352 @@
+"""Dense and LSTM layers with Keras inference semantics.
+
+Weight layouts match Keras exactly, because both the relational model
+representation (paper Section 4.1) and the native operator's build
+phase (Section 5.2) are defined in terms of them:
+
+- Dense: kernel ``W`` of shape ``(input_dim, units)``, bias ``(units,)``;
+  forward is ``activation(x @ W + b)``.
+- LSTM: kernel ``W`` of shape ``(input_dim, 4*units)``, recurrent
+  kernel ``U`` of shape ``(units, 4*units)``, bias ``(4*units,)`` with
+  the gate order ``[i, f, c, o]``; the recurrence is the one in the
+  paper's Figure 2 / Listing 5.
+
+All arithmetic is float32 (the paper stores 4-byte floats).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelGraphError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+
+
+class Layer:
+    """Base class of all layers."""
+
+    layer_type = "abstract"
+
+    def __init__(self, units: int, activation: str):
+        if units < 1:
+            raise ModelGraphError("a layer needs at least one unit")
+        self.units = units
+        self.activation: Activation = get_activation(activation)
+        self.input_dim: int | None = None
+        self.built = False
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        """Allocate and initialize the layer's weights."""
+        raise NotImplementedError
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run inference for a batch of inputs."""
+        raise NotImplementedError
+
+    @property
+    def output_dim(self) -> int:
+        return self.units
+
+    def parameter_count(self) -> int:
+        raise NotImplementedError
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise ModelGraphError(
+                f"{type(self).__name__} used before build()"
+            )
+
+
+class Dense(Layer):
+    """Fully connected layer: ``activation(x @ kernel + bias)``."""
+
+    layer_type = "dense"
+
+    def __init__(self, units: int, activation: str = "linear"):
+        super().__init__(units, activation)
+        self.kernel: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        self.input_dim = input_dim
+        self.kernel = glorot_uniform(
+            rng, input_dim, self.units, (input_dim, self.units)
+        )
+        self.bias = zeros((self.units,))
+        self.built = True
+
+    def set_weights(self, kernel: np.ndarray, bias: np.ndarray) -> None:
+        kernel = np.asarray(kernel, dtype=np.float32)
+        bias = np.asarray(bias, dtype=np.float32)
+        if kernel.ndim != 2 or bias.shape != (kernel.shape[1],):
+            raise ModelGraphError(
+                f"inconsistent dense weights: kernel {kernel.shape}, "
+                f"bias {bias.shape}"
+            )
+        if kernel.shape[1] != self.units:
+            raise ModelGraphError(
+                f"kernel has {kernel.shape[1]} output units, "
+                f"layer expects {self.units}"
+            )
+        self.kernel = kernel
+        self.bias = bias
+        self.input_dim = kernel.shape[0]
+        self.built = True
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if inputs.ndim != 2 or inputs.shape[1] != self.input_dim:
+            raise ModelGraphError(
+                f"dense layer expects (batch, {self.input_dim}) input, "
+                f"got {inputs.shape}"
+            )
+        pre = inputs.astype(np.float32, copy=False) @ self.kernel + self.bias
+        return self.activation(pre)
+
+    def parameter_count(self) -> int:
+        self._require_built()
+        return self.kernel.size + self.bias.size
+
+
+class Lstm(Layer):
+    """LSTM layer (Keras semantics, ``return_sequences=False``).
+
+    ``activation`` (default tanh) is applied to the candidate cell
+    state and the output; ``recurrent_activation`` (default sigmoid) to
+    the input/forget/output gates — see the paper's Figure 2.
+    """
+
+    layer_type = "lstm"
+
+    def __init__(
+        self,
+        units: int,
+        activation: str = "tanh",
+        recurrent_activation: str = "sigmoid",
+    ):
+        super().__init__(units, activation)
+        self.recurrent_activation: Activation = get_activation(
+            recurrent_activation
+        )
+        self.kernel: np.ndarray | None = None  # (input_dim, 4*units)
+        self.recurrent_kernel: np.ndarray | None = None  # (units, 4*units)
+        self.bias: np.ndarray | None = None  # (4*units,)
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        self.input_dim = input_dim
+        self.kernel = glorot_uniform(
+            rng, input_dim, self.units, (input_dim, 4 * self.units)
+        )
+        self.recurrent_kernel = np.concatenate(
+            [orthogonal(rng, (self.units, self.units)) for _ in range(4)],
+            axis=1,
+        )
+        # Keras initializes the forget-gate bias to 1 (unit_forget_bias).
+        bias = zeros((4 * self.units,))
+        bias[self.units : 2 * self.units] = 1.0
+        self.bias = bias
+        self.built = True
+
+    def set_weights(
+        self,
+        kernel: np.ndarray,
+        recurrent_kernel: np.ndarray,
+        bias: np.ndarray,
+    ) -> None:
+        kernel = np.asarray(kernel, dtype=np.float32)
+        recurrent_kernel = np.asarray(recurrent_kernel, dtype=np.float32)
+        bias = np.asarray(bias, dtype=np.float32)
+        if kernel.ndim != 2 or kernel.shape[1] != 4 * self.units:
+            raise ModelGraphError(
+                f"LSTM kernel must be (input_dim, {4 * self.units}), "
+                f"got {kernel.shape}"
+            )
+        if recurrent_kernel.shape != (self.units, 4 * self.units):
+            raise ModelGraphError(
+                f"LSTM recurrent kernel must be "
+                f"({self.units}, {4 * self.units}), "
+                f"got {recurrent_kernel.shape}"
+            )
+        if bias.shape != (4 * self.units,):
+            raise ModelGraphError(
+                f"LSTM bias must be ({4 * self.units},), got {bias.shape}"
+            )
+        self.kernel = kernel
+        self.recurrent_kernel = recurrent_kernel
+        self.bias = bias
+        self.input_dim = kernel.shape[0]
+        self.built = True
+
+    def gate_slices(self) -> dict[str, slice]:
+        """Column slices of the packed weight matrices per gate."""
+        units = self.units
+        return {
+            "i": slice(0, units),
+            "f": slice(units, 2 * units),
+            "c": slice(2 * units, 3 * units),
+            "o": slice(3 * units, 4 * units),
+        }
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the recurrence over ``(batch, time_steps, input_dim)``.
+
+        A 2-D input ``(batch, time_steps)`` is interpreted as a scalar
+        time series (``input_dim == 1``), the layout the paper's time-
+        series workload uses.
+        """
+        self._require_built()
+        if inputs.ndim == 2 and self.input_dim == 1:
+            inputs = inputs[:, :, np.newaxis]
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
+            raise ModelGraphError(
+                f"LSTM expects (batch, steps, {self.input_dim}) input, "
+                f"got {inputs.shape}"
+            )
+        inputs = inputs.astype(np.float32, copy=False)
+        batch, steps, _ = inputs.shape
+        units = self.units
+        hidden = np.zeros((batch, units), dtype=np.float32)
+        cell = np.zeros((batch, units), dtype=np.float32)
+        for step in range(steps):
+            z = (
+                inputs[:, step, :] @ self.kernel
+                + hidden @ self.recurrent_kernel
+                + self.bias
+            )
+            gate_i = self.recurrent_activation(z[:, :units])
+            gate_f = self.recurrent_activation(z[:, units : 2 * units])
+            candidate = self.activation(z[:, 2 * units : 3 * units])
+            gate_o = self.recurrent_activation(z[:, 3 * units :])
+            cell = gate_f * cell + gate_i * candidate
+            hidden = gate_o * self.activation(cell)
+        return hidden
+
+    def parameter_count(self) -> int:
+        self._require_built()
+        return (
+            self.kernel.size
+            + self.recurrent_kernel.size
+            + self.bias.size
+        )
+
+
+class Gru(Layer):
+    """GRU layer (classic formulation, ``reset_after=False``).
+
+    The paper's Section 2 names GRUs alongside LSTMs as the recurrent
+    architectures relevant to database workloads.  The repro ships GRU
+    support in the framework and the runtime-API integration path —
+    but deliberately *not* in the relational representation or the
+    native operator, which makes Table 2's generalizability trade-off
+    concrete: the runtime-backed approaches pick the new layer type up
+    for free, the reimplementation-based ones need new code.
+
+    Weight layout: kernel ``(input_dim, 3*units)``, recurrent kernel
+    ``(units, 3*units)``, bias ``(3*units,)`` with gate order
+    ``[z, r, h]`` (update, reset, candidate):
+
+    .. code-block:: text
+
+        z = sigmoid(x W_z + h U_z + b_z)
+        r = sigmoid(x W_r + h U_r + b_r)
+        h~ = tanh(x W_h + (r * h) U_h + b_h)
+        h' = z * h + (1 - z) * h~
+    """
+
+    layer_type = "gru"
+
+    def __init__(
+        self,
+        units: int,
+        activation: str = "tanh",
+        recurrent_activation: str = "sigmoid",
+    ):
+        super().__init__(units, activation)
+        self.recurrent_activation: Activation = get_activation(
+            recurrent_activation
+        )
+        self.kernel: np.ndarray | None = None  # (input_dim, 3*units)
+        self.recurrent_kernel: np.ndarray | None = None  # (units, 3*units)
+        self.bias: np.ndarray | None = None  # (3*units,)
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        self.input_dim = input_dim
+        self.kernel = glorot_uniform(
+            rng, input_dim, self.units, (input_dim, 3 * self.units)
+        )
+        self.recurrent_kernel = np.concatenate(
+            [orthogonal(rng, (self.units, self.units)) for _ in range(3)],
+            axis=1,
+        )
+        self.bias = zeros((3 * self.units,))
+        self.built = True
+
+    def set_weights(
+        self,
+        kernel: np.ndarray,
+        recurrent_kernel: np.ndarray,
+        bias: np.ndarray,
+    ) -> None:
+        kernel = np.asarray(kernel, dtype=np.float32)
+        recurrent_kernel = np.asarray(recurrent_kernel, dtype=np.float32)
+        bias = np.asarray(bias, dtype=np.float32)
+        if kernel.ndim != 2 or kernel.shape[1] != 3 * self.units:
+            raise ModelGraphError(
+                f"GRU kernel must be (input_dim, {3 * self.units}), "
+                f"got {kernel.shape}"
+            )
+        if recurrent_kernel.shape != (self.units, 3 * self.units):
+            raise ModelGraphError(
+                f"GRU recurrent kernel must be "
+                f"({self.units}, {3 * self.units}), "
+                f"got {recurrent_kernel.shape}"
+            )
+        if bias.shape != (3 * self.units,):
+            raise ModelGraphError(
+                f"GRU bias must be ({3 * self.units},), got {bias.shape}"
+            )
+        self.kernel = kernel
+        self.recurrent_kernel = recurrent_kernel
+        self.bias = bias
+        self.input_dim = kernel.shape[0]
+        self.built = True
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the recurrence over ``(batch, time_steps, input_dim)``."""
+        self._require_built()
+        if inputs.ndim == 2 and self.input_dim == 1:
+            inputs = inputs[:, :, np.newaxis]
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
+            raise ModelGraphError(
+                f"GRU expects (batch, steps, {self.input_dim}) input, "
+                f"got {inputs.shape}"
+            )
+        inputs = inputs.astype(np.float32, copy=False)
+        batch, steps, _ = inputs.shape
+        units = self.units
+        hidden = np.zeros((batch, units), dtype=np.float32)
+        for step in range(steps):
+            x_t = inputs[:, step, :]
+            x_proj = x_t @ self.kernel + self.bias
+            h_proj = hidden @ self.recurrent_kernel
+            update = self.recurrent_activation(
+                x_proj[:, :units] + h_proj[:, :units]
+            )
+            reset = self.recurrent_activation(
+                x_proj[:, units : 2 * units]
+                + h_proj[:, units : 2 * units]
+            )
+            candidate = self.activation(
+                x_proj[:, 2 * units :] + reset * h_proj[:, 2 * units :]
+            )
+            hidden = update * hidden + (1.0 - update) * candidate
+        return hidden
+
+    def parameter_count(self) -> int:
+        self._require_built()
+        return (
+            self.kernel.size
+            + self.recurrent_kernel.size
+            + self.bias.size
+        )

@@ -1,0 +1,125 @@
+"""Sequential model container.
+
+A :class:`Sequential` is a stack of layers with a known input shape;
+:meth:`Sequential.predict` is the ground truth all five in-database
+approaches are validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelGraphError
+from repro.nn.layers import Dense, Gru, Layer, Lstm
+
+
+class Sequential:
+    """A feed-forward stack of layers.
+
+    For a model whose first layer is an LSTM, ``input_width`` is the
+    number of *time steps* and ``features_per_step`` the per-step input
+    dimension (1 for the paper's scalar time series); for dense models
+    ``input_width`` is simply the number of input columns.
+    """
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        input_width: int,
+        features_per_step: int = 1,
+        seed: int = 0,
+    ):
+        if not layers:
+            raise ModelGraphError("a model needs at least one layer")
+        if input_width < 1:
+            raise ModelGraphError("input width must be positive")
+        for layer in layers[1:]:
+            if isinstance(layer, (Lstm, Gru)):
+                raise ModelGraphError(
+                    "recurrent layers are only supported as the first "
+                    "layer (the configuration the paper evaluates)"
+                )
+        self.layers = list(layers)
+        self.input_width = input_width
+        self.features_per_step = features_per_step
+        rng = np.random.default_rng(seed)
+        current_dim = (
+            features_per_step
+            if isinstance(layers[0], (Lstm, Gru))
+            else input_width
+        )
+        for layer in self.layers:
+            if not layer.built:
+                layer.build(current_dim, rng)
+            elif layer.input_dim != current_dim:
+                raise ModelGraphError(
+                    f"layer expects input dim {layer.input_dim}, "
+                    f"previous layer produces {current_dim}"
+                )
+            current_dim = layer.output_dim
+
+    @property
+    def has_lstm(self) -> bool:
+        return isinstance(self.layers[0], Lstm)
+
+    @property
+    def has_recurrent_first(self) -> bool:
+        """Whether the first layer is recurrent (LSTM or GRU)."""
+        return isinstance(self.layers[0], (Lstm, Gru))
+
+    @property
+    def time_steps(self) -> int:
+        """Time steps a recurrent-first model consumes (else 1)."""
+        return self.input_width if self.has_recurrent_first else 1
+
+    @property
+    def output_width(self) -> int:
+        return self.layers[-1].output_dim
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Run inference; input is ``(batch, input_width)`` float-like.
+
+        Returns ``(batch, output_width)`` float32.  For LSTM-first
+        models the columns of the input are the time steps — the same
+        contract as the relational fact table (paper Section 4).
+        """
+        inputs = np.asarray(inputs, dtype=np.float32)
+        if inputs.ndim == 1:
+            inputs = inputs[np.newaxis, :]
+        if inputs.ndim != 2 or inputs.shape[1] != self.input_width:
+            raise ModelGraphError(
+                f"model expects (batch, {self.input_width}) input, "
+                f"got {inputs.shape}"
+            )
+        current = inputs
+        for index, layer in enumerate(self.layers):
+            if index == 0 and isinstance(layer, (Lstm, Gru)):
+                current = layer.forward(
+                    current.reshape(
+                        len(current), self.time_steps, self.features_per_step
+                    )
+                )
+            else:
+                current = layer.forward(current)
+        return current
+
+    def parameter_count(self) -> int:
+        return sum(layer.parameter_count() for layer in self.layers)
+
+    def summary(self) -> str:
+        """A Keras-style textual summary."""
+        lines = [
+            f"Sequential(input_width={self.input_width}, "
+            f"params={self.parameter_count()})"
+        ]
+        for index, layer in enumerate(self.layers):
+            lines.append(
+                f"  [{index}] {layer.layer_type}"
+                f"(units={layer.units}, "
+                f"activation={layer.activation.name}, "
+                f"params={layer.parameter_count()})"
+            )
+        return "\n".join(lines)
+
+    def dense_layers(self) -> list[Dense]:
+        return [layer for layer in self.layers if isinstance(layer, Dense)]

@@ -1,0 +1,224 @@
+"""The "ML runtime" with a C-API-flavoured interface.
+
+This module stands in for the Tensorflow C-API of the paper's
+approach (2): a runtime that
+
+- manages models behind opaque integer *handles*,
+- accepts and produces **row-major, C-contiguous float32 matrices**
+  (the layout mismatch with a columnar engine is exactly what the
+  Raven-like operator must pay for, paper Section 6.1),
+- executes on a :class:`~repro.device.base.Device`, so the GPU variant
+  accounts modeled device time.
+
+The engine-facing integration lives in :mod:`repro.core.runtime_api`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.base import Device
+from repro.device.host import HostDevice
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Gru, Lstm
+from repro.nn.model import Sequential
+
+
+class TensorBuffer:
+    """A 2-D row-major float32 buffer, the runtime's only tensor type."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ModelError(
+                f"the runtime accepts 2-D tensors only, got {array.ndim}-D"
+            )
+        if array.dtype != np.float32:
+            raise ModelError(
+                f"the runtime accepts float32 tensors only, got {array.dtype}"
+            )
+        if not array.flags["C_CONTIGUOUS"]:
+            raise ModelError(
+                "the runtime requires row-major (C-contiguous) tensors; "
+                "convert columnar data first"
+            )
+        self.array = array
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.array.shape
+
+    @classmethod
+    def from_rows(cls, array: np.ndarray) -> "TensorBuffer":
+        """Copy arbitrary numeric input into a fresh conforming buffer."""
+        return cls(
+            np.ascontiguousarray(np.asarray(array, dtype=np.float32))
+        )
+
+
+class InferenceSession:
+    """A loaded model ready to run (think ``TF_SessionRun``)."""
+
+    def __init__(self, model: Sequential, device: Device | None = None):
+        self.model = model
+        self.device = device or HostDevice()
+        # Weights live on the device for the session's lifetime — the
+        # one-time upload mirrors loading a model onto the GPU.
+        self._weights = []
+        for layer in model.layers:
+            if isinstance(layer, Dense):
+                self._weights.append(
+                    (
+                        self.device.to_device(layer.kernel),
+                        self.device.to_device(layer.bias[np.newaxis, :]),
+                    )
+                )
+            elif isinstance(layer, (Lstm, Gru)):
+                self._weights.append(
+                    (
+                        self.device.to_device(layer.kernel),
+                        self.device.to_device(layer.recurrent_kernel),
+                        self.device.to_device(layer.bias[np.newaxis, :]),
+                    )
+                )
+            else:  # pragma: no cover - layer set is closed
+                raise ModelError(
+                    f"runtime cannot load layer type {layer.layer_type}"
+                )
+
+    def run(self, inputs: TensorBuffer) -> TensorBuffer:
+        """Run inference for a batch of row-major inputs."""
+        if inputs.shape[1] != self.model.input_width:
+            raise ModelError(
+                f"session expects input width {self.model.input_width}, "
+                f"got {inputs.shape[1]}"
+            )
+        device = self.device
+        current = device.to_device(inputs.array)
+        for layer, weights in zip(self.model.layers, self._weights):
+            if isinstance(layer, Dense):
+                kernel, bias = weights
+                pre = device.gemm(current, kernel, accumulate=bias)
+                current = device.activation(layer.activation.name, pre)
+            elif isinstance(layer, Gru):
+                current = self._run_gru(layer, weights, current)
+            else:
+                current = self._run_lstm(layer, weights, current)
+        result = device.to_host(current)
+        return TensorBuffer(np.ascontiguousarray(result))
+
+    def _run_lstm(self, layer: Lstm, weights, sequence: np.ndarray):
+        """Keras LSTM recurrence on the device.
+
+        *sequence* is (batch, time_steps * features); the paper's
+        workload has one feature per step.
+        """
+        device = self.device
+        kernel, recurrent_kernel, bias = weights
+        features = layer.input_dim
+        steps = sequence.shape[1] // features
+        batch = sequence.shape[0]
+        units = layer.units
+        hidden = None
+        cell = None
+        for step in range(steps):
+            x_t = np.ascontiguousarray(
+                sequence[:, step * features : (step + 1) * features]
+            )
+            z = device.gemm(x_t, kernel, accumulate=bias)
+            if hidden is not None:
+                z = device.add(z, device.gemm(hidden, recurrent_kernel))
+            gate_i = device.activation(
+                layer.recurrent_activation.name, z[:, :units]
+            )
+            gate_f = device.activation(
+                layer.recurrent_activation.name, z[:, units : 2 * units]
+            )
+            candidate = device.activation(
+                layer.activation.name, z[:, 2 * units : 3 * units]
+            )
+            gate_o = device.activation(
+                layer.recurrent_activation.name, z[:, 3 * units :]
+            )
+            fresh = device.multiply(gate_i, candidate)
+            if cell is None:
+                cell = fresh
+            else:
+                cell = device.add(device.multiply(gate_f, cell), fresh)
+            hidden = device.multiply(
+                gate_o, device.activation(layer.activation.name, cell)
+            )
+        if hidden is None:
+            return device.zeros((batch, units))
+        return hidden
+
+
+    def _run_gru(self, layer: Gru, weights, sequence: np.ndarray):
+        """GRU recurrence on the device (gate order z, r, h)."""
+        device = self.device
+        kernel, recurrent_kernel, bias = weights
+        features = layer.input_dim
+        steps = sequence.shape[1] // features
+        units = layer.units
+        hidden = device.zeros((sequence.shape[0], units))
+        for step in range(steps):
+            x_t = np.ascontiguousarray(
+                sequence[:, step * features : (step + 1) * features]
+            )
+            x_proj = device.gemm(x_t, kernel, accumulate=bias)
+            h_proj = device.gemm(hidden, recurrent_kernel)
+            update = device.activation(
+                layer.recurrent_activation.name,
+                device.add(x_proj[:, :units], h_proj[:, :units]),
+            )
+            reset = device.activation(
+                layer.recurrent_activation.name,
+                device.add(
+                    x_proj[:, units : 2 * units],
+                    h_proj[:, units : 2 * units],
+                ),
+            )
+            candidate = device.activation(
+                layer.activation.name,
+                device.add(
+                    x_proj[:, 2 * units :],
+                    device.multiply(reset, h_proj[:, 2 * units :]),
+                ),
+            )
+            keep = device.multiply(update, hidden)
+            inverse = device.add(
+                device.multiply(update, np.float32(-1.0)),
+                np.float32(1.0),
+            )
+            hidden = device.add(
+                keep,
+                device.multiply(
+                    inverse,
+                    candidate,
+                ),
+            )
+        return hidden
+
+
+class MlRuntime:
+    """Handle-based model registry, like the C-API's session store."""
+
+    def __init__(self, device: Device | None = None):
+        self.device = device or HostDevice()
+        self._sessions: dict[int, InferenceSession] = {}
+        self._next_handle = 1
+
+    def load_model(self, model: Sequential) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self._sessions[handle] = InferenceSession(model, self.device)
+        return handle
+
+    def run(self, handle: int, inputs: TensorBuffer) -> TensorBuffer:
+        session = self._sessions.get(handle)
+        if session is None:
+            raise ModelError(f"unknown model handle {handle}")
+        return session.run(inputs)
+
+    def unload(self, handle: int) -> None:
+        self._sessions.pop(handle, None)

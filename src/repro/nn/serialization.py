@@ -1,0 +1,99 @@
+"""Model save/load as JSON.
+
+A portable interchange format in the spirit of PMML (referenced by the
+paper's related work): architecture plus weights, no pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Gru, Layer, Lstm
+from repro.nn.model import Sequential
+
+
+def model_to_dict(model: Sequential) -> dict:
+    """Serializable description of *model* (architecture + weights)."""
+    layers = []
+    for layer in model.layers:
+        if isinstance(layer, Dense):
+            layers.append(
+                {
+                    "type": "dense",
+                    "units": layer.units,
+                    "activation": layer.activation.name,
+                    "kernel": layer.kernel.tolist(),
+                    "bias": layer.bias.tolist(),
+                }
+            )
+        elif isinstance(layer, (Lstm, Gru)):
+            layers.append(
+                {
+                    "type": layer.layer_type,
+                    "units": layer.units,
+                    "activation": layer.activation.name,
+                    "recurrent_activation": layer.recurrent_activation.name,
+                    "kernel": layer.kernel.tolist(),
+                    "recurrent_kernel": layer.recurrent_kernel.tolist(),
+                    "bias": layer.bias.tolist(),
+                }
+            )
+        else:  # pragma: no cover - closed layer set
+            raise ModelError(f"cannot serialize layer {layer.layer_type}")
+    return {
+        "format": "repro-model",
+        "version": 1,
+        "input_width": model.input_width,
+        "features_per_step": model.features_per_step,
+        "layers": layers,
+    }
+
+
+def model_from_dict(payload: dict) -> Sequential:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    if payload.get("format") != "repro-model":
+        raise ModelError("not a repro model document")
+    if payload.get("version") != 1:
+        raise ModelError(f"unsupported model version {payload.get('version')}")
+    layers: list[Layer] = []
+    for entry in payload["layers"]:
+        if entry["type"] == "dense":
+            layer = Dense(entry["units"], entry["activation"])
+            layer.set_weights(
+                np.asarray(entry["kernel"], dtype=np.float32),
+                np.asarray(entry["bias"], dtype=np.float32),
+            )
+        elif entry["type"] in ("lstm", "gru"):
+            recurrent_class = Lstm if entry["type"] == "lstm" else Gru
+            layer = recurrent_class(
+                entry["units"],
+                entry["activation"],
+                entry["recurrent_activation"],
+            )
+            layer.set_weights(
+                np.asarray(entry["kernel"], dtype=np.float32),
+                np.asarray(entry["recurrent_kernel"], dtype=np.float32),
+                np.asarray(entry["bias"], dtype=np.float32),
+            )
+        else:
+            raise ModelError(f"unknown layer type {entry['type']!r}")
+        layers.append(layer)
+    return Sequential(
+        layers,
+        input_width=payload["input_width"],
+        features_per_step=payload.get("features_per_step", 1),
+    )
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Write *model* to *path* as JSON."""
+    Path(path).write_text(json.dumps(model_to_dict(model)))
+
+
+def load_model(path: str | Path) -> Sequential:
+    """Load a model previously written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,24 @@
+"""Workload generators for the paper's evaluation (Section 6.1)."""
+
+from repro.workloads.iris import IrisDataset, load_iris_table
+from repro.workloads.timeseries import (
+    SinusSeries,
+    load_windowed_series_table,
+)
+from repro.workloads.models import (
+    DENSE_GRID,
+    LSTM_WIDTHS,
+    make_dense_model,
+    make_lstm_model,
+)
+
+__all__ = [
+    "IrisDataset",
+    "load_iris_table",
+    "SinusSeries",
+    "load_windowed_series_table",
+    "DENSE_GRID",
+    "LSTM_WIDTHS",
+    "make_dense_model",
+    "make_lstm_model",
+]

@@ -1,0 +1,77 @@
+"""Model factory for the paper's parameter grid (Section 6.1).
+
+"We use dense layer networks with all combinations of model_widths in
+{32, 128, 512} and model_depths in {2, 4, 8}, i.e. a model of width 128
+and depth 4 has 4 dense layers of width 128 and an output layer of
+size 1. ...  For the LSTM layer experiment ... a single LSTM layer ...
+followed by a single neuron output layer."
+
+(The paper's sentence contains a typo — "width 128 and depth 4 has 4
+dense layers of width 32"; we follow the obviously intended reading,
+which also matches its parameter-count arithmetic: width 512 / depth 8
+has ``4*512 + 7*512^2 + 512`` parameters, i.e. 8 hidden dense layers of
+the stated width plus the single-output layer.)
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+#: the paper's dense grid: (width, depth) combinations of Figure 8
+DENSE_GRID = tuple(
+    (width, depth) for width in (32, 128, 512) for depth in (2, 4, 8)
+)
+
+#: the paper's LSTM widths of Figure 9
+LSTM_WIDTHS = (32, 128, 512)
+
+#: the representative subset reported in Table 3
+TABLE3_MODELS = (
+    ("dense", 32, 4),
+    ("dense", 128, 4),
+    ("dense", 512, 4),
+    ("lstm", 128, 1),
+)
+
+
+def make_dense_model(
+    width: int,
+    depth: int,
+    input_width: int = 4,
+    hidden_activation: str = "relu",
+    output_activation: str = "sigmoid",
+    seed: int = 0,
+) -> Sequential:
+    """A Figure-8 model: *depth* dense layers of *width*, 1 output."""
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be positive")
+    layers = [Dense(width, hidden_activation) for _ in range(depth)]
+    layers.append(Dense(1, output_activation))
+    return Sequential(layers, input_width=input_width, seed=seed)
+
+
+def make_lstm_model(
+    width: int,
+    time_steps: int = 3,
+    output_activation: str = "linear",
+    seed: int = 0,
+) -> Sequential:
+    """A Figure-9 model: one LSTM layer plus a single-neuron output."""
+    if width < 1 or time_steps < 1:
+        raise ValueError("width and time_steps must be positive")
+    return Sequential(
+        [Lstm(width), Dense(1, output_activation)],
+        input_width=time_steps,
+        seed=seed,
+    )
+
+
+def parameter_count_formula(width: int, depth: int, inputs: int = 4) -> int:
+    """The paper's closed form (Section 6.2.1) for dense models.
+
+    For width 512, depth 8: ``4*512 + 7*512^2 + 512 ~= 1.8e6`` — note
+    the formula counts weights only (biases excluded), as the paper's
+    approximation does.
+    """
+    return inputs * width + (depth - 1) * width * width + width

@@ -1,0 +1,134 @@
+"""Sinus time-series workload (paper Section 6.1).
+
+"For the LSTM layer experiment we generated a time series based on a
+sinus function and used 3 time steps for each forecast. ...  a
+generated sinus function leads to the same runtime results as
+real-world examples, but is easier understandable and reproducible."
+
+Two loaders are provided: the raw ``(id, value)`` series plus the
+Section 4 windowing self-join executed in SQL, and a pre-windowed fact
+table (what the benchmarks use, since every approach consumes the same
+windowed input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding import window_self_join_query
+from repro.db.engine import Database
+from repro.db.schema import Schema
+from repro.db.types import SqlType
+
+
+@dataclass
+class SinusSeries:
+    """A noisy sinus series and its windowed view."""
+
+    values: np.ndarray  # (n,) float32
+    time_steps: int
+
+    @classmethod
+    def generate(
+        cls,
+        rows: int,
+        time_steps: int = 3,
+        period: float = 50.0,
+        noise: float = 0.05,
+        seed: int = 7,
+    ) -> "SinusSeries":
+        rng = np.random.default_rng(seed)
+        positions = np.arange(rows, dtype=np.float64)
+        values = np.sin(2.0 * np.pi * positions / period)
+        values = values + rng.normal(scale=noise, size=rows)
+        return cls(values=values.astype(np.float32), time_steps=time_steps)
+
+    def windows(self) -> tuple[np.ndarray, np.ndarray]:
+        """(window ids, (m, time_steps) windows), oldest value first."""
+        steps = self.time_steps
+        count = len(self.values) - steps + 1
+        if count <= 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, steps), dtype=np.float32),
+            )
+        stacked = np.column_stack(
+            [self.values[offset : offset + count] for offset in range(steps)]
+        )
+        ids = np.arange(steps - 1, steps - 1 + count, dtype=np.int64)
+        return ids, stacked
+
+    def targets(self) -> np.ndarray:
+        """Next-value forecast target per window (last windows dropped)."""
+        ids, _ = self.windows()
+        valid = ids + 1 < len(self.values)
+        return self.values[ids[valid] + 1]
+
+
+def load_series_table(
+    database: Database,
+    rows: int,
+    table_name: str = "sinus",
+    time_steps: int = 3,
+    seed: int = 7,
+    replace: bool = False,
+) -> SinusSeries:
+    """The raw (id, value) series table."""
+    series = SinusSeries.generate(rows, time_steps=time_steps, seed=seed)
+    if replace and database.catalog.has_table(table_name):
+        database.execute(f"DROP TABLE {table_name}")
+    table = database.create_table(
+        table_name,
+        Schema.of(("id", SqlType.INTEGER), ("value", SqlType.FLOAT)),
+        sort_key=("id",),
+    )
+    table.append_columns(
+        id=np.arange(rows, dtype=np.int64), value=series.values
+    )
+    return series
+
+
+def load_windowed_series_table(
+    database: Database,
+    windows: int,
+    table_name: str = "sinus_windows",
+    time_steps: int = 3,
+    num_partitions: int = 1,
+    seed: int = 7,
+    replace: bool = False,
+) -> SinusSeries:
+    """A pre-windowed fact table with *windows* rows: (id, x1..xn).
+
+    ``x1`` is the oldest time step of each window, matching the LSTM
+    input convention of the generated SQL and the native operator.
+    """
+    series = SinusSeries.generate(
+        windows + time_steps - 1, time_steps=time_steps, seed=seed
+    )
+    ids, stacked = series.windows()
+    if replace and database.catalog.has_table(table_name):
+        database.execute(f"DROP TABLE {table_name}")
+    columns = [("id", SqlType.INTEGER)] + [
+        (f"x{step}", SqlType.FLOAT) for step in range(1, time_steps + 1)
+    ]
+    table = database.create_table(
+        table_name,
+        Schema.of(*columns),
+        num_partitions=num_partitions,
+        partition_key="id",
+        sort_key=("id",),
+    )
+    data = {"id": ids}
+    for step in range(time_steps):
+        data[f"x{step + 1}"] = stacked[:, step]
+    table.append_columns(**data)
+    return series
+
+
+def windowed_view_query(
+    series_table: str, time_steps: int
+) -> str:
+    """The Section 4 windowing self-join over the raw series table."""
+    return window_self_join_query(series_table, "id", "value", time_steps)

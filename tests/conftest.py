@@ -1,0 +1,69 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.db.engine import Database
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+@pytest.fixture
+def db() -> Database:
+    """A plain engine instance (no ModelJoin factory)."""
+    return Database()
+
+
+@pytest.fixture
+def cdb() -> Database:
+    """A fully attached database (MODEL JOIN available)."""
+    return repro.connect()
+
+
+@pytest.fixture
+def parallel_db() -> Database:
+    return repro.connect(parallelism=4)
+
+
+@pytest.fixture
+def small_dense_model() -> Sequential:
+    return Sequential(
+        [Dense(6, "relu"), Dense(3, "tanh"), Dense(1, "sigmoid")],
+        input_width=4,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def small_lstm_model() -> Sequential:
+    return Sequential(
+        [Lstm(5), Dense(1, "linear")], input_width=3, seed=12
+    )
+
+
+@pytest.fixture
+def iris_db(db: Database) -> Database:
+    """A database with a tiny populated iris-like table."""
+    db.execute(
+        "CREATE TABLE iris (id INTEGER, f0 FLOAT, f1 FLOAT, "
+        "f2 FLOAT, f3 FLOAT)"
+    )
+    rng = np.random.default_rng(0)
+    n = 100
+    features = rng.normal(size=(n, 4)).astype(np.float32)
+    db.table("iris").append_columns(
+        id=np.arange(n),
+        f0=features[:, 0],
+        f1=features[:, 1],
+        f2=features[:, 2],
+        f3=features[:, 3],
+    )
+    return db
+
+
+def make_inputs(rows: int, width: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, width)).astype(np.float32)

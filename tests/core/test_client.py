@@ -1,0 +1,129 @@
+"""Simulated ODBC and the external-Python baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.client.external import ExternalInference
+from repro.core.client.odbc import OdbcConnection
+from repro.db.engine import Database
+from repro.device import SimulatedGpu
+from repro.errors import ExecutionError
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+
+
+@pytest.fixture
+def fact_db() -> tuple[Database, np.ndarray]:
+    db = Database()
+    db.execute("CREATE TABLE fact (id INTEGER, a FLOAT, b FLOAT)")
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(150, 2)).astype(np.float32)
+    db.table("fact").append_columns(
+        id=np.arange(150, dtype=np.int64), a=x[:, 0], b=x[:, 1]
+    )
+    return db, x
+
+
+class TestOdbcConnection:
+    def test_fetch_roundtrips_values(self, fact_db):
+        db, x = fact_db
+        connection = OdbcConnection(db)
+        arrays = connection.fetch_arrays(
+            "SELECT id, a FROM fact ORDER BY id"
+        )
+        assert arrays["id"].tolist() == list(range(150))
+        np.testing.assert_allclose(arrays["a"], x[:, 0], atol=1e-7)
+
+    def test_stats_populated(self, fact_db):
+        db, _ = fact_db
+        connection = OdbcConnection(db)
+        connection.fetch_arrays("SELECT id, a, b FROM fact")
+        stats = connection.last_stats
+        assert stats.rows == 150
+        assert stats.bytes_on_wire == 150 * (8 + 4 + 4)
+        assert stats.serialize_seconds > 0
+        assert stats.modeled_wire_seconds == 0.0  # loopback default
+
+    def test_bandwidth_model_accounts_wire_time(self, fact_db):
+        db, _ = fact_db
+        connection = OdbcConnection(db, bandwidth_bytes_per_second=1e6)
+        connection.fetch_arrays("SELECT id FROM fact")
+        expected = 150 * 8 / 1e6
+        assert connection.last_stats.modeled_wire_seconds == pytest.approx(
+            expected
+        )
+
+    def test_varchar_rejected(self, fact_db):
+        db, _ = fact_db
+        db.execute("CREATE TABLE s (t VARCHAR)")
+        db.execute("INSERT INTO s VALUES ('x')")
+        connection = OdbcConnection(db)
+        with pytest.raises(ExecutionError):
+            connection.fetch_arrays("SELECT t FROM s")
+
+    def test_upload_arrays(self, fact_db):
+        db, _ = fact_db
+        db.execute("CREATE TABLE sink (id INTEGER, p FLOAT)")
+        connection = OdbcConnection(db)
+        stats = connection.upload_arrays(
+            "sink",
+            {
+                "id": np.arange(5, dtype=np.int64),
+                "p": np.linspace(0, 1, 5).astype(np.float32),
+            },
+        )
+        assert stats.rows == 5
+        assert db.execute("SELECT id, p FROM sink").row_count == 5
+
+
+class TestExternalInference:
+    def test_predictions_match_reference(self, fact_db):
+        db, x = fact_db
+        model = Sequential(
+            [Dense(4, "relu"), Dense(1)], input_width=2, seed=2
+        )
+        baseline = ExternalInference(db, model)
+        report = baseline.run("fact", "id", ["a", "b"])
+        np.testing.assert_allclose(
+            report.predictions, model.predict(x), atol=1e-5
+        )
+
+    def test_report_breakdown(self, fact_db):
+        db, _ = fact_db
+        model = Sequential([Dense(1)], input_width=2, seed=0)
+        report = ExternalInference(db, model).run("fact", "id", ["a", "b"])
+        assert report.fetch_seconds > 0
+        assert report.inference_seconds >= 0
+        assert report.total_seconds >= report.fetch_seconds
+        assert report.transfer.rows == 150
+
+    def test_gpu_baseline(self, fact_db):
+        db, x = fact_db
+        model = Sequential([Dense(8, "tanh"), Dense(1)], input_width=2, seed=1)
+        baseline = ExternalInference(db, model, device=SimulatedGpu())
+        report = baseline.run("fact", "id", ["a", "b"])
+        np.testing.assert_allclose(
+            report.predictions, model.predict(x), atol=1e-5
+        )
+
+    def test_remote_bandwidth_increases_total(self, fact_db):
+        db, _ = fact_db
+        model = Sequential([Dense(1)], input_width=2, seed=0)
+        local = ExternalInference(db, model).run("fact", "id", ["a", "b"])
+        remote = ExternalInference(
+            db, model, bandwidth_bytes_per_second=1e4
+        ).run("fact", "id", ["a", "b"])
+        assert (
+            remote.transfer.modeled_wire_seconds
+            > local.transfer.modeled_wire_seconds
+        )
+
+    def test_client_batching(self, fact_db):
+        db, x = fact_db
+        model = Sequential([Dense(1)], input_width=2, seed=0)
+        report = ExternalInference(db, model).run(
+            "fact", "id", ["a", "b"], batch_size=32
+        )
+        np.testing.assert_allclose(
+            report.predictions, model.predict(x), atol=1e-5
+        )

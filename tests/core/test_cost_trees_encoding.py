@@ -1,0 +1,184 @@
+"""Cost model, decision-tree-to-SQL, and SQL encodings."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost.model import (
+    InferenceCostModel,
+    flops_per_tuple_of_metadata,
+    flops_per_tuple_of_model,
+)
+from repro.core.encoding import (
+    min_max_encode_query,
+    min_max_expression,
+    one_hot_expressions,
+    window_self_join_query,
+)
+from repro.core.registry import model_metadata
+from repro.core.trees import (
+    DecisionTreeRegressor,
+    tree_inference_query,
+    tree_to_sql,
+)
+from repro.db.engine import Database
+from repro.errors import ModelError, ModelJoinError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+class TestCostModel:
+    def test_flops_grow_with_width(self):
+        small = Sequential([Dense(8), Dense(1)], input_width=4)
+        large = Sequential([Dense(64), Dense(1)], input_width=4)
+        assert flops_per_tuple_of_model(large) > flops_per_tuple_of_model(
+            small
+        )
+
+    def test_metadata_and_model_agree_for_dense(self):
+        model = Sequential(
+            [Dense(16, "relu"), Dense(1)], input_width=4, seed=0
+        )
+        metadata = model_metadata("m", "t", model)
+        assert flops_per_tuple_of_metadata(metadata) == pytest.approx(
+            flops_per_tuple_of_model(model)
+        )
+
+    def test_metadata_and_model_agree_for_lstm(self):
+        model = Sequential([Lstm(8), Dense(1)], input_width=3, seed=0)
+        metadata = model_metadata("m", "t", model)
+        assert flops_per_tuple_of_metadata(metadata) == pytest.approx(
+            flops_per_tuple_of_model(model)
+        )
+
+    def test_calibrated_prediction_recovers_linear_cost(self):
+        cost_model = InferenceCostModel()
+        # Synthetic ground truth: 2e-9 s per flop + 1e-6 s per tuple.
+        observations = [
+            (tuples, flops, 2e-9 * tuples * flops + 1e-6 * tuples)
+            for tuples in (1000, 5000, 20000)
+            for flops in (100.0, 1000.0)
+        ]
+        cost_model.calibrate(observations)
+        model = Sequential([Dense(10), Dense(1)], input_width=4)
+        flops = flops_per_tuple_of_model(model)
+        estimate = cost_model.estimate(model, 10_000)
+        expected = 2e-9 * 10_000 * flops + 1e-6 * 10_000
+        assert estimate.predicted_seconds == pytest.approx(
+            expected, rel=1e-3
+        )
+        assert estimate.total_flops == flops * 10_000
+
+    def test_uncalibrated_has_no_prediction(self):
+        model = Sequential([Dense(2)], input_width=2)
+        estimate = InferenceCostModel().estimate(model, 100)
+        assert estimate.predicted_seconds is None
+
+    def test_calibration_needs_observations(self):
+        with pytest.raises(ModelJoinError):
+            InferenceCostModel().calibrate([(1, 1.0, 1.0)])
+
+
+class TestDecisionTree:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = np.where(x[:, 0] > 0.2, 5.0, np.where(x[:, 1] > 0, 2.0, -1.0))
+        return x, y
+
+    def test_fit_predict_partitions_space(self):
+        x, y = self._data()
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.abs(predictions - y).mean() < 0.5
+
+    def test_depth_limited(self):
+        x, y = self._data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+        assert tree.leaf_count() <= 4
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_sql_translation_matches_python(self):
+        x, y = self._data()
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        db = Database()
+        db.execute("CREATE TABLE pts (id INTEGER, a DOUBLE, b DOUBLE)")
+        db.table("pts").append_columns(
+            id=np.arange(len(x), dtype=np.int64),
+            a=x[:, 0],
+            b=x[:, 1],
+        )
+        sql = tree_inference_query(tree, "pts", "id", ["a", "b"])
+        result = db.execute(sql + " ORDER BY id")
+        np.testing.assert_allclose(
+            result.column("prediction"), tree.predict(x), atol=1e-9
+        )
+
+    def test_sql_feature_count_checked(self):
+        x, y = self._data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        with pytest.raises(ModelError):
+            tree_to_sql(tree, ["only_one"])
+
+    def test_single_leaf_tree_is_constant(self):
+        tree = DecisionTreeRegressor(max_depth=1, min_samples=100).fit(
+            np.zeros((10, 1)), np.full(10, 3.5)
+        )
+        assert tree_to_sql(tree, ["x"]) == "3.5"
+
+
+class TestEncoding:
+    def test_min_max_expression(self):
+        db = Database()
+        db.execute("CREATE TABLE v (id INTEGER, x FLOAT)")
+        db.execute(
+            "INSERT INTO v VALUES (1, 10.0), (2, 20.0), (3, 30.0)"
+        )
+        sql = min_max_encode_query(db, "v", "id", ["x"])
+        result = db.execute(sql + " ORDER BY id")
+        np.testing.assert_allclose(
+            result.column("x_scaled"), [0.0, 0.5, 1.0], atol=1e-6
+        )
+
+    def test_min_max_constant_column(self):
+        assert min_max_expression("x", 5.0, 5.0) == "0.0"
+
+    def test_one_hot(self):
+        db = Database()
+        db.execute("CREATE TABLE c (id INTEGER, cat INTEGER)")
+        db.execute("INSERT INTO c VALUES (1, 0), (2, 1), (3, 2)")
+        expressions = one_hot_expressions("cat", [0, 1, 2])
+        sql = f"SELECT id, {', '.join(expressions)} FROM c ORDER BY id"
+        result = db.execute(sql)
+        matrix = np.column_stack(
+            [result.column(f"cat_is_{v}") for v in (0, 1, 2)]
+        )
+        np.testing.assert_array_equal(matrix, np.eye(3))
+
+    def test_window_self_join(self):
+        db = Database()
+        db.execute("CREATE TABLE series (id INTEGER, value FLOAT)")
+        values = [float(v) for v in range(10)]
+        db.table("series").append_columns(
+            id=np.arange(10, dtype=np.int64),
+            value=np.array(values, dtype=np.float32),
+        )
+        sql = window_self_join_query("series", "id", "value", 3)
+        result = db.execute(sql + " ORDER BY id")
+        assert result.row_count == 8
+        first = result.rows[0]
+        # id of the *last* window element, values oldest-first
+        assert first == (2, 0.0, 1.0, 2.0)
+
+    def test_window_single_step(self):
+        sql = window_self_join_query("s", "id", "v", 1)
+        assert "WHERE" not in sql
+
+    def test_window_requires_positive_steps(self):
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            window_self_join_query("s", "id", "v", 0)

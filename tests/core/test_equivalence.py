@@ -1,0 +1,218 @@
+"""The central invariant of the reproduction (DESIGN.md §5):
+
+For any supported model and input, every in-database approach produces
+the same predictions as the framework reference ``model.predict``.
+Exercised both with fixed architectures and with hypothesis-generated
+random ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.client.external import ExternalInference
+from repro.core.ml_to_sql.generator import MlToSqlModelJoin
+from repro.core.ml_to_sql.representation import MlToSqlOptions
+from repro.core.modeljoin.runner import NativeModelJoin
+from repro.core.registry import publish_model
+from repro.core.runtime_api.runner import RuntimeApiModelJoin
+from repro.core.udf_integration.inference_udf import UdfModelJoin
+from repro.device import SimulatedGpu
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+FEATURES = ["f0", "f1", "f2", "f3"]
+
+
+def load_fact(db, features: np.ndarray, names: list[str]):
+    columns = ", ".join(f"{name} FLOAT" for name in names)
+    db.execute(f"CREATE TABLE fact (id INTEGER, {columns})")
+    data = {"id": np.arange(len(features), dtype=np.int64)}
+    for position, name in enumerate(names):
+        data[name] = features[:, position]
+    db.table("fact").append_columns(**data)
+
+
+def all_approach_predictions(db, model, names, gpu=False):
+    """Predictions of every approach, keyed by approach name."""
+    results = {}
+    mlsql = MlToSqlModelJoin(db, model, model_table="eq_model")
+    results["ml_to_sql"] = mlsql.predict("fact", "id", names)
+    publish_model(db, "eq", model, replace=True)
+    device = SimulatedGpu() if gpu else None
+    native = NativeModelJoin(db, "eq", device=device)
+    results["native"] = native.predict("fact", "id", names)
+    capi = RuntimeApiModelJoin(db, model, device=device)
+    results["runtime_api"] = capi.predict("fact", "id", names)
+    udf = UdfModelJoin(db, model, name="eq_udf")
+    results["udf"] = udf.predict("fact", "id", names)
+    external = ExternalInference(db, model, device=device)
+    results["external"] = external.run("fact", "id", names).predictions
+    return results
+
+
+class TestFixedArchitectures:
+    def test_dense_all_approaches_match(self, cdb, small_dense_model):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(257, 4)).astype(np.float32)
+        load_fact(cdb, features, FEATURES)
+        reference = small_dense_model.predict(features)
+        for name, predictions in all_approach_predictions(
+            cdb, small_dense_model, FEATURES
+        ).items():
+            np.testing.assert_allclose(
+                predictions, reference, atol=1e-4, err_msg=name
+            )
+
+    def test_lstm_all_approaches_match(self, cdb, small_lstm_model):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(130, 3)).astype(np.float32)
+        names = ["x1", "x2", "x3"]
+        load_fact(cdb, features, names)
+        reference = small_lstm_model.predict(features)
+        for name, predictions in all_approach_predictions(
+            cdb, small_lstm_model, names
+        ).items():
+            np.testing.assert_allclose(
+                predictions, reference, atol=1e-4, err_msg=name
+            )
+
+    def test_gpu_variants_match(self, cdb, small_dense_model):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(64, 4)).astype(np.float32)
+        load_fact(cdb, features, FEATURES)
+        reference = small_dense_model.predict(features)
+        results = all_approach_predictions(
+            cdb, small_dense_model, FEATURES, gpu=True
+        )
+        for name in ("native", "runtime_api", "external"):
+            np.testing.assert_allclose(
+                results[name], reference, atol=1e-4, err_msg=name
+            )
+
+    def test_multi_output_dense(self, cdb):
+        model = Sequential(
+            [Dense(5, "relu"), Dense(3, "sigmoid")], input_width=4, seed=6
+        )
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(40, 4)).astype(np.float32)
+        load_fact(cdb, features, FEATURES)
+        reference = model.predict(features)
+        results = all_approach_predictions(cdb, model, FEATURES)
+        for name, predictions in results.items():
+            assert predictions.shape == (40, 3), name
+            np.testing.assert_allclose(
+                predictions, reference, atol=1e-4, err_msg=name
+            )
+
+    def test_classic_node_scheme_matches(self, cdb, small_dense_model):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(50, 4)).astype(np.float32)
+        load_fact(cdb, features, FEATURES)
+        reference = small_dense_model.predict(features)
+        runner = MlToSqlModelJoin(
+            cdb,
+            small_dense_model,
+            options=MlToSqlOptions(optimized_node_ids=False),
+            model_table="classic_model",
+        )
+        predictions = runner.predict("fact", "id", FEATURES)
+        np.testing.assert_allclose(predictions, reference, atol=1e-4)
+
+    def test_portable_sql_matches(self, cdb):
+        model = Sequential(
+            [Dense(4, "sigmoid"), Dense(1, "tanh")], input_width=4, seed=8
+        )
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(50, 4)).astype(np.float32)
+        load_fact(cdb, features, FEATURES)
+        runner = MlToSqlModelJoin(
+            cdb,
+            model,
+            options=MlToSqlOptions(native_activation_functions=False),
+            model_table="portable_model",
+        )
+        predictions = runner.predict("fact", "id", FEATURES)
+        np.testing.assert_allclose(
+            predictions, model.predict(features), atol=1e-4
+        )
+
+
+@st.composite
+def random_dense_model(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    widths = [
+        draw(st.integers(min_value=1, max_value=6)) for _ in range(depth)
+    ]
+    activations = [
+        draw(st.sampled_from(["linear", "relu", "sigmoid", "tanh"]))
+        for _ in range(depth + 1)
+    ]
+    input_width = draw(st.integers(min_value=1, max_value=5))
+    outputs = draw(st.integers(min_value=1, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    layers = [
+        Dense(width, activation)
+        for width, activation in zip(widths, activations)
+    ]
+    layers.append(Dense(outputs, activations[-1]))
+    return Sequential(layers, input_width=input_width, seed=seed)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(model=random_dense_model(), data_seed=st.integers(0, 1000))
+def test_random_dense_equivalence(model, data_seed):
+    db = repro.connect()
+    names = [f"c{i}" for i in range(model.input_width)]
+    rng = np.random.default_rng(data_seed)
+    features = rng.normal(size=(37, model.input_width)).astype(np.float32)
+    load_fact(db, features, names)
+    reference = model.predict(features)
+
+    mlsql = MlToSqlModelJoin(db, model, model_table="rand_model")
+    np.testing.assert_allclose(
+        mlsql.predict("fact", "id", names), reference, atol=2e-4
+    )
+    publish_model(db, "rand", model)
+    native = NativeModelJoin(db, "rand")
+    np.testing.assert_allclose(
+        native.predict("fact", "id", names), reference, atol=2e-4
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    units=st.integers(min_value=1, max_value=5),
+    steps=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 1000),
+)
+def test_random_lstm_equivalence(units, steps, seed):
+    db = repro.connect()
+    model = Sequential(
+        [Lstm(units), Dense(1)], input_width=steps, seed=seed
+    )
+    names = [f"x{i}" for i in range(1, steps + 1)]
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(29, steps)).astype(np.float32)
+    load_fact(db, features, names)
+    reference = model.predict(features)
+
+    mlsql = MlToSqlModelJoin(db, model, model_table="rand_lstm")
+    np.testing.assert_allclose(
+        mlsql.predict("fact", "id", names), reference, atol=2e-4
+    )
+    publish_model(db, "randl", model)
+    native = NativeModelJoin(db, "randl")
+    np.testing.assert_allclose(
+        native.predict("fact", "id", names), reference, atol=2e-4
+    )

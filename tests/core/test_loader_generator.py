@@ -1,0 +1,194 @@
+"""Loader (both paths) and SQL generator structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ml_to_sql.generator import MlToSqlModelJoin, SqlGenerator
+from repro.core.ml_to_sql.loader import insert_statements, load_model_table
+from repro.core.ml_to_sql.representation import (
+    MlToSqlOptions,
+    build_relational_model,
+)
+from repro.core.ml_to_sql.templates import activation_sql
+from repro.db.engine import Database
+from repro.errors import UnsupportedModelError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+@pytest.fixture
+def model() -> Sequential:
+    return Sequential([Dense(3, "relu"), Dense(1)], input_width=2, seed=4)
+
+
+class TestLoader:
+    def test_bulk_and_statement_paths_identical(self, model):
+        relational = build_relational_model(model)
+        bulk_db, sql_db = Database(), Database()
+        load_model_table(bulk_db, "m", relational)
+        for statement in insert_statements(relational, "m"):
+            sql_db.execute(statement)
+        query = "SELECT * FROM m ORDER BY node, node_in"
+        assert bulk_db.execute(query).rows == sql_db.execute(query).rows
+
+    def test_insert_statements_start_with_ddl(self, model):
+        relational = build_relational_model(model)
+        statements = list(insert_statements(relational, "m"))
+        assert statements[0].startswith("CREATE TABLE m")
+        assert all(s.startswith("INSERT") for s in statements[1:])
+
+    def test_rows_chunked(self, model):
+        relational = build_relational_model(model)
+        statements = list(
+            insert_statements(relational, "m", rows_per_statement=2)
+        )
+        inserts = [s for s in statements if s.startswith("INSERT")]
+        assert len(inserts) == -(-relational.edge_count // 2)
+
+    def test_sorted_by_node_for_pruning(self, model):
+        db = Database()
+        relational = load_model_table(db, "m", model)
+        nodes = db.execute("SELECT node, node_in FROM m").column("node")
+        assert (np.diff(nodes) >= 0).all()
+        assert relational.table_name == "m"
+
+    def test_replace(self, model):
+        db = Database()
+        load_model_table(db, "m", model)
+        load_model_table(db, "m", model, replace=True)
+
+    def test_float32_weight_roundtrip_via_sql_text(self):
+        # A weight with no short decimal representation must survive
+        # the SQL-literal round trip bit-exactly.
+        layer = Dense(1, "linear")
+        weight = np.float32(1.0) / np.float32(3.0)
+        layer.set_weights(np.array([[weight]]), np.array([weight]))
+        model = Sequential([layer], input_width=1)
+        db = Database()
+        relational = build_relational_model(model)
+        for statement in insert_statements(relational, "m"):
+            db.execute(statement)
+        stored = db.execute(
+            "SELECT w_i, node FROM m WHERE node_in = 0"
+        ).column("w_i")[0]
+        assert np.float32(stored) == weight
+
+
+class TestActivationSql:
+    @pytest.mark.parametrize("native", [True, False])
+    @pytest.mark.parametrize(
+        "name", ["linear", "relu", "sigmoid", "tanh"]
+    )
+    def test_activation_sql_evaluates_correctly(self, name, native):
+        from repro.nn.activations import get_activation
+
+        db = Database()
+        db.execute("CREATE TABLE v (x FLOAT)")
+        values = [-2.0, -0.5, 0.0, 0.5, 2.0]
+        db.execute(
+            "INSERT INTO v VALUES "
+            + ", ".join(f"({value})" for value in values)
+        )
+        expression = activation_sql(name, "x", native)
+        got = db.execute(f"SELECT {expression} AS y, x FROM v").column("y")
+        expected = get_activation(name)(
+            np.array(values, dtype=np.float32)
+        )
+        np.testing.assert_allclose(got, expected, atol=1e-6)
+
+    def test_unknown_activation(self):
+        with pytest.raises(UnsupportedModelError):
+            activation_sql("swish", "x", True)
+
+
+class TestGeneratorStructure:
+    def test_wrong_input_column_count(self, model):
+        db = Database()
+        relational = load_model_table(db, "m", model)
+        with pytest.raises(UnsupportedModelError, match="2 input columns"):
+            SqlGenerator(relational, "f", "id", ["a", "b", "c"])
+
+    def test_unloaded_model_rejected(self, model):
+        relational = build_relational_model(model)
+        with pytest.raises(UnsupportedModelError, match="load_model_table"):
+            SqlGenerator(relational, "f", "id", ["a", "b"])
+
+    def test_lstm_requires_optimized_ids(self):
+        db = Database()
+        model = Sequential([Lstm(2), Dense(1)], input_width=3)
+        options = MlToSqlOptions(optimized_node_ids=False)
+        relational = load_model_table(db, "m", model, options)
+        with pytest.raises(UnsupportedModelError, match="optimized"):
+            SqlGenerator(relational, "f", "id", ["a", "b", "c"])
+
+    def test_nesting_depth_matches_layers(self, model):
+        db = Database()
+        relational = load_model_table(db, "m", model)
+        generator = SqlGenerator(relational, "f", "id", ["a", "b"])
+        blocks = generator.building_blocks()
+        names = [name for name, _ in blocks]
+        assert names == ["input", "dense@2", "dense@5", "output"]
+        # every level's SQL contains the previous level's SQL
+        for (_, inner), (_, outer) in zip(blocks, blocks[1:]):
+            assert inner in outer
+
+    def test_optimized_query_has_range_predicates(self, model):
+        db = Database()
+        relational = load_model_table(db, "m", model)
+        sql = SqlGenerator(relational, "f", "id", ["a", "b"]).inference_query()
+        assert "m.node >=" in sql and "m.node <=" in sql
+        assert "layer" not in sql.lower()
+
+    def test_classic_query_joins_on_pairs(self, model):
+        db = Database()
+        options = MlToSqlOptions(optimized_node_ids=False)
+        relational = load_model_table(db, "mc", model, options)
+        sql = SqlGenerator(relational, "f", "id", ["a", "b"]).inference_query()
+        assert "t.layer = m.layer_in" in sql
+        assert "m.layer =" in sql
+
+    def test_portable_mode_avoids_native_functions(self):
+        db = Database()
+        model = Sequential(
+            [Dense(2, "sigmoid"), Dense(1, "tanh")], input_width=2
+        )
+        options = MlToSqlOptions(native_activation_functions=False)
+        relational = load_model_table(db, "m", model, options)
+        sql = SqlGenerator(relational, "f", "id", ["a", "b"]).inference_query()
+        assert "SIGMOID" not in sql and "TANH" not in sql
+        assert "EXP" in sql
+
+    def test_payload_columns_joined_late(self, model):
+        db = Database()
+        relational = load_model_table(db, "m", model)
+        sql = SqlGenerator(
+            relational, "f", "id", ["a", "b"], payload_columns=["extra"]
+        ).inference_query()
+        assert "f.extra AS extra" in sql
+
+    def test_multi_output_generates_one_join_per_node(self):
+        db = Database()
+        model = Sequential([Dense(2), Dense(3)], input_width=2)
+        relational = load_model_table(db, "m", model)
+        sql = SqlGenerator(relational, "f", "id", ["a", "b"]).inference_query()
+        for index in range(3):
+            assert f"prediction_{index}" in sql
+        assert sql.count("AS r0") == 1 and sql.count("AS r2") == 1
+
+
+class TestMlToSqlModelJoinRunner:
+    def test_end_to_end_predict(self, iris_db, small_dense_model):
+        runner = MlToSqlModelJoin(iris_db, small_dense_model)
+        predictions = runner.predict(
+            "iris", "id", ["f0", "f1", "f2", "f3"]
+        )
+        features = np.column_stack(
+            [
+                iris_db.execute(
+                    "SELECT id, f0, f1, f2, f3 FROM iris ORDER BY id"
+                ).column(name)
+                for name in ("f0", "f1", "f2", "f3")
+            ]
+        )
+        reference = small_dense_model.predict(features)
+        np.testing.assert_allclose(predictions, reference, atol=1e-4)

@@ -1,0 +1,172 @@
+import numpy as np
+import pytest
+
+from repro.core.ml_to_sql.representation import (
+    MlToSqlOptions,
+    WEIGHT_COLUMNS,
+    blocks_from_dims,
+    build_relational_model,
+    model_table_schema,
+)
+from repro.errors import UnsupportedModelError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+@pytest.fixture
+def dense_model() -> Sequential:
+    return Sequential(
+        [Dense(3, "relu"), Dense(2, "sigmoid")], input_width=4, seed=0
+    )
+
+
+@pytest.fixture
+def lstm_model() -> Sequential:
+    return Sequential([Lstm(3), Dense(1)], input_width=3, seed=1)
+
+
+class TestSchema:
+    def test_optimized_schema_has_14_columns(self):
+        schema = model_table_schema(MlToSqlOptions())
+        assert len(schema) == 14
+        assert schema.names[:2] == ("node_in", "node")
+
+    def test_classic_schema_has_16_columns(self):
+        schema = model_table_schema(
+            MlToSqlOptions(optimized_node_ids=False)
+        )
+        assert len(schema) == 16
+        assert schema.names[:4] == ("layer_in", "node_in", "layer", "node")
+
+    def test_weight_columns_are_float(self):
+        schema = model_table_schema(MlToSqlOptions())
+        for name in WEIGHT_COLUMNS:
+            assert schema.type_of(name).value == "FLOAT"
+
+
+class TestDenseRepresentation:
+    def test_edge_count(self, dense_model):
+        relational = build_relational_model(dense_model)
+        # input identity edges + 4*3 + 3*2
+        assert relational.edge_count == 4 + 12 + 6
+
+    def test_blocks_layout(self, dense_model):
+        relational = build_relational_model(dense_model)
+        kinds = [block.kind for block in relational.blocks]
+        assert kinds == ["input", "dense", "dense"]
+        firsts = [block.first_node for block in relational.blocks]
+        assert firsts == [0, 4, 7]
+
+    def test_input_edges_have_unit_weight(self, dense_model):
+        relational = build_relational_model(dense_model)
+        schema = model_table_schema(relational.options)
+        node_in = schema.position_of("node_in")
+        w_i = schema.position_of("w_i")
+        input_rows = [
+            row for row in relational.rows if row[node_in] == -1
+        ]
+        assert len(input_rows) == 4
+        assert all(row[w_i] == 1.0 for row in input_rows)
+
+    def test_weights_recoverable_from_rows(self, dense_model):
+        relational = build_relational_model(dense_model)
+        schema = model_table_schema(relational.options)
+        positions = {
+            name: schema.position_of(name)
+            for name in ("node_in", "node", "w_i", "b_i")
+        }
+        block = relational.blocks[1]
+        kernel = np.zeros((4, 3), dtype=np.float32)
+        bias = np.zeros(3, dtype=np.float32)
+        for row in relational.rows:
+            node = row[positions["node"]]
+            if block.first_node <= node <= block.last_node:
+                source = row[positions["node_in"]]
+                kernel[source, node - block.first_node] = row[
+                    positions["w_i"]
+                ]
+                bias[node - block.first_node] = row[positions["b_i"]]
+        np.testing.assert_allclose(
+            kernel, dense_model.layers[0].kernel, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            bias, dense_model.layers[0].bias, atol=1e-7
+        )
+
+    def test_classic_rows_carry_layers(self, dense_model):
+        options = MlToSqlOptions(optimized_node_ids=False)
+        relational = build_relational_model(dense_model, options)
+        schema = model_table_schema(options)
+        layer = schema.position_of("layer")
+        layers = {row[layer] for row in relational.rows}
+        assert layers == {0, 1, 2}
+
+
+class TestLstmRepresentation:
+    def test_edge_count_is_units_squared(self, lstm_model):
+        relational = build_relational_model(lstm_model)
+        # lstm block 3*3 + dense 3*1
+        assert relational.edge_count == 9 + 3
+
+    def test_no_input_block_for_lstm_first(self, lstm_model):
+        relational = build_relational_model(lstm_model)
+        kinds = [block.kind for block in relational.blocks]
+        assert kinds == ["lstm_state", "dense"]
+
+    def test_diagonal_edges_carry_kernel_and_bias(self, lstm_model):
+        relational = build_relational_model(lstm_model)
+        schema = model_table_schema(relational.options)
+        node_in = schema.position_of("node_in")
+        node = schema.position_of("node")
+        w_i = schema.position_of("w_i")
+        block = relational.block("lstm_state")
+        for row in relational.rows:
+            if not block.first_node <= row[node] <= block.last_node:
+                continue
+            if row[node_in] == row[node]:
+                unit = row[node] - block.first_node
+                expected = lstm_model.layers[0].kernel[0, unit]
+                assert row[w_i] == pytest.approx(expected)
+            else:
+                assert row[w_i] == 0.0
+
+    def test_multifeature_lstm_rejected(self):
+        model = Sequential(
+            [Lstm(2), Dense(1)],
+            input_width=4,
+            features_per_step=2,
+        )
+        with pytest.raises(UnsupportedModelError):
+            build_relational_model(model)
+
+
+class TestBlocksFromDims:
+    def test_agrees_with_build_for_dense(self, dense_model):
+        relational = build_relational_model(dense_model)
+        derived = blocks_from_dims(
+            4, [("dense", 3, "relu"), ("dense", 2, "sigmoid")]
+        )
+        assert [
+            (block.kind, block.first_node, block.units)
+            for block in derived
+        ] == [
+            (block.kind, block.first_node, block.units)
+            for block in relational.blocks
+        ]
+
+    def test_agrees_with_build_for_lstm(self, lstm_model):
+        relational = build_relational_model(lstm_model)
+        derived = blocks_from_dims(
+            3, [("lstm", 3, "tanh"), ("dense", 1, "linear")]
+        )
+        assert [
+            (block.kind, block.first_node, block.units)
+            for block in derived
+        ] == [
+            (block.kind, block.first_node, block.units)
+            for block in relational.blocks
+        ]
+
+    def test_unknown_layer_type(self):
+        with pytest.raises(UnsupportedModelError):
+            blocks_from_dims(2, [("conv", 3, "relu")])

@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from repro.db.column import (
+    Block,
+    BlockBuilder,
+    ColumnRange,
+    MinMax,
+)
+from repro.db.schema import Schema
+from repro.db.types import SqlType
+from repro.db.vector import VectorBatch
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(("k", SqlType.INTEGER), ("v", SqlType.FLOAT))
+
+
+def make_batch(schema, keys):
+    keys = np.asarray(keys, dtype=np.int64)
+    return VectorBatch.from_dict(
+        schema, {"k": keys, "v": keys.astype(np.float32) / 2}
+    )
+
+
+class TestMinMax:
+    def test_overlapping_range(self):
+        stat = MinMax(5.0, 10.0)
+        assert stat.may_contain_range(7, 8)
+        assert stat.may_contain_range(None, 5)
+        assert stat.may_contain_range(10, None)
+
+    def test_disjoint_ranges(self):
+        stat = MinMax(5.0, 10.0)
+        assert not stat.may_contain_range(11, None)
+        assert not stat.may_contain_range(None, 4)
+
+
+class TestColumnRange:
+    def test_intersect(self):
+        merged = ColumnRange("x", 1, 10).intersect(ColumnRange("x", 5, None))
+        assert (merged.low, merged.high) == (5, 10)
+
+    def test_intersect_different_columns_rejected(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            ColumnRange("x", 1, 2).intersect(ColumnRange("y", 1, 2))
+
+
+class TestBlock:
+    def test_stats_computed_for_numeric(self, schema):
+        block = Block(
+            schema, [np.array([3, 1, 2]), np.zeros(3, dtype=np.float32)]
+        )
+        assert block.stats[0] == MinMax(1.0, 3.0)
+
+    def test_may_match_uses_stats(self, schema):
+        block = Block(
+            schema,
+            [np.array([10, 20]), np.zeros(2, dtype=np.float32)],
+        )
+        assert block.may_match(schema, [ColumnRange("k", 15, 25)])
+        assert not block.may_match(schema, [ColumnRange("k", 21, None)])
+
+    def test_may_match_ignores_unknown_columns(self, schema):
+        block = Block(
+            schema, [np.array([1]), np.zeros(1, dtype=np.float32)]
+        )
+        assert block.may_match(schema, [ColumnRange("zzz", 5, 6)])
+
+    def test_varchar_has_no_stats(self):
+        schema = Schema.of(("s", SqlType.VARCHAR))
+        block = Block(schema, [np.array(["a", "b"], dtype=object)])
+        assert block.stats == [None]
+
+
+class TestBlockBuilder:
+    def test_seals_full_blocks(self, schema):
+        builder = BlockBuilder(schema, block_size=4)
+        builder.append(make_batch(schema, range(10)))
+        blocks = builder.all_blocks()
+        assert [block.length for block in blocks] == [4, 4, 2]
+        assert builder.row_count == 10
+
+    def test_appends_accumulate_across_calls(self, schema):
+        builder = BlockBuilder(schema, block_size=4)
+        for start in range(0, 6, 2):
+            builder.append(make_batch(schema, range(start, start + 2)))
+        blocks = builder.all_blocks()
+        assert [block.length for block in blocks] == [4, 2]
+        first = blocks[0].arrays[0].tolist()
+        assert first == [0, 1, 2, 3]
+
+    def test_empty_append_ignored(self, schema):
+        builder = BlockBuilder(schema, block_size=4)
+        builder.append(make_batch(schema, []))
+        assert builder.all_blocks() == []
+
+    def test_stats_per_block(self, schema):
+        builder = BlockBuilder(schema, block_size=3)
+        builder.append(make_batch(schema, [5, 1, 9, 100, 50, 60]))
+        blocks = builder.all_blocks()
+        assert blocks[0].stats[0] == MinMax(1.0, 9.0)
+        assert blocks[1].stats[0] == MinMax(50.0, 100.0)
+
+
+class TestBlockBuilderConcurrency:
+    def test_concurrent_first_scan_seals_once(self, schema):
+        """Regression: broadcast tables are scanned by all partition
+        pipelines at once; racing flushes must seal the pending block
+        exactly once (this used to pop from an empty list)."""
+        import threading
+
+        from repro.db.table import Table
+
+        for _ in range(20):
+            table = Table("t", schema, block_size=1 << 20)
+            table.append_columns(
+                k=np.arange(1000, dtype=np.int64),
+                v=np.zeros(1000, dtype=np.float32),
+            )
+            counts = []
+            errors = []
+
+            def scan():
+                try:
+                    counts.append(
+                        sum(len(batch) for batch in table.scan())
+                    )
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [threading.Thread(target=scan) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert counts == [1000] * 4

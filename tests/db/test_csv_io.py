@@ -1,0 +1,111 @@
+"""CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.db.csv_io import export_csv, load_csv
+from repro.db.engine import Database
+from repro.errors import TypeMismatchError
+
+
+@pytest.fixture
+def db_with_table(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE t (id INTEGER, v FLOAT, name VARCHAR, ok BOOLEAN)"
+    )
+    return db
+
+
+class TestLoad:
+    def test_load_with_header_any_order(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("v,id,ok,name\n1.5,1,true,alpha\n2.5,2,false,beta\n")
+        loaded = load_csv(db_with_table, "t", path)
+        assert loaded == 2
+        rows = db_with_table.execute(
+            "SELECT id, v, name, ok FROM t ORDER BY id"
+        ).rows
+        assert rows == [(1, 1.5, "alpha", True), (2, 2.5, "beta", False)]
+
+    def test_load_without_header(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,0.5,x,1\n")
+        assert load_csv(db_with_table, "t", path, has_header=False) == 1
+
+    def test_header_must_cover_schema(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,v\n1,1.0\n")
+        with pytest.raises(TypeMismatchError, match="cover"):
+            load_csv(db_with_table, "t", path)
+
+    def test_bad_boolean(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,v,name,ok\n1,1.0,x,maybe\n")
+        with pytest.raises(TypeMismatchError, match="boolean"):
+            load_csv(db_with_table, "t", path)
+
+    def test_wrong_field_count(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,v,name,ok\n1,1.0\n")
+        with pytest.raises(TypeMismatchError, match="fields"):
+            load_csv(db_with_table, "t", path)
+
+    def test_empty_file(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("")
+        assert load_csv(db_with_table, "t", path) == 0
+
+    def test_chunked_load(self, db_with_table, tmp_path):
+        path = tmp_path / "data.csv"
+        lines = ["id,v,name,ok"]
+        lines += [f"{i},{i}.5,n{i},true" for i in range(100)]
+        path.write_text("\n".join(lines) + "\n")
+        assert load_csv(db_with_table, "t", path, chunk_rows=7) == 100
+        assert db_with_table.table("t").row_count == 100
+
+
+class TestExportRoundtrip:
+    def test_export_and_reload(self, db_with_table, tmp_path):
+        db = db_with_table
+        db.execute(
+            "INSERT INTO t VALUES (1, 0.25, 'a', TRUE), "
+            "(2, -3.5, 'b', FALSE)"
+        )
+        path = tmp_path / "out.csv"
+        written = export_csv(db, path, query="SELECT * FROM t ORDER BY id")
+        assert written == 2
+        db.execute(
+            "CREATE TABLE t2 (id INTEGER, v FLOAT, name VARCHAR, "
+            "ok BOOLEAN)"
+        )
+        load_csv(db, "t2", path)
+        assert (
+            db.execute("SELECT * FROM t2 ORDER BY id").rows
+            == db.execute("SELECT * FROM t ORDER BY id").rows
+        )
+
+    def test_export_result_object(self, db_with_table, tmp_path):
+        db = db_with_table
+        db.execute("INSERT INTO t VALUES (5, 1.0, 'z', TRUE)")
+        result = db.execute("SELECT id, v FROM t")
+        path = tmp_path / "res.csv"
+        export_csv(result, path)
+        assert path.read_text().splitlines()[0] == "id,v"
+
+    def test_export_requires_query_with_database(self, db_with_table, tmp_path):
+        with pytest.raises(TypeMismatchError):
+            export_csv(db_with_table, tmp_path / "x.csv")
+
+    def test_float_precision_roundtrip(self, db_with_table, tmp_path):
+        db = db_with_table
+        value = float(np.float32(1.0) / np.float32(3.0))
+        db.table("t").append_rows([(1, value, "p", True)])
+        path = tmp_path / "prec.csv"
+        export_csv(db, path, query="SELECT * FROM t")
+        db.execute(
+            "CREATE TABLE t3 (id INTEGER, v FLOAT, name VARCHAR, "
+            "ok BOOLEAN)"
+        )
+        load_csv(db, "t3", path)
+        reloaded = db.execute("SELECT v, id FROM t3").column("v")[0]
+        assert np.float32(reloaded) == np.float32(value)

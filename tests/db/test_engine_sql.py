@@ -1,0 +1,240 @@
+"""End-to-end SQL tests against the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro.db.engine import Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    PlanError,
+    TypeMismatchError,
+)
+
+
+@pytest.fixture
+def populated(db: Database) -> Database:
+    db.execute("CREATE TABLE t (id INTEGER, grp INTEGER, v FLOAT)")
+    rows = ", ".join(
+        f"({i}, {i % 3}, {float(i)})" for i in range(30)
+    )
+    db.execute(f"INSERT INTO t VALUES {rows}")
+    return db
+
+
+class TestDdlDml:
+    def test_create_and_insert(self, db):
+        db.execute("CREATE TABLE x (a INTEGER, b VARCHAR)")
+        db.execute("INSERT INTO x VALUES (1, 'one'), (2, 'two')")
+        result = db.execute("SELECT a, b FROM x ORDER BY a")
+        assert result.rows == [(1, "one"), (2, "two")]
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE x (a INTEGER)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE x (a INTEGER)")
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE x (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS x (a INTEGER)")
+
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE x (a INTEGER)")
+        db.execute("DROP TABLE x")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT a FROM x")
+
+    def test_drop_missing_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS nothing")
+
+    def test_insert_wrong_arity(self, db):
+        db.execute("CREATE TABLE x (a INTEGER, b INTEGER)")
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO x VALUES (1)")
+
+    def test_insert_with_column_reorder(self, db):
+        db.execute("CREATE TABLE x (a INTEGER, b FLOAT)")
+        db.execute("INSERT INTO x (b, a) VALUES (2.5, 1)")
+        assert db.execute("SELECT a, b FROM x").rows == [(1, 2.5)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE src (a INTEGER)")
+        db.execute("INSERT INTO src VALUES (1), (2), (3)")
+        db.execute("CREATE TABLE dst (a INTEGER)")
+        db.execute("INSERT INTO dst SELECT a + 10 AS a FROM src")
+        assert db.execute("SELECT a FROM dst ORDER BY a").rows == [
+            (11,),
+            (12,),
+            (13,),
+        ]
+
+    def test_create_with_partitions_and_sort(self, db):
+        db.execute(
+            "CREATE TABLE p (id INTEGER, v FLOAT) "
+            "PARTITION BY (id) PARTITIONS 3 SORTED BY (id)"
+        )
+        table = db.table("p")
+        assert table.num_partitions == 3
+        assert table.sort_key == ("id",)
+
+
+class TestSelect:
+    def test_projection_expression(self, populated):
+        result = populated.execute(
+            "SELECT id, v * 2 AS dbl FROM t WHERE id < 3 ORDER BY id"
+        )
+        assert result.rows == [(0, 0.0), (1, 2.0), (2, 4.0)]
+
+    def test_where_and_or(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t WHERE id < 4 AND (grp = 0 OR grp = 1) "
+            "ORDER BY id"
+        )
+        assert [row[0] for row in result.rows] == [0, 1, 3]
+
+    def test_between(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t WHERE id BETWEEN 5 AND 7 ORDER BY id"
+        )
+        assert [row[0] for row in result.rows] == [5, 6, 7]
+
+    def test_group_by_with_having(self, populated):
+        result = populated.execute(
+            "SELECT grp, SUM(v) AS s FROM t GROUP BY grp "
+            "HAVING SUM(v) > 140 ORDER BY grp"
+        )
+        assert result.rows == [(1, 145.0), (2, 155.0)]
+
+    def test_aggregate_in_expression(self, populated):
+        result = populated.execute(
+            "SELECT grp, SUM(v) / COUNT(*) AS mean FROM t "
+            "GROUP BY grp ORDER BY grp"
+        )
+        means = [row[1] for row in result.rows]
+        np.testing.assert_allclose(means, [13.5, 14.5, 15.5])
+
+    def test_group_key_expression_reused(self, populated):
+        result = populated.execute(
+            "SELECT grp + 1 AS g1, COUNT(*) AS c FROM t "
+            "GROUP BY grp + 1 ORDER BY g1"
+        )
+        assert result.rows == [(1, 10), (2, 10), (3, 10)]
+
+    def test_non_grouped_column_rejected(self, populated):
+        with pytest.raises(PlanError):
+            populated.execute(
+                "SELECT id, SUM(v) AS s FROM t GROUP BY grp"
+            )
+
+    def test_global_aggregate_unsupported_hint(self, populated):
+        with pytest.raises(PlanError, match="constant group key"):
+            populated.execute("SELECT SUM(v) AS s FROM t")
+
+    def test_distinct(self, populated):
+        result = populated.execute("SELECT DISTINCT grp FROM t ORDER BY grp")
+        assert result.rows == [(0,), (1,), (2,)]
+
+    def test_order_by_desc_limit(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t ORDER BY id DESC LIMIT 3"
+        )
+        assert [row[0] for row in result.rows] == [29, 28, 27]
+
+    def test_select_star(self, populated):
+        result = populated.execute("SELECT * FROM t LIMIT 1")
+        assert result.schema.names == ("id", "grp", "v")
+
+    def test_alias_scoping(self, populated):
+        result = populated.execute(
+            "SELECT a.id FROM t AS a WHERE a.id = 5"
+        )
+        assert result.rows == [(5,)]
+
+    def test_unknown_column(self, populated):
+        with pytest.raises(BindError):
+            populated.execute("SELECT nothing FROM t")
+
+    def test_ambiguous_column(self, populated):
+        with pytest.raises(BindError, match="ambiguous"):
+            populated.execute(
+                "SELECT id FROM t AS a, t AS b WHERE a.id = b.id"
+            )
+
+    def test_join_with_qualified_star(self, populated):
+        result = populated.execute(
+            "SELECT a.* FROM t AS a, t AS b "
+            "WHERE a.id = b.id AND a.id < 2 ORDER BY id"
+        )
+        assert result.schema.names == ("id", "grp", "v")
+        assert len(result.rows) == 2
+
+    def test_ansi_join_syntax(self, populated):
+        result = populated.execute(
+            "SELECT a.id FROM t AS a JOIN t AS b ON a.id = b.id "
+            "WHERE a.id = 7"
+        )
+        assert result.rows == [(7,)]
+
+    def test_subquery_nesting(self, populated):
+        result = populated.execute(
+            "SELECT g, s FROM (SELECT grp AS g, SUM(v) AS s FROM t "
+            "GROUP BY grp) AS q WHERE s > 140 ORDER BY g"
+        )
+        assert [row[0] for row in result.rows] == [1, 2]
+
+    def test_scalar_helper(self, populated):
+        result = populated.execute(
+            "SELECT COUNT(*) AS c FROM t GROUP BY 1 = 1"
+        )
+        assert result.scalar() == 30
+
+    def test_case_expression(self, populated):
+        result = populated.execute(
+            "SELECT id, CASE WHEN grp = 0 THEN 'zero' ELSE 'other' END "
+            "AS label FROM t WHERE id < 2 ORDER BY id"
+        )
+        assert result.rows == [(0, "zero"), (1, "other")]
+
+    def test_explain_returns_plan(self, populated):
+        result = populated.execute("EXPLAIN SELECT id FROM t WHERE id > 5")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "TableScan" in text
+        assert "Filter" in text
+
+    def test_profile_populated(self, populated):
+        populated.execute("SELECT grp, SUM(v) AS s FROM t GROUP BY grp")
+        profile = populated.last_profile
+        assert profile.wall_seconds > 0
+        assert profile.rows_returned == 3
+        assert profile.peak_memory_bytes > 0
+
+
+class TestBlockPruning:
+    def test_pruning_correctness(self):
+        db = Database()
+        db.execute("CREATE TABLE big (id INTEGER, v FLOAT)")
+        ids = np.arange(50_000, dtype=np.int64)
+        db.table("big").append_columns(
+            id=ids, v=ids.astype(np.float32)
+        )
+        result = db.execute(
+            "SELECT id FROM big WHERE id >= 49990 ORDER BY id"
+        )
+        assert [row[0] for row in result.rows] == list(range(49990, 50000))
+
+    def test_pruning_disabled_same_result(self):
+        from repro.db.planner import PlannerOptions
+
+        queries = "SELECT id FROM big WHERE id BETWEEN 100 AND 105 ORDER BY id"
+        results = []
+        for pruning in (True, False):
+            db = Database(
+                planner_options=PlannerOptions(use_block_pruning=pruning)
+            )
+            db.execute("CREATE TABLE big (id INTEGER, v FLOAT)")
+            ids = np.arange(10_000, dtype=np.int64)
+            db.table("big").append_columns(
+                id=ids, v=ids.astype(np.float32)
+            )
+            results.append(db.execute(queries).rows)
+        assert results[0] == results[1]

@@ -1,0 +1,98 @@
+"""EXPLAIN ANALYZE row counters and IN-list predicates."""
+
+import numpy as np
+import pytest
+
+from repro.db.engine import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def populated(db: Database) -> Database:
+    db.execute("CREATE TABLE t (id INTEGER, grp INTEGER, v FLOAT)")
+    ids = np.arange(100, dtype=np.int64)
+    db.table("t").append_columns(
+        id=ids, grp=ids % 5, v=ids.astype(np.float32)
+    )
+    return db
+
+
+class TestExplainAnalyze:
+    def test_row_counts_annotated(self, populated):
+        plan, result = populated.explain_analyze(
+            "SELECT id FROM t WHERE grp = 0"
+        )
+        assert result.row_count == 20
+        lines = plan.splitlines()
+        scan_line = next(line for line in lines if "TableScan" in line)
+        filter_line = next(line for line in lines if "Filter" in line)
+        assert "[rows: 100]" in scan_line
+        assert "[rows: 20]" in filter_line
+
+    def test_join_counts(self, populated):
+        populated.execute("CREATE TABLE d (k INTEGER)")
+        populated.execute("INSERT INTO d VALUES (0), (1)")
+        plan, result = populated.explain_analyze(
+            "SELECT t.id FROM t, d WHERE t.grp = d.k"
+        )
+        assert result.row_count == 40
+        join_line = next(
+            line for line in plan.splitlines() if "HashJoin" in line
+        )
+        assert "[rows: 40]" in join_line
+
+    def test_aggregate_counts(self, populated):
+        plan, result = populated.explain_analyze(
+            "SELECT grp, SUM(v) AS s FROM t GROUP BY grp"
+        )
+        assert result.row_count == 5
+        agg_line = next(
+            line for line in plan.splitlines() if "Aggregate" in line
+        )
+        assert "[rows: 5]" in agg_line
+
+    def test_rejects_non_select(self, populated):
+        with pytest.raises(PlanError):
+            populated.explain_analyze("DROP TABLE t")
+
+    def test_profile_filled(self, populated):
+        populated.explain_analyze("SELECT id FROM t")
+        assert populated.last_profile.rows_returned == 100
+
+    def test_plain_explain_has_no_counts(self, populated):
+        plan = populated.explain("SELECT id FROM t")
+        assert "[rows:" not in plan
+
+
+class TestInPredicate:
+    def test_in_list(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t WHERE id IN (3, 5, 97) ORDER BY id"
+        )
+        assert [row[0] for row in result.rows] == [3, 5, 97]
+
+    def test_not_in_list(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t WHERE id NOT IN "
+            f"({', '.join(str(i) for i in range(1, 100))})"
+        )
+        assert [row[0] for row in result.rows] == [0]
+
+    def test_in_with_expressions(self, populated):
+        result = populated.execute(
+            "SELECT id FROM t WHERE grp IN (1 + 1, 8 - 4) AND id < 10 "
+            "ORDER BY id"
+        )
+        assert [row[0] for row in result.rows] == [2, 4, 7, 9]
+
+    def test_in_single_element(self, populated):
+        result = populated.execute("SELECT id FROM t WHERE id IN (42)")
+        assert result.rows == [(42,)]
+
+    def test_in_not_confused_with_alias(self, populated):
+        # "IN" is a stop word: "FROM t IN (...)" must not parse the
+        # table alias as IN.
+        from repro.db.sql.parser import parse_statement
+
+        statement = parse_statement("SELECT a FROM t WHERE a IN (1)")
+        assert statement.where is not None

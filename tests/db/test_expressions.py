@@ -1,0 +1,170 @@
+import numpy as np
+import pytest
+
+from repro.db.expressions import (
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.db.schema import Schema
+from repro.db.types import SqlType
+from repro.db.vector import VectorBatch
+from repro.errors import ExecutionError, TypeMismatchError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(
+        ("i", SqlType.INTEGER),
+        ("f", SqlType.FLOAT),
+        ("b", SqlType.BOOLEAN),
+    )
+
+
+@pytest.fixture
+def batch(schema) -> VectorBatch:
+    return VectorBatch.from_dict(
+        schema,
+        {
+            "i": np.array([1, 2, 3, 4]),
+            "f": np.array([0.5, -1.0, 2.0, 0.0], dtype=np.float32),
+            "b": np.array([True, False, True, False]),
+        },
+    )
+
+
+class TestLiterals:
+    def test_of_int(self):
+        literal = Literal.of(3)
+        assert literal.sql_type is SqlType.INTEGER
+
+    def test_of_bool_before_int(self):
+        assert Literal.of(True).sql_type is SqlType.BOOLEAN
+
+    def test_unsupported_literal(self):
+        with pytest.raises(TypeMismatchError):
+            Literal.of(object())
+
+    def test_broadcast(self, batch):
+        values = Literal.of(7).evaluate(batch)
+        assert values.tolist() == [7, 7, 7, 7]
+
+    def test_string_rendering_escapes_quotes(self):
+        assert str(Literal.of("o'clock")) == "'o''clock'"
+
+
+class TestArithmetic:
+    def test_add(self, batch, schema):
+        expr = BinaryOp("+", ColumnRef("i"), ColumnRef("f"))
+        assert expr.evaluate(batch).tolist() == [1.5, 1.0, 5.0, 4.0]
+        assert expr.output_type(schema) is SqlType.FLOAT
+
+    def test_int_division_is_float(self, batch, schema):
+        expr = BinaryOp("/", ColumnRef("i"), Literal.of(2))
+        assert expr.evaluate(batch).tolist() == [0.5, 1.0, 1.5, 2.0]
+        assert expr.output_type(schema) is SqlType.DOUBLE
+
+    def test_multiply_type(self, schema):
+        expr = BinaryOp("*", ColumnRef("f"), ColumnRef("f"))
+        assert expr.output_type(schema) is SqlType.FLOAT
+
+    def test_unary_minus(self, batch):
+        expr = UnaryOp("-", ColumnRef("i"))
+        assert expr.evaluate(batch).tolist() == [-1, -2, -3, -4]
+
+
+class TestComparisonsAndLogic:
+    def test_comparison_returns_bool(self, batch, schema):
+        expr = BinaryOp(">", ColumnRef("f"), Literal.of(0.0))
+        assert expr.evaluate(batch).tolist() == [True, False, True, False]
+        assert expr.output_type(schema) is SqlType.BOOLEAN
+
+    def test_and_or(self, batch):
+        gt = BinaryOp(">=", ColumnRef("i"), Literal.of(2))
+        expr = BinaryOp("AND", gt, ColumnRef("b"))
+        assert expr.evaluate(batch).tolist() == [False, False, True, False]
+        expr = BinaryOp("OR", gt, ColumnRef("b"))
+        assert expr.evaluate(batch).tolist() == [True, True, True, True]
+
+    def test_not(self, batch):
+        expr = UnaryOp("NOT", ColumnRef("b"))
+        assert expr.evaluate(batch).tolist() == [False, True, False, True]
+
+    def test_and_requires_boolean(self, batch):
+        expr = BinaryOp("AND", ColumnRef("i"), ColumnRef("b"))
+        with pytest.raises(ExecutionError):
+            expr.evaluate(batch)
+
+
+class TestCase:
+    def test_case_with_else(self, batch):
+        expr = CaseWhen(
+            (
+                (
+                    BinaryOp("=", ColumnRef("i"), Literal.of(1)),
+                    Literal.of(10.0),
+                ),
+                (
+                    BinaryOp("=", ColumnRef("i"), Literal.of(2)),
+                    Literal.of(20.0),
+                ),
+            ),
+            Literal.of(0.0),
+        )
+        assert expr.evaluate(batch).tolist() == [10.0, 20.0, 0.0, 0.0]
+
+    def test_case_without_else_defaults_to_zero(self, batch):
+        expr = CaseWhen(
+            (
+                (
+                    BinaryOp("=", ColumnRef("i"), Literal.of(3)),
+                    ColumnRef("f"),
+                ),
+            ),
+        )
+        assert expr.evaluate(batch).tolist() == [0.0, 0.0, 2.0, 0.0]
+
+    def test_first_matching_branch_wins(self, batch):
+        expr = CaseWhen(
+            (
+                (BinaryOp(">", ColumnRef("i"), Literal.of(0)), Literal.of(1)),
+                (BinaryOp(">", ColumnRef("i"), Literal.of(2)), Literal.of(2)),
+            ),
+        )
+        assert expr.evaluate(batch).tolist() == [1, 1, 1, 1]
+
+
+class TestFunctionsAndCast:
+    def test_function_call(self, batch):
+        expr = FunctionCall("EXP", (Literal.of(0.0),))
+        assert expr.evaluate(batch).tolist() == [1.0] * 4
+
+    def test_sigmoid_float32_preserved(self, batch):
+        expr = FunctionCall("SIGMOID", (ColumnRef("f"),))
+        assert expr.evaluate(batch).dtype == np.float32
+
+    def test_cast_to_integer_truncates(self, batch):
+        expr = Cast(ColumnRef("f"), SqlType.INTEGER)
+        assert expr.evaluate(batch).tolist() == [0, -1, 2, 0]
+
+    def test_cast_to_varchar(self, batch):
+        expr = Cast(ColumnRef("i"), SqlType.VARCHAR)
+        assert expr.evaluate(batch).tolist() == ["1", "2", "3", "4"]
+
+
+class TestMetadata:
+    def test_referenced_columns(self):
+        expr = BinaryOp(
+            "+",
+            FunctionCall("EXP", (ColumnRef("a"),)),
+            CaseWhen(((ColumnRef("b"), ColumnRef("c")),), ColumnRef("d")),
+        )
+        assert expr.referenced_columns() == {"a", "b", "c", "d"}
+
+    def test_str_roundtrippable_shape(self):
+        expr = BinaryOp("*", ColumnRef("x"), Literal.of(2))
+        assert str(expr) == "(x * 2)"

@@ -1,0 +1,117 @@
+"""Key packing and range expansion (the join/aggregation kernel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.operators.keys import (
+    pack_keys,
+    pack_keys_slow,
+    ranges_to_indices,
+    supports_fast_keys,
+)
+from repro.errors import ExecutionError
+
+
+class TestPackKeys:
+    def test_single_int_column_passthrough(self):
+        values = np.array([3, -1, 7], dtype=np.int64)
+        packed = pack_keys([values])
+        np.testing.assert_array_equal(packed, values)
+
+    def test_multi_column_equality_semantics(self):
+        a = np.array([1, 1, 2])
+        b = np.array([5, 6, 5])
+        packed = pack_keys([a, b])
+        assert packed[0] != packed[1]
+        assert packed[0] != packed[2]
+        again = pack_keys([a.copy(), b.copy()])
+        np.testing.assert_array_equal(packed == again, True)
+
+    def test_float_zero_normalization(self):
+        values = np.array([0.0, -0.0], dtype=np.float32)
+        packed = pack_keys([values])
+        assert packed[0] == packed[1]
+
+    def test_bool_column(self):
+        packed = pack_keys([np.array([True, False, True])])
+        assert packed[0] == packed[2] != packed[1]
+
+    def test_object_column_rejected_by_fast_path(self):
+        strings = np.array(["a"], dtype=object)
+        assert not supports_fast_keys([strings])
+        with pytest.raises(ExecutionError):
+            pack_keys([strings])
+
+    def test_slow_path_tuples(self):
+        packed = pack_keys_slow(
+            [np.array(["x", "y"], dtype=object), np.array([1, 2])]
+        )
+        assert packed[0] == ("x", 1)
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(ExecutionError):
+            pack_keys([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.lists(
+            st.tuples(
+                st.integers(-100, 100),
+                st.floats(
+                    allow_nan=False, width=32, min_value=-10, max_value=10
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    def test_packing_respects_tuple_equality(self, left):
+        if not left:
+            return
+        ints = np.array([pair[0] for pair in left], dtype=np.int64)
+        floats = np.array(
+            [np.float32(pair[1]) for pair in left], dtype=np.float32
+        )
+        packed = pack_keys([ints, floats])
+        for i in range(len(left)):
+            for j in range(len(left)):
+                same_value = (
+                    ints[i] == ints[j] and floats[i] == floats[j]
+                )
+                assert (packed[i] == packed[j]) == same_value
+
+
+class TestRangesToIndices:
+    def test_basic_expansion(self):
+        starts = np.array([10, 0, 5], dtype=np.int64)
+        counts = np.array([2, 0, 3], dtype=np.int64)
+        flat = ranges_to_indices(starts, counts)
+        assert flat.tolist() == [10, 11, 5, 6, 7]
+
+    def test_all_empty(self):
+        flat = ranges_to_indices(
+            np.array([1, 2], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+        )
+        assert flat.tolist() == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ranges=st.lists(
+            st.tuples(
+                st.integers(0, 50),
+                st.integers(0, 6),
+            ),
+            max_size=25,
+        )
+    )
+    def test_matches_python_loops(self, ranges):
+        starts = np.array([start for start, _ in ranges], dtype=np.int64)
+        counts = np.array([count for _, count in ranges], dtype=np.int64)
+        expected = [
+            start + offset
+            for start, count in ranges
+            for offset in range(count)
+        ]
+        assert ranges_to_indices(starts, counts).tolist() == expected

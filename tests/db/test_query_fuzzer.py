@@ -1,0 +1,154 @@
+"""Randomized query fuzzing against a Python reference executor.
+
+Hypothesis generates small relational workloads (a fact table plus a
+dimension table) and random SELECTs over them — filters, a join, a
+grouped aggregation — and the engine's results are compared against a
+straightforward row-at-a-time Python evaluation.  This complements the
+targeted operator tests with breadth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import Database
+
+
+@st.composite
+def workload(draw):
+    rows = draw(st.integers(min_value=0, max_value=60))
+    fact = [
+        (
+            i,
+            draw(st.integers(min_value=0, max_value=4)),  # k
+            draw(
+                st.floats(
+                    min_value=-50, max_value=50, allow_nan=False, width=32
+                )
+            ),
+        )
+        for i in range(rows)
+    ]
+    dim_keys = draw(
+        st.sets(st.integers(min_value=0, max_value=4), max_size=5)
+    )
+    dim = [
+        (key, draw(st.integers(min_value=-3, max_value=3)))
+        for key in sorted(dim_keys)
+    ]
+    threshold = draw(st.integers(min_value=-40, max_value=40))
+    return fact, dim, threshold
+
+
+def build_database(fact, dim) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE fact (id INTEGER, k INTEGER, v FLOAT)")
+    db.execute("CREATE TABLE dim (k INTEGER, w INTEGER)")
+    if fact:
+        db.table("fact").append_rows(
+            [(i, k, float(np.float32(v))) for i, k, v in fact]
+        )
+    if dim:
+        db.table("dim").append_rows(dim)
+    return db
+
+
+class TestFilterFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(data=workload())
+    def test_filter_projection(self, data):
+        fact, dim, threshold = data
+        db = build_database(fact, dim)
+        result = db.execute(
+            f"SELECT id, v * 2 AS dbl FROM fact WHERE v > {threshold} "
+            "ORDER BY id"
+        )
+        expected = sorted(
+            (i, float(np.float32(v) * np.float32(2)))
+            for i, _, v in fact
+            if np.float32(v) > threshold
+        )
+        assert len(result.rows) == len(expected)
+        for got, want in zip(result.rows, expected):
+            assert got[0] == want[0]
+            np.testing.assert_allclose(got[1], want[1], rtol=1e-5)
+
+
+class TestJoinFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(data=workload())
+    def test_join_matches_nested_loops(self, data):
+        fact, dim, _ = data
+        db = build_database(fact, dim)
+        result = db.execute(
+            "SELECT fact.id, dim.w FROM fact, dim WHERE fact.k = dim.k"
+        )
+        expected = sorted(
+            (i, w) for i, k, _ in fact for dk, w in dim if k == dk
+        )
+        assert sorted(result.rows) == expected
+
+
+class TestAggregationFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(data=workload())
+    def test_group_by_matches_reference(self, data):
+        fact, dim, _ = data
+        db = build_database(fact, dim)
+        result = db.execute(
+            "SELECT k, COUNT(*) AS c, MIN(v) AS lo, MAX(v) AS hi "
+            "FROM fact GROUP BY k ORDER BY k"
+        )
+        reference: dict = {}
+        for _, k, v in fact:
+            v32 = float(np.float32(v))
+            count, lo, hi = reference.get(k, (0, np.inf, -np.inf))
+            reference[k] = (count + 1, min(lo, v32), max(hi, v32))
+        assert len(result.rows) == len(reference)
+        for k, c, lo, hi in result.rows:
+            want = reference[k]
+            assert c == want[0]
+            np.testing.assert_allclose(lo, want[1], rtol=1e-6)
+            np.testing.assert_allclose(hi, want[2], rtol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload())
+    def test_join_then_aggregate(self, data):
+        fact, dim, _ = data
+        db = build_database(fact, dim)
+        result = db.execute(
+            "SELECT dim.w AS w, COUNT(*) AS c FROM fact, dim "
+            "WHERE fact.k = dim.k GROUP BY dim.w ORDER BY w"
+        )
+        reference: dict = {}
+        for _, k, _v in fact:
+            for dk, w in dim:
+                if k == dk:
+                    reference[w] = reference.get(w, 0) + 1
+        assert sorted(result.rows) == sorted(reference.items())
+
+
+class TestLimitsAndDistinctFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload(), limit=st.integers(0, 10))
+    def test_limit_prefix_of_order(self, data, limit):
+        fact, dim, _ = data
+        db = build_database(fact, dim)
+        full = db.execute("SELECT id FROM fact ORDER BY id").rows
+        limited = db.execute(
+            f"SELECT id FROM fact ORDER BY id LIMIT {limit}"
+        ).rows
+        assert limited == full[:limit]
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=workload())
+    def test_distinct_is_set(self, data):
+        fact, dim, _ = data
+        db = build_database(fact, dim)
+        result = db.execute("SELECT DISTINCT k FROM fact")
+        assert sorted(row[0] for row in result.rows) == sorted(
+            {k for _, k, _ in fact}
+        )

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.db.schema import Schema
+from repro.db.types import SqlType
+from repro.db.vector import VectorBatch, concat_batches, rebatch
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(("id", SqlType.INTEGER), ("v", SqlType.FLOAT))
+
+
+@pytest.fixture
+def batch(schema) -> VectorBatch:
+    return VectorBatch.from_dict(
+        schema,
+        {"id": np.arange(6), "v": np.linspace(0, 1, 6)},
+    )
+
+
+class TestConstruction:
+    def test_from_dict_coerces_types(self, batch):
+        assert batch.column("v").dtype == np.float32
+        assert batch.column("id").dtype == np.int64
+
+    def test_ragged_batch_rejected(self, schema):
+        with pytest.raises(ExecutionError):
+            VectorBatch(
+                schema,
+                [np.arange(3), np.zeros(2, dtype=np.float32)],
+            )
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(ExecutionError):
+            VectorBatch(schema, [np.arange(3)])
+
+    def test_empty(self, schema):
+        empty = VectorBatch.empty(schema)
+        assert len(empty) == 0
+        assert empty.column("id").dtype == np.int64
+
+
+class TestRowOperations:
+    def test_filter(self, batch):
+        mask = batch.column("id") % 2 == 0
+        filtered = batch.filter(mask)
+        assert filtered.column("id").tolist() == [0, 2, 4]
+
+    def test_filter_requires_boolean(self, batch):
+        with pytest.raises(ExecutionError):
+            batch.filter(np.arange(6))
+
+    def test_take_repeats_and_reorders(self, batch):
+        taken = batch.take(np.array([5, 0, 0]))
+        assert taken.column("id").tolist() == [5, 0, 0]
+
+    def test_slice(self, batch):
+        assert batch.slice(2, 4).column("id").tolist() == [2, 3]
+
+    def test_slice_past_end(self, batch):
+        assert len(batch.slice(4, 100)) == 2
+
+    def test_to_rows(self, batch):
+        rows = batch.to_rows()
+        assert rows[0] == (0, 0.0)
+        assert len(rows) == 6
+
+
+class TestColumnOperations:
+    def test_concat_columns(self, batch, schema):
+        other = VectorBatch.from_dict(
+            Schema.of(("w", SqlType.DOUBLE)), {"w": np.zeros(6)}
+        )
+        combined = batch.concat_columns(other)
+        assert combined.schema.names == ("id", "v", "w")
+
+    def test_concat_columns_length_mismatch(self, batch):
+        other = VectorBatch.from_dict(
+            Schema.of(("w", SqlType.DOUBLE)), {"w": np.zeros(3)}
+        )
+        with pytest.raises(ExecutionError):
+            batch.concat_columns(other)
+
+    def test_with_schema_relabels(self, batch):
+        renamed = batch.with_schema(
+            Schema.of(("a", SqlType.INTEGER), ("b", SqlType.FLOAT))
+        )
+        assert renamed.column("a").tolist() == batch.column("id").tolist()
+
+    def test_nominal_bytes(self, batch):
+        assert batch.nominal_bytes() == 6 * 8 + 6 * 4
+
+
+class TestBatchHelpers:
+    def test_concat_batches(self, schema, batch):
+        combined = concat_batches(schema, [batch, batch])
+        assert len(combined) == 12
+
+    def test_concat_batches_empty(self, schema):
+        assert len(concat_batches(schema, [])) == 0
+
+    def test_rebatch_sizes(self, schema, batch):
+        chunks = list(rebatch([batch, batch], schema, size=5))
+        assert [len(chunk) for chunk in chunks] == [5, 5, 2]

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.device import GpuCostModel, HostDevice, SimulatedGpu
+from repro.device.base import DeviceWindow
+from repro.errors import DeviceError
+
+
+class TestHostDevice:
+    def test_gemm(self):
+        device = HostDevice()
+        a = np.ones((2, 3), dtype=np.float32)
+        b = np.ones((3, 4), dtype=np.float32)
+        out = device.gemm(a, b)
+        assert out.shape == (2, 4)
+        assert (out == 3.0).all()
+        assert device.stats.flops == 2 * 2 * 3 * 4
+
+    def test_gemm_accumulate(self):
+        device = HostDevice()
+        a = np.eye(2, dtype=np.float32)
+        c = np.full((2, 2), 10.0, dtype=np.float32)
+        out = device.gemm(a, a, accumulate=c)
+        assert (np.diag(out) == 11.0).all()
+
+    def test_gemm_shape_mismatch(self):
+        device = HostDevice()
+        with pytest.raises(DeviceError):
+            device.gemm(
+                np.ones((2, 3), np.float32), np.ones((2, 3), np.float32)
+            )
+
+    def test_float64_rejected(self):
+        device = HostDevice()
+        with pytest.raises(DeviceError):
+            device.gemm(np.ones((1, 1)), np.ones((1, 1)))
+
+    def test_elementwise_and_activation(self):
+        device = HostDevice()
+        a = np.array([-1.0, 2.0], dtype=np.float32)
+        assert device.multiply(a, a).tolist() == [1.0, 4.0]
+        assert device.add(a, a).tolist() == [-2.0, 4.0]
+        assert device.activation("relu", a).tolist() == [0.0, 2.0]
+        assert device.stats.kernel_launches == 3
+
+    def test_transfers_are_identity(self):
+        device = HostDevice()
+        a = np.ones(3, dtype=np.float32)
+        assert device.to_device(a) is a
+        assert device.to_host(a) is a
+
+
+class TestGpuCostModel:
+    def test_gemm_cost_scales_with_flops(self):
+        model = GpuCostModel()
+        small = model.gemm_seconds(10, 10, 10)
+        large = model.gemm_seconds(1000, 1000, 1000)
+        assert large > small
+
+    def test_launch_latency_floor(self):
+        model = GpuCostModel()
+        assert model.gemm_seconds(1, 1, 1) >= model.kernel_launch_seconds
+
+    def test_transfer_latency_floor(self):
+        model = GpuCostModel()
+        assert model.transfer_seconds(0) == model.transfer_latency_seconds
+
+
+class TestSimulatedGpu:
+    def test_results_exact_vs_host(self):
+        gpu, cpu = SimulatedGpu(), HostDevice()
+        a = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(gpu.gemm(a, a), cpu.gemm(a, a))
+
+    def test_transfer_produces_distinct_buffer(self):
+        gpu = SimulatedGpu()
+        a = np.ones(4, dtype=np.float32)
+        on_device = gpu.to_device(a)
+        assert on_device is not a
+        a[0] = 99.0
+        assert on_device[0] == 1.0
+
+    def test_accounting_accumulates(self):
+        gpu = SimulatedGpu()
+        a = np.ones((16, 16), dtype=np.float32)
+        on_device = gpu.to_device(a)
+        gpu.gemm(on_device, on_device)
+        gpu.activation("tanh", on_device)
+        stats = gpu.stats
+        assert stats.bytes_to_device == a.nbytes
+        assert stats.kernel_launches == 2
+        assert stats.modeled_kernel_seconds > 0
+        assert stats.host_kernel_seconds > 0
+
+    def test_large_model_gpu_beats_small(self):
+        """The crossover: modeled GEMM time dominated by launch cost
+        for tiny matrices, by throughput for big ones."""
+        model = GpuCostModel()
+        tiny = model.gemm_seconds(32, 4, 32)
+        assert tiny == pytest.approx(
+            model.kernel_launch_seconds, rel=0.5
+        )
+        big = model.gemm_seconds(1024, 512, 512)
+        assert big > 10 * model.kernel_launch_seconds
+
+    def test_device_window_swaps_kernel_time(self):
+        gpu = SimulatedGpu()
+        a = np.ones((64, 64), dtype=np.float32)
+        with DeviceWindow(gpu) as window:
+            for _ in range(10):
+                gpu.gemm(a, a)
+        assert window.wall_seconds > 0
+        # modeled time for 10 tiny gemms ~ 10 launches + small compute
+        assert window.seconds >= 0
+
+    def test_device_window_host_is_wall(self):
+        cpu = HostDevice()
+        with DeviceWindow(cpu) as window:
+            sum(range(10000))
+        assert window.seconds == pytest.approx(window.wall_seconds)
+
+    def test_stats_reset_and_merge(self):
+        gpu = SimulatedGpu()
+        gpu.to_device(np.ones(4, dtype=np.float32))
+        other = SimulatedGpu()
+        other.to_device(np.ones(4, dtype=np.float32))
+        gpu.stats.merge(other.stats)
+        assert gpu.stats.bytes_to_device == 32
+        gpu.stats.reset()
+        assert gpu.stats.bytes_to_device == 0

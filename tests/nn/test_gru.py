@@ -1,0 +1,171 @@
+"""GRU layer: semantics, runtime-API support, approach boundaries.
+
+The GRU exists to make Table 2's generalizability column concrete:
+the runtime-backed approaches (TF C-API, UDF, TF Python) support a new
+layer type for free; the relational representation and the native
+operator do not (by design — reimplementation does not amortize,
+paper Section 6.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelGraphError, UnsupportedModelError
+from repro.nn.layers import Dense, Gru
+from repro.nn.model import Sequential
+from repro.nn.runtime import InferenceSession, TensorBuffer
+
+
+class TestGruSemantics:
+    def _tiny_gru(self) -> Gru:
+        layer = Gru(1)
+        layer.set_weights(
+            kernel=np.full((1, 3), 0.5),
+            recurrent_kernel=np.full((1, 3), 0.25),
+            bias=np.zeros(3),
+        )
+        return layer
+
+    def test_single_step_matches_manual(self):
+        layer = self._tiny_gru()
+        out = layer.forward(np.array([[[1.0]]], dtype=np.float32))
+
+        def sigmoid(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        # h=0: z = sigmoid(0.5), candidate = tanh(0.5 + r*0)
+        z = sigmoid(0.5)
+        candidate = np.tanh(0.5)
+        expected = z * 0.0 + (1 - z) * candidate
+        np.testing.assert_allclose(out[0, 0], expected, rtol=1e-5)
+
+    def test_update_gate_interpolates(self):
+        # With kernel forcing z ~ 1 the state barely moves.
+        layer = Gru(1)
+        layer.set_weights(
+            kernel=np.array([[100.0, 0.0, 1.0]]),
+            recurrent_kernel=np.zeros((1, 3)),
+            bias=np.zeros(3),
+        )
+        out = layer.forward(np.ones((1, 4, 1), dtype=np.float32))
+        assert abs(float(out[0, 0])) < 1e-3
+
+    def test_batch_independence(self):
+        layer = Gru(4)
+        layer.build(1, np.random.default_rng(0))
+        batch = np.random.default_rng(1).normal(size=(6, 3, 1)).astype(
+            np.float32
+        )
+        whole = layer.forward(batch)
+        single = np.concatenate(
+            [layer.forward(batch[i : i + 1]) for i in range(6)]
+        )
+        np.testing.assert_allclose(whole, single, atol=1e-6)
+
+    def test_weight_validation(self):
+        layer = Gru(2)
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(np.zeros((1, 5)), np.zeros((2, 6)), np.zeros(6))
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(np.zeros((1, 6)), np.zeros((3, 6)), np.zeros(6))
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(np.zeros((1, 6)), np.zeros((2, 6)), np.zeros(5))
+
+    def test_parameter_count(self):
+        layer = Gru(4)
+        layer.build(2, np.random.default_rng(0))
+        assert layer.parameter_count() == 2 * 12 + 4 * 12 + 12
+
+
+class TestGruInModel:
+    def test_gru_first_model_predicts(self):
+        model = Sequential([Gru(6), Dense(1)], input_width=4, seed=3)
+        assert model.has_recurrent_first
+        assert not model.has_lstm
+        assert model.time_steps == 4
+        x = np.random.default_rng(2).normal(size=(9, 4)).astype(np.float32)
+        assert model.predict(x).shape == (9, 1)
+
+    def test_gru_not_first_rejected(self):
+        with pytest.raises(ModelGraphError, match="recurrent"):
+            Sequential([Dense(3), Gru(2)], input_width=3)
+
+    def test_serialization_roundtrip(self):
+        from repro.nn.serialization import model_from_dict, model_to_dict
+
+        model = Sequential([Gru(5), Dense(2)], input_width=3, seed=9)
+        clone = model_from_dict(model_to_dict(model))
+        x = np.random.default_rng(3).normal(size=(7, 3)).astype(np.float32)
+        np.testing.assert_array_equal(model.predict(x), clone.predict(x))
+
+
+class TestGruAcrossApproaches:
+    @pytest.fixture
+    def gru_model(self) -> Sequential:
+        return Sequential([Gru(5), Dense(1)], input_width=3, seed=8)
+
+    def test_runtime_session_supports_gru(self, gru_model):
+        x = np.random.default_rng(4).normal(size=(15, 3)).astype(np.float32)
+        session = InferenceSession(gru_model)
+        out = session.run(TensorBuffer.from_rows(x)).array
+        np.testing.assert_allclose(
+            out, gru_model.predict(x), atol=1e-5
+        )
+
+    def test_runtime_gpu_supports_gru(self, gru_model):
+        from repro.device import SimulatedGpu
+
+        x = np.random.default_rng(5).normal(size=(8, 3)).astype(np.float32)
+        session = InferenceSession(gru_model, SimulatedGpu())
+        out = session.run(TensorBuffer.from_rows(x)).array
+        np.testing.assert_allclose(
+            out, gru_model.predict(x), atol=1e-5
+        )
+
+    def test_runtime_api_operator_supports_gru(self, gru_model):
+        import repro
+        from repro.core.runtime_api.runner import RuntimeApiModelJoin
+
+        db = repro.connect()
+        db.execute("CREATE TABLE w (id INTEGER, x1 FLOAT, x2 FLOAT, x3 FLOAT)")
+        x = np.random.default_rng(6).normal(size=(50, 3)).astype(np.float32)
+        db.table("w").append_columns(
+            id=np.arange(50), x1=x[:, 0], x2=x[:, 1], x3=x[:, 2]
+        )
+        runner = RuntimeApiModelJoin(db, gru_model)
+        predictions = runner.predict("w", "id", ["x1", "x2", "x3"])
+        np.testing.assert_allclose(
+            predictions, gru_model.predict(x), atol=1e-5
+        )
+
+    def test_udf_supports_gru(self, gru_model):
+        import repro
+        from repro.core.udf_integration.inference_udf import UdfModelJoin
+
+        db = repro.connect()
+        db.execute("CREATE TABLE w (id INTEGER, x1 FLOAT, x2 FLOAT, x3 FLOAT)")
+        x = np.random.default_rng(7).normal(size=(40, 3)).astype(np.float32)
+        db.table("w").append_columns(
+            id=np.arange(40), x1=x[:, 0], x2=x[:, 1], x3=x[:, 2]
+        )
+        runner = UdfModelJoin(db, gru_model, name="gru_pred")
+        predictions = runner.predict("w", "id", ["x1", "x2", "x3"])
+        np.testing.assert_allclose(
+            predictions, gru_model.predict(x), atol=1e-4
+        )
+
+    def test_relational_representation_rejects_gru(self, gru_model):
+        from repro.core.ml_to_sql.representation import (
+            build_relational_model,
+        )
+
+        with pytest.raises(UnsupportedModelError, match="gru"):
+            build_relational_model(gru_model)
+
+    def test_publish_model_rejects_gru(self, gru_model):
+        import repro
+        from repro.core.registry import publish_model
+
+        db = repro.connect()
+        with pytest.raises(UnsupportedModelError):
+            publish_model(db, "gru_clf", gru_model)

@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelGraphError
+from repro.nn.layers import Dense, Lstm
+
+
+class TestDense:
+    def test_forward_matches_manual(self):
+        layer = Dense(2, "linear")
+        layer.set_weights(
+            np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]]),
+            np.array([0.5, -0.5]),
+        )
+        x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[1 + 3 + 0.5, 4 + 3 - 0.5]])
+
+    def test_activation_applied(self):
+        layer = Dense(1, "relu")
+        layer.set_weights(np.array([[-1.0]]), np.array([0.0]))
+        out = layer.forward(np.array([[2.0]], dtype=np.float32))
+        assert out[0, 0] == 0.0
+
+    def test_build_initializes_shapes(self):
+        layer = Dense(7)
+        layer.build(3, np.random.default_rng(0))
+        assert layer.kernel.shape == (3, 7)
+        assert layer.bias.shape == (7,)
+        assert layer.parameter_count() == 3 * 7 + 7
+
+    def test_build_is_deterministic(self):
+        one, two = Dense(4), Dense(4)
+        one.build(3, np.random.default_rng(5))
+        two.build(3, np.random.default_rng(5))
+        np.testing.assert_array_equal(one.kernel, two.kernel)
+
+    def test_bad_input_shape(self):
+        layer = Dense(2)
+        layer.build(3, np.random.default_rng(0))
+        with pytest.raises(ModelGraphError):
+            layer.forward(np.zeros((1, 4), dtype=np.float32))
+
+    def test_inconsistent_weights_rejected(self):
+        layer = Dense(2)
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(np.zeros((3, 2)), np.zeros(5))
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(np.zeros((3, 4)), np.zeros(4))
+
+    def test_use_before_build(self):
+        with pytest.raises(ModelGraphError):
+            Dense(2).forward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ModelGraphError):
+            Dense(0)
+
+
+class TestLstm:
+    def _tiny_lstm(self) -> Lstm:
+        layer = Lstm(1)
+        # All weights to simple constants for hand-checkable recurrence.
+        layer.set_weights(
+            kernel=np.full((1, 4), 0.5),
+            recurrent_kernel=np.full((1, 4), 0.25),
+            bias=np.zeros(4),
+        )
+        return layer
+
+    def test_single_step_matches_manual(self):
+        layer = self._tiny_lstm()
+        x = np.array([[[1.0]]], dtype=np.float32)
+        out = layer.forward(x)
+
+        def sigmoid(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        z = 0.5  # x*W, no hidden state, no bias
+        i, f, c_hat, o = sigmoid(z), sigmoid(z), np.tanh(z), sigmoid(z)
+        c = i * c_hat
+        h = o * np.tanh(c)
+        np.testing.assert_allclose(out[0, 0], h, rtol=1e-5)
+
+    def test_two_steps_use_recurrence(self):
+        layer = self._tiny_lstm()
+        one_step = layer.forward(np.array([[[1.0]]], dtype=np.float32))
+        two_step = layer.forward(
+            np.array([[[1.0], [1.0]]], dtype=np.float32)
+        )
+        assert not np.allclose(one_step, two_step)
+
+    def test_2d_input_means_scalar_series(self):
+        layer = Lstm(3)
+        layer.build(1, np.random.default_rng(1))
+        flat = layer.forward(np.ones((4, 5), dtype=np.float32))
+        cube = layer.forward(np.ones((4, 5, 1), dtype=np.float32))
+        np.testing.assert_array_equal(flat, cube)
+
+    def test_gate_slices_cover_all_columns(self):
+        layer = Lstm(6)
+        slices = layer.gate_slices()
+        covered = sorted(
+            index
+            for gate_slice in slices.values()
+            for index in range(gate_slice.start, gate_slice.stop)
+        )
+        assert covered == list(range(24))
+
+    def test_keras_forget_bias_initialized_to_one(self):
+        layer = Lstm(4)
+        layer.build(1, np.random.default_rng(0))
+        assert (layer.bias[4:8] == 1.0).all()
+
+    def test_weight_shape_validation(self):
+        layer = Lstm(2)
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(
+                np.zeros((1, 7)), np.zeros((2, 8)), np.zeros(8)
+            )
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(
+                np.zeros((1, 8)), np.zeros((3, 8)), np.zeros(8)
+            )
+        with pytest.raises(ModelGraphError):
+            layer.set_weights(
+                np.zeros((1, 8)), np.zeros((2, 8)), np.zeros(4)
+            )
+
+    def test_batch_independence(self):
+        layer = Lstm(4)
+        layer.build(1, np.random.default_rng(3))
+        rng = np.random.default_rng(4)
+        batch = rng.normal(size=(8, 3, 1)).astype(np.float32)
+        whole = layer.forward(batch)
+        single = np.concatenate(
+            [layer.forward(batch[i : i + 1]) for i in range(8)]
+        )
+        np.testing.assert_allclose(whole, single, atol=1e-6)

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelGraphError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+
+
+class TestConstruction:
+    def test_layers_chained_by_dims(self):
+        model = Sequential([Dense(5), Dense(2)], input_width=3)
+        assert model.layers[0].kernel.shape == (3, 5)
+        assert model.layers[1].kernel.shape == (5, 2)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelGraphError):
+            Sequential([], input_width=2)
+
+    def test_lstm_only_first(self):
+        with pytest.raises(ModelGraphError):
+            Sequential([Dense(2), Lstm(2)], input_width=2)
+
+    def test_seed_determinism(self):
+        a = Sequential([Dense(4), Dense(1)], input_width=2, seed=9)
+        b = Sequential([Dense(4), Dense(1)], input_width=2, seed=9)
+        x = np.ones((3, 2), dtype=np.float32)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_prebuilt_layer_dim_mismatch(self):
+        layer = Dense(3)
+        layer.set_weights(np.zeros((7, 3)), np.zeros(3))
+        with pytest.raises(ModelGraphError):
+            Sequential([layer], input_width=4)
+
+    def test_properties(self):
+        model = Sequential([Lstm(6), Dense(1)], input_width=3)
+        assert model.has_lstm
+        assert model.time_steps == 3
+        assert model.output_width == 1
+        dense = Sequential([Dense(2)], input_width=4)
+        assert not dense.has_lstm
+        assert dense.time_steps == 1
+
+
+class TestPredict:
+    def test_dense_matches_manual_chain(self):
+        model = Sequential([Dense(4, "relu"), Dense(1)], input_width=3, seed=1)
+        x = np.random.default_rng(0).normal(size=(5, 3)).astype(np.float32)
+        manual = model.layers[1].forward(model.layers[0].forward(x))
+        np.testing.assert_array_equal(model.predict(x), manual)
+
+    def test_1d_input_promoted(self):
+        model = Sequential([Dense(1)], input_width=2, seed=0)
+        single = model.predict(np.array([1.0, 2.0]))
+        assert single.shape == (1, 1)
+
+    def test_wrong_width_rejected(self):
+        model = Sequential([Dense(1)], input_width=2)
+        with pytest.raises(ModelGraphError):
+            model.predict(np.ones((3, 5)))
+
+    def test_lstm_first_consumes_columns_as_steps(self):
+        model = Sequential([Lstm(4), Dense(1)], input_width=3, seed=2)
+        x = np.random.default_rng(1).normal(size=(6, 3)).astype(np.float32)
+        direct = model.layers[0].forward(x.reshape(6, 3, 1))
+        expected = model.layers[1].forward(direct)
+        np.testing.assert_allclose(model.predict(x), expected, atol=1e-6)
+
+    def test_output_dtype_float32(self):
+        model = Sequential([Dense(1)], input_width=2)
+        assert model.predict(np.ones((1, 2))).dtype == np.float32
+
+
+class TestIntrospection:
+    def test_parameter_count(self):
+        model = Sequential([Dense(4), Dense(1)], input_width=3)
+        assert model.parameter_count() == (3 * 4 + 4) + (4 * 1 + 1)
+
+    def test_summary_mentions_layers(self):
+        model = Sequential([Dense(4, "relu"), Dense(1)], input_width=3)
+        text = model.summary()
+        assert "dense" in text
+        assert "relu" in text
+
+    def test_dense_layers_helper(self):
+        model = Sequential([Lstm(3), Dense(1)], input_width=2)
+        assert len(model.dense_layers()) == 1

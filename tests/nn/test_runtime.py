@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+from repro.nn.runtime import InferenceSession, MlRuntime, TensorBuffer
+
+
+@pytest.fixture
+def model() -> Sequential:
+    return Sequential(
+        [Dense(4, "relu"), Dense(1, "sigmoid")], input_width=3, seed=0
+    )
+
+
+class TestTensorBuffer:
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ModelError, match="float32"):
+            TensorBuffer(np.zeros((2, 2), dtype=np.float64))
+
+    def test_rejects_non_contiguous(self):
+        base = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ModelError, match="row-major"):
+            TensorBuffer(base.T)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ModelError, match="2-D"):
+            TensorBuffer(np.zeros(3, dtype=np.float32))
+
+    def test_from_rows_copies_and_conforms(self):
+        base = np.zeros((4, 4), dtype=np.float64).T
+        buffer = TensorBuffer.from_rows(base)
+        assert buffer.array.dtype == np.float32
+        assert buffer.array.flags["C_CONTIGUOUS"]
+
+
+class TestInferenceSession:
+    def test_matches_model_predict(self, model):
+        x = np.random.default_rng(1).normal(size=(10, 3)).astype(np.float32)
+        session = InferenceSession(model)
+        out = session.run(TensorBuffer.from_rows(x)).array
+        np.testing.assert_allclose(out, model.predict(x), atol=1e-6)
+
+    def test_lstm_session(self):
+        model = Sequential([Lstm(4), Dense(1)], input_width=3, seed=1)
+        x = np.random.default_rng(2).normal(size=(7, 3)).astype(np.float32)
+        session = InferenceSession(model)
+        out = session.run(TensorBuffer.from_rows(x)).array
+        np.testing.assert_allclose(out, model.predict(x), atol=1e-5)
+
+    def test_wrong_width_rejected(self, model):
+        session = InferenceSession(model)
+        with pytest.raises(ModelError, match="width"):
+            session.run(TensorBuffer.from_rows(np.zeros((2, 5))))
+
+    def test_result_is_row_major(self, model):
+        session = InferenceSession(model)
+        out = session.run(TensorBuffer.from_rows(np.zeros((2, 3))))
+        assert out.array.flags["C_CONTIGUOUS"]
+
+
+class TestMlRuntime:
+    def test_handles_are_opaque_and_unique(self, model):
+        runtime = MlRuntime()
+        first = runtime.load_model(model)
+        second = runtime.load_model(model)
+        assert first != second
+
+    def test_run_by_handle(self, model):
+        runtime = MlRuntime()
+        handle = runtime.load_model(model)
+        x = np.ones((2, 3), dtype=np.float32)
+        out = runtime.run(handle, TensorBuffer(x)).array
+        np.testing.assert_allclose(out, model.predict(x), atol=1e-6)
+
+    def test_unknown_handle(self, model):
+        runtime = MlRuntime()
+        with pytest.raises(ModelError, match="handle"):
+            runtime.run(99, TensorBuffer(np.zeros((1, 3), np.float32)))
+
+    def test_unload_frees_handle(self, model):
+        runtime = MlRuntime()
+        handle = runtime.load_model(model)
+        runtime.unload(handle)
+        with pytest.raises(ModelError):
+            runtime.run(handle, TensorBuffer(np.zeros((1, 3), np.float32)))
+
+    def test_gpu_device_accounts_transfers(self, model):
+        from repro.device import SimulatedGpu
+
+        gpu = SimulatedGpu()
+        runtime = MlRuntime(gpu)
+        handle = runtime.load_model(model)
+        assert gpu.stats.bytes_to_device > 0  # weights uploaded at load
+        runtime.run(
+            handle, TensorBuffer(np.zeros((4, 3), dtype=np.float32))
+        )
+        assert gpu.stats.bytes_to_host > 0
+        assert gpu.stats.modeled_seconds > 0

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Lstm
+from repro.nn.model import Sequential
+from repro.nn.serialization import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.nn.training import accuracy, fit
+
+
+class TestTraining:
+    def test_loss_decreases_on_linear_problem(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 3)).astype(np.float32)
+        y = x @ np.array([1.0, -2.0, 0.5], dtype=np.float32) + 0.1
+        model = Sequential(
+            [Dense(8, "tanh"), Dense(1)], input_width=3, seed=1
+        )
+        report = fit(model, x, y, epochs=40, learning_rate=0.02)
+        assert report.final_loss < report.losses[0] * 0.2
+
+    def test_learns_xor(self):
+        x = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float32
+        )
+        y = np.array([0.0, 1.0, 1.0, 0.0], dtype=np.float32)
+        model = Sequential(
+            [Dense(8, "tanh"), Dense(1, "sigmoid")],
+            input_width=2,
+            seed=3,
+        )
+        fit(model, x, y, epochs=400, learning_rate=0.3, batch_size=4)
+        assert accuracy(model, x, y.astype(np.int64)) == 1.0
+
+    def test_lstm_training_unsupported(self):
+        model = Sequential([Lstm(3), Dense(1)], input_width=2)
+        with pytest.raises(ModelError, match="dense-only"):
+            fit(model, np.zeros((4, 2)), np.zeros(4), epochs=1)
+
+    def test_length_mismatch(self):
+        model = Sequential([Dense(1)], input_width=2)
+        with pytest.raises(ModelError):
+            fit(model, np.zeros((4, 2)), np.zeros(3), epochs=1)
+
+    def test_multiclass_accuracy_argmax(self):
+        model = Sequential([Dense(3, "linear")], input_width=3, seed=0)
+        model.layers[0].set_weights(np.eye(3), np.zeros(3))
+        x = np.eye(3, dtype=np.float32)
+        assert accuracy(model, x, np.array([0, 1, 2])) == 1.0
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Sequential(
+                [Dense(5, "relu"), Dense(2, "sigmoid")],
+                input_width=4,
+                seed=2,
+            ),
+            lambda: Sequential(
+                [Lstm(4), Dense(1, "tanh")], input_width=3, seed=3
+            ),
+        ],
+    )
+    def test_roundtrip_preserves_predictions(self, factory):
+        model = factory()
+        clone = model_from_dict(model_to_dict(model))
+        x = np.random.default_rng(4).normal(
+            size=(6, model.input_width)
+        ).astype(np.float32)
+        np.testing.assert_array_equal(
+            model.predict(x), clone.predict(x)
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        model = Sequential([Dense(2)], input_width=2, seed=5)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        clone = load_model(path)
+        x = np.ones((1, 2), dtype=np.float32)
+        np.testing.assert_array_equal(model.predict(x), clone.predict(x))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"format": "other"})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"format": "repro-model", "version": 2})
+
+    def test_unknown_layer_type_rejected(self):
+        with pytest.raises(ModelError, match="conv"):
+            model_from_dict(
+                {
+                    "format": "repro-model",
+                    "version": 1,
+                    "input_width": 2,
+                    "layers": [{"type": "conv", "units": 1}],
+                }
+            )

@@ -1,0 +1,119 @@
+"""One grand integration test: the paper's whole story in a single flow.
+
+Raw series arrives → windowed in SQL (§4 self-join) → materialized via
+INSERT...SELECT → LSTM published to the catalog (§5.5) → scored by the
+native MODEL JOIN nested inside an aggregation (§5.1 "arbitrary
+queries") → the same scores recomputed with ML-To-SQL and the external
+baseline → all agree → EXPLAIN ANALYZE confirms early pruning.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.client.external import ExternalInference
+from repro.core.ml_to_sql.generator import MlToSqlModelJoin
+from repro.core.registry import publish_model
+from repro.core.validation import verify_model_table
+from repro.workloads.models import make_lstm_model
+from repro.workloads.timeseries import (
+    load_series_table,
+    windowed_view_query,
+)
+
+STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    db = repro.connect()
+    series = load_series_table(db, rows=600, time_steps=STEPS, seed=3)
+    db.execute(
+        "CREATE TABLE windows (id INTEGER, x1 FLOAT, x2 FLOAT, x3 FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO windows " + windowed_view_query("sinus", STEPS)
+    )
+    model = make_lstm_model(6, time_steps=STEPS, seed=11)
+    publish_model(db, "forecaster", model)
+    return db, series, model
+
+
+class TestEndToEnd:
+    def test_windowing_materialized(self, pipeline):
+        db, series, _ = pipeline
+        ids, windows = series.windows()
+        assert db.table("windows").row_count == len(ids)
+        stored = db.execute(
+            "SELECT id, x1, x2, x3 FROM windows ORDER BY id"
+        )
+        np.testing.assert_allclose(
+            np.column_stack(
+                [stored.column(f"x{s}") for s in range(1, STEPS + 1)]
+            ),
+            windows,
+            atol=1e-6,
+        )
+
+    def test_catalog_is_sane(self, pipeline):
+        db, _, _ = pipeline
+        assert verify_model_table(db, "forecaster").ok
+
+    def test_three_paths_agree(self, pipeline):
+        db, series, model = pipeline
+        _, windows = series.windows()
+        reference = model.predict(windows)
+
+        native = db.execute(
+            "SELECT id, prediction_0 FROM windows "
+            "MODEL JOIN forecaster USING (x1, x2, x3) ORDER BY id"
+        ).column("prediction_0")
+        np.testing.assert_allclose(
+            native, reference[:, 0], atol=1e-4
+        )
+
+        mlsql = MlToSqlModelJoin(db, model, model_table="fc_sql")
+        np.testing.assert_allclose(
+            mlsql.predict("windows", "id", ["x1", "x2", "x3"]),
+            reference,
+            atol=1e-4,
+        )
+
+        external = ExternalInference(db, model)
+        report = external.run("windows", "id", ["x1", "x2", "x3"])
+        np.testing.assert_allclose(
+            report.predictions, reference, atol=1e-4
+        )
+
+    def test_inference_nested_in_aggregation(self, pipeline):
+        db, series, model = pipeline
+        _, windows = series.windows()
+        reference = model.predict(windows)[:, 0]
+        result = db.execute(
+            "SELECT b.bucket AS bucket, AVG(b.prediction_0) AS score, "
+            "COUNT(*) AS n FROM "
+            "(SELECT id - MOD(id, 100) AS bucket, prediction_0 "
+            " FROM windows MODEL JOIN forecaster USING (x1, x2, x3)) AS b "
+            "GROUP BY b.bucket ORDER BY bucket"
+        )
+        ids, _ = series.windows()
+        buckets = ids - np.mod(ids, 100)
+        for bucket, score, count in result.rows:
+            mask = buckets == bucket
+            assert count == int(mask.sum())
+            assert score == pytest.approx(
+                float(reference[mask].mean()), abs=1e-4
+            )
+
+    def test_early_pruning_visible_in_analyze(self, pipeline):
+        db, _, _ = pipeline
+        plan, result = db.explain_analyze(
+            "SELECT w.id, prediction_0 FROM windows AS w "
+            "MODEL JOIN forecaster USING (x1, x2, x3) "
+            "WHERE w.id < 52"
+        )
+        assert result.row_count == 50  # window ids start at STEPS - 1
+        modeljoin_line = next(
+            line for line in plan.splitlines() if "ModelJoin" in line
+        )
+        assert "[rows: 50]" in modeljoin_line  # pruned before inference

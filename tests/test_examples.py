@@ -1,0 +1,81 @@
+"""Run every example script end-to-end.
+
+Examples are the public face of the library; these tests keep them
+executable and assert the key lines of their output, so documentation
+rot fails CI rather than users.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.example
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "ML-To-SQL generated" in output
+    assert "native MODEL JOIN" in output
+    assert "TF(Python) baseline" in output
+    # Every approach must agree with the reference closely.
+    for line in output.splitlines():
+        if "max |err|" in line:
+            error = float(line.rsplit(":", 1)[1])
+            assert error < 1e-3, line
+
+
+@pytest.mark.example
+def test_iris_classification():
+    output = run_example("iris_classification.py")
+    in_db = next(
+        line for line in output.splitlines() if "in-database accuracy" in line
+    )
+    accuracy = float(in_db.rsplit(":", 1)[1])
+    assert accuracy > 0.9
+    assert "avg virginica score by true species" in output
+
+
+@pytest.mark.example
+def test_timeseries_forecast():
+    output = run_example("timeseries_forecast.py")
+    assert "window rows: 1998" in output
+    for line in output.splitlines():
+        if "max |err|" in line:
+            error = float(line.rsplit(":", 1)[1])
+            assert error < 1e-3, line
+
+
+@pytest.mark.example
+def test_sensor_pipeline():
+    output = run_example("sensor_pipeline.py")
+    assert "alarms per site" in output
+    summary = next(
+        line for line in output.splitlines() if "alarms raised" in line
+    )
+    alarms = int(summary.split()[0])
+    planted = int(summary.split(",")[1].split()[0])
+    # The detector finds roughly the planted anomalies.
+    assert 0.5 * planted <= alarms <= 2.0 * planted
+
+
+@pytest.mark.example
+def test_model_catalog():
+    output = run_example("model_catalog.py")
+    assert "registered models" in output
+    assert "clf_v1" in output and "clf_v2" in output
+    assert "calibrated cost model predicts" in output
+    assert "clf_v1 registered? False" in output

@@ -1,0 +1,126 @@
+"""Package-level wiring: attach/connect, version, error hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import errors
+
+
+class TestWiring:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_connect_enables_model_join(self, small_dense_model):
+        from repro.core.registry import publish_model
+
+        db = repro.connect()
+        db.execute(
+            "CREATE TABLE t (id INTEGER, a FLOAT, b FLOAT, c FLOAT, "
+            "d FLOAT)"
+        )
+        db.execute("INSERT INTO t VALUES (1, 0.1, 0.2, 0.3, 0.4)")
+        publish_model(db, "m", small_dense_model)
+        result = db.execute("SELECT id, prediction_0 FROM t MODEL JOIN m")
+        assert result.row_count == 1
+
+    def test_attach_returns_database(self):
+        db = repro.Database()
+        assert repro.attach(db) is db
+
+    def test_plain_database_lacks_model_join(self):
+        from repro.errors import PlanError
+
+        db = repro.Database()
+        db.execute("CREATE TABLE t (a FLOAT)")
+        with pytest.raises(PlanError):
+            db.execute("SELECT * FROM t MODEL JOIN m")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.DatabaseError,
+            errors.ModelError,
+            errors.DeviceError,
+            errors.ModelJoinError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.CatalogError,
+            errors.SqlSyntaxError,
+            errors.BindError,
+            errors.PlanError,
+            errors.ExecutionError,
+            errors.TypeMismatchError,
+        ],
+    )
+    def test_database_errors(self, subclass):
+        assert issubclass(subclass, errors.DatabaseError)
+
+    def test_unsupported_model_is_modeljoin_error(self):
+        assert issubclass(
+            errors.UnsupportedModelError, errors.ModelJoinError
+        )
+
+    def test_syntax_error_carries_position(self):
+        error = errors.SqlSyntaxError("bad", position=42)
+        assert "position 42" in str(error)
+        assert error.position == 42
+
+    def test_one_except_catches_everything(self):
+        caught = 0
+        for raise_one in (
+            lambda: (_ for _ in ()).throw(errors.BindError("x")),
+            lambda: (_ for _ in ()).throw(errors.ModelGraphError("x")),
+            lambda: (_ for _ in ()).throw(errors.DeviceError("x")),
+        ):
+            try:
+                next(raise_one())
+            except errors.ReproError:
+                caught += 1
+        assert caught == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=-(2**40), max_value=2**40),
+            st.floats(
+                allow_nan=False, width=32, min_value=-1e6, max_value=1e6
+            ),
+            st.booleans(),
+        ),
+        max_size=30,
+    )
+)
+def test_csv_roundtrip_property(tmp_path_factory, rows):
+    """Property: export -> load reproduces any numeric/boolean table."""
+    from repro.db.csv_io import export_csv, load_csv
+
+    tmp_path = tmp_path_factory.mktemp("csv")
+    db = repro.Database()
+    db.execute("CREATE TABLE t (i INTEGER, v FLOAT, ok BOOLEAN)")
+    clean = [(i, float(np.float32(v)), ok) for i, v, ok in rows]
+    if clean:
+        db.table("t").append_rows(clean)
+    path = tmp_path / "dump.csv"
+    export_csv(db, path, query="SELECT * FROM t")
+    db.execute("CREATE TABLE back (i INTEGER, v FLOAT, ok BOOLEAN)")
+    load_csv(db, "back", path)
+    original = db.execute("SELECT * FROM t").rows
+    reloaded = db.execute("SELECT * FROM back").rows
+    assert len(original) == len(reloaded)
+    for left, right in zip(sorted(original), sorted(reloaded)):
+        assert left[0] == right[0]
+        assert np.float32(left[1]) == np.float32(right[1])
+        assert left[2] == right[2]

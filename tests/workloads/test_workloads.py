@@ -1,0 +1,148 @@
+"""Workload generators: Iris, sinus series, model grid."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.workloads.iris import FEATURE_COLUMNS, IrisDataset, load_iris_table
+from repro.workloads.models import (
+    DENSE_GRID,
+    LSTM_WIDTHS,
+    make_dense_model,
+    make_lstm_model,
+    parameter_count_formula,
+)
+from repro.workloads.timeseries import (
+    SinusSeries,
+    load_series_table,
+    load_windowed_series_table,
+    windowed_view_query,
+)
+
+
+class TestIris:
+    def test_deterministic(self):
+        a = IrisDataset.generate(seed=1)
+        b = IrisDataset.generate(seed=1)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_class_balance(self):
+        dataset = IrisDataset.generate(rows=150)
+        counts = np.bincount(dataset.labels)
+        assert counts.tolist() == [50, 50, 50]
+
+    def test_replication(self):
+        dataset = IrisDataset.generate().replicated(400)
+        assert len(dataset) == 400
+        np.testing.assert_array_equal(
+            dataset.features[:150], dataset.features[150:300]
+        )
+
+    def test_classes_are_separable_enough(self):
+        # Setosa's petal length is far from virginica's — the synthetic
+        # clusters must preserve that structure for the examples.
+        dataset = IrisDataset.generate(rows=300, seed=0)
+        setosa = dataset.features[dataset.labels == 0, 2].mean()
+        virginica = dataset.features[dataset.labels == 2, 2].mean()
+        assert virginica - setosa > 3.0
+
+    def test_load_iris_table(self):
+        db = repro.connect()
+        dataset = load_iris_table(db, 777, num_partitions=3)
+        table = db.table("iris")
+        assert table.row_count == 777
+        assert table.num_partitions == 3
+        assert table.sort_key == ("id",)
+        assert len(dataset) == 777
+        result = db.execute("SELECT id, sepal_length FROM iris ORDER BY id")
+        assert result.row_count == 777
+        assert set(FEATURE_COLUMNS) < set(table.schema.names)
+
+    def test_load_replace(self):
+        db = repro.connect()
+        load_iris_table(db, 10)
+        load_iris_table(db, 20, replace=True)
+        assert db.table("iris").row_count == 20
+
+
+class TestSinusSeries:
+    def test_windows_shape_and_alignment(self):
+        series = SinusSeries.generate(rows=20, time_steps=3, noise=0.0)
+        ids, windows = series.windows()
+        assert windows.shape == (18, 3)
+        assert ids[0] == 2
+        np.testing.assert_allclose(windows[0], series.values[:3])
+
+    def test_windows_too_short_series(self):
+        series = SinusSeries.generate(rows=2, time_steps=5)
+        ids, windows = series.windows()
+        assert len(ids) == 0 and windows.shape == (0, 5)
+
+    def test_targets_are_next_values(self):
+        series = SinusSeries.generate(rows=10, time_steps=3, noise=0.0)
+        targets = series.targets()
+        np.testing.assert_allclose(targets, series.values[3:])
+
+    def test_windowed_table_matches_sql_self_join(self):
+        db = repro.connect()
+        raw = load_series_table(db, 50, time_steps=3, seed=9)
+        load_windowed_series_table(
+            db, 48, table_name="w", time_steps=3, seed=9
+        )
+        del raw
+        view = db.execute(
+            windowed_view_query("sinus", 3) + " ORDER BY id"
+        )
+        table = db.execute("SELECT * FROM w ORDER BY id")
+        assert view.rows == pytest.approx(table.rows)
+
+    def test_windowed_loader_row_count(self):
+        db = repro.connect()
+        load_windowed_series_table(db, 100, time_steps=4)
+        assert db.table("sinus_windows").row_count == 100
+        assert db.table("sinus_windows").schema.names == (
+            "id",
+            "x1",
+            "x2",
+            "x3",
+            "x4",
+        )
+
+
+class TestModelFactory:
+    def test_paper_grid(self):
+        assert len(DENSE_GRID) == 9
+        assert LSTM_WIDTHS == (32, 128, 512)
+
+    def test_dense_structure(self):
+        model = make_dense_model(16, 3)
+        assert len(model.layers) == 4  # 3 hidden + output
+        assert all(layer.units == 16 for layer in model.layers[:3])
+        assert model.layers[-1].units == 1
+        assert model.input_width == 4
+
+    def test_lstm_structure(self):
+        model = make_lstm_model(8, time_steps=3)
+        assert model.has_lstm
+        assert model.time_steps == 3
+        assert model.layers[0].units == 8
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            make_dense_model(0, 2)
+        with pytest.raises(ValueError):
+            make_lstm_model(4, time_steps=0)
+
+    def test_parameter_formula_matches_paper_example(self):
+        # "the model with width 512 and depth 8 having
+        #  4*512 + 7*512^2 + 512 ~= 1.8e6 parameters"
+        assert parameter_count_formula(512, 8) == (
+            4 * 512 + 7 * 512 * 512 + 512
+        )
+
+    def test_formula_tracks_actual_weight_count(self):
+        model = make_dense_model(32, 4)
+        weights_only = sum(
+            layer.kernel.size for layer in model.layers
+        )
+        assert parameter_count_formula(32, 4) == weights_only
