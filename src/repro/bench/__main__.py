@@ -2,11 +2,17 @@
 
 Usage::
 
-    python -m repro.bench fig8   [--preset smoke|default|paper] [--out F]
-    python -m repro.bench fig9   ...
-    python -m repro.bench table2 ...
-    python -m repro.bench table3 ...
-    python -m repro.bench all    ...
+    python -m repro.bench fig8    [--preset smoke|default|paper] [--out F]
+    python -m repro.bench fig9    ...
+    python -m repro.bench table2  ...
+    python -m repro.bench table3  ...
+    python -m repro.bench all     ...
+    python -m repro.bench serving --check-regression [--json BENCH_pr1.json]
+
+The ``serving`` experiment measures cold vs warm ModelJoin latency
+(the cross-query model build cache); with ``--check-regression`` it
+exits non-zero unless every warm query beats its cold counterpart with
+bit-exact predictions, and writes the evidence as JSON.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.bench.harness import (
     run_lstm_sweep,
 )
 from repro.bench.reporting import (
+    format_counter_summary,
     format_memory_table,
     format_qualitative_table,
     format_runtime_series,
@@ -35,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig8", "fig9", "table2", "table3", "all"],
+        choices=["fig8", "fig9", "table2", "table3", "all", "serving"],
     )
     parser.add_argument(
         "--preset",
@@ -58,6 +65,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated subset of the Figure-8/9 variant names",
     )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="serving experiment: fail unless warm beats cold",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_pr1.json",
+        help="serving experiment: where to write the JSON evidence",
+    )
     arguments = parser.parse_args(argv)
     config = BenchConfig.from_preset(arguments.preset)
     if arguments.parallel:
@@ -68,6 +85,27 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_variants(
             tuple(name.strip() for name in arguments.variants.split(","))
         )
+
+    if arguments.experiment == "serving":
+        from repro.bench.serving import (
+            format_serving_report,
+            run_cache_serving,
+            write_report,
+        )
+
+        report = run_cache_serving(config)
+        rendered = format_serving_report(report)
+        print(rendered)
+        if arguments.json:
+            write_report(report, arguments.json)
+            print(f"\nwrote {arguments.json}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check_regression and not report["ok"]:
+            print("regression check FAILED", file=sys.stderr)
+            return 1
+        return 0
 
     sections: list[str] = []
     all_points = []
@@ -107,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(
             format_qualitative_table(runtime_points, memory_points)
         )
+    counter_section = format_counter_summary(all_points)
+    if counter_section:
+        sections.append(counter_section)
 
     report = "\n\n".join(sections)
     print(report)

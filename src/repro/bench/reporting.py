@@ -340,13 +340,42 @@ def format_qualitative_table(
     return "\n".join(lines)
 
 
+def format_counter_summary(points: list[SweepPoint]) -> str:
+    """Aggregate the engine's profile counters across sweep points.
+
+    Surfaces the performance-layer observability: model-cache hits and
+    misses, morsels executed (total and per worker), and the bytes of
+    allocation the inference buffer arenas avoided.  Returns "" when no
+    point carries counters (external variants, old recordings).
+    """
+    totals: dict[str, int] = defaultdict(int)
+    for point in points:
+        for name, value in point.extra.get("counters", {}).items():
+            totals[name] += value
+    if not totals:
+        return ""
+    title = "Engine counters (aggregated over the sweep)"
+    lines = [title, "=" * len(title)]
+    for name in sorted(totals):
+        if name == "buffer-bytes-reused":
+            rendered = format_bytes(totals[name])
+        else:
+            rendered = str(totals[name])
+        lines.append(f"{name:<28} {rendered}")
+    return "\n".join(lines)
+
+
 def points_to_csv(points: list[SweepPoint]) -> str:
     """Machine-readable dump of a sweep."""
     lines = [
         "experiment,variant,rows,width,depth,seconds,wall_seconds,"
-        "peak_memory_bytes,skipped,note"
+        "peak_memory_bytes,skipped,note,counters"
     ]
     for point in points:
+        counters = point.extra.get("counters", {})
+        rendered_counters = ";".join(
+            f"{name}={counters[name]}" for name in sorted(counters)
+        )
         lines.append(
             ",".join(
                 [
@@ -364,6 +393,7 @@ def points_to_csv(points: list[SweepPoint]) -> str:
                     else str(point.peak_memory_bytes),
                     str(point.skipped),
                     '"' + point.note.replace('"', "'") + '"',
+                    '"' + rendered_counters + '"',
                 ]
             )
         )

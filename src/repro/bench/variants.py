@@ -120,7 +120,10 @@ class _NativeVariant(Variant):
             peak_memory_bytes=profile.peak_memory_bytes,
             rows=profile.rows_returned,
             predictions=predictions if env.keep_predictions else None,
-            extra={"phases": dict(profile.stopwatch.phases)},
+            extra={
+                "phases": dict(profile.stopwatch.phases),
+                "counters": profile.counters.snapshot(),
+            },
         )
 
 
@@ -151,7 +154,10 @@ class _RuntimeApiVariant(Variant):
             peak_memory_bytes=profile.peak_memory_bytes,
             rows=profile.rows_returned,
             predictions=predictions if env.keep_predictions else None,
-            extra={"phases": dict(profile.stopwatch.phases)},
+            extra={
+                "phases": dict(profile.stopwatch.phases),
+                "counters": profile.counters.snapshot(),
+            },
         )
 
 

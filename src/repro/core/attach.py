@@ -10,11 +10,26 @@ def attach(database: Database) -> Database:
 
     After attaching, ``SELECT * FROM t MODEL JOIN m`` works against
     models registered in the catalog (paper Sections 1 and 5.5).
-    Returns the database for chaining.
+
+    Also installs the engine-lifetime :class:`ModelCache`: finalized
+    model builds are reused across queries, and the catalog's
+    invalidation listeners keep the cache correct under DROP TABLE and
+    model re-registration (INSERTs are handled by version-aware cache
+    keys).  Returns the database for chaining.
     """
+    from repro.core.modeljoin.cache import ModelCache
     from repro.core.modeljoin.operator import modeljoin_operator_factory
 
-    database.set_modeljoin_factory(modeljoin_operator_factory)
+    if database.model_cache is None:
+        cache = ModelCache()
+        database.model_cache = cache
+        database.catalog.add_invalidation_listener(cache.invalidate_table)
+
+    def factory(**kwargs):
+        kwargs.setdefault("model_cache", database.model_cache)
+        return modeljoin_operator_factory(**kwargs)
+
+    database.set_modeljoin_factory(factory)
     return database
 
 

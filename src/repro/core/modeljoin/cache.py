@@ -1,0 +1,176 @@
+"""Cross-query cache of finalized ModelJoin builds.
+
+The paper's headline result amortizes the model build over a query's
+many inference vectors; a *serving* workload (the same scoring query
+arriving over and over) additionally wants the build amortized over
+queries.  "Serving Deep Learning Model in Relational Databases"
+(PAPERS.md) identifies exactly this model/state caching across
+invocations as the gap between one-shot benchmarks and a serving-grade
+stack.
+
+The cache maps a :class:`CacheKey` to the finalized
+:class:`~repro.core.modeljoin.builder.BuiltModel`.  The key carries
+everything the build depends on:
+
+* the model table's identity (``uid``) and data ``version`` — an
+  INSERT bumps the version, so stale builds simply stop matching;
+* the registered model name (re-registration under the same name is
+  additionally invalidated eagerly through the catalog's invalidation
+  listeners, as is DROP TABLE);
+* the device name, the vector size (bias-matrix replication is sized
+  by it) and the ``replicate_bias`` flag.
+
+Entries are LRU-evicted once the configured byte cap is exceeded;
+bytes are tracked by a :class:`~repro.db.profiler.MemoryAccountant`
+under the ``model-cache`` category, so the resident footprint is
+observable like every other engine allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.modeljoin.builder import BuiltModel
+from repro.db.profiler import MemoryAccountant
+from repro.db.table import Table
+
+#: default cap on resident cached model bytes (weights + bias matrices)
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+MEMORY_CATEGORY = "model-cache"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything a finalized build depends on."""
+
+    model_table: str
+    table_uid: int
+    table_version: int
+    model_name: str
+    device: str
+    vector_size: int
+    replicate_bias: bool
+
+    @classmethod
+    def for_build(
+        cls,
+        model_table: Table,
+        model_name: str,
+        device_name: str,
+        vector_size: int,
+        replicate_bias: bool,
+    ) -> "CacheKey":
+        return cls(
+            model_table=model_table.name.lower(),
+            table_uid=model_table.uid,
+            table_version=model_table.version,
+            model_name=model_name.lower(),
+            device=device_name,
+            vector_size=vector_size,
+            replicate_bias=replicate_bias,
+        )
+
+
+class ModelCache:
+    """Engine-lifetime LRU cache of finalized model builds.
+
+    Thread-safe: partition pipelines of concurrent queries may look up
+    and insert under contention.  The cache owns its own accountant
+    because its contents outlive any single query's context.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.memory = MemoryAccountant()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, BuiltModel] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.memory.current_bytes
+
+    def get(self, key: CacheKey) -> BuiltModel | None:
+        """The cached build for *key*, or None (counts hit/miss)."""
+        with self._lock:
+            built = self._entries.get(key)
+            if built is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return built
+
+    def put(self, key: CacheKey, built: BuiltModel) -> None:
+        """Insert a finalized build, evicting LRU entries over the cap.
+
+        A build larger than the whole cap is not retained at all.
+        """
+        nbytes = built.nominal_bytes()
+        if nbytes > self.capacity_bytes:
+            return
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = built
+            self.memory.allocate(nbytes, MEMORY_CATEGORY)
+            while (
+                self.memory.current_bytes > self.capacity_bytes
+                and len(self._entries) > 1
+            ):
+                victim_key, victim = self._entries.popitem(last=False)
+                if victim_key == key:  # never evict what was just added
+                    self._entries[victim_key] = victim
+                    self._entries.move_to_end(victim_key, last=False)
+                    break
+                self.memory.release(
+                    victim.nominal_bytes(), MEMORY_CATEGORY
+                )
+                self.evictions += 1
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every entry built from *table_name* (DROP/re-register).
+
+        Returns the number of entries removed.  Version-keyed lookups
+        would already miss; eager removal releases the bytes.
+        """
+        name = table_name.lower()
+        with self._lock:
+            stale = [
+                key for key in self._entries if key.model_table == name
+            ]
+            for key in stale:
+                built = self._entries.pop(key)
+                self.memory.release(
+                    built.nominal_bytes(), MEMORY_CATEGORY
+                )
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.memory.reset()
+
+    def statistics(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "resident_bytes": self.memory.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

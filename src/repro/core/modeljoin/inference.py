@@ -10,6 +10,15 @@ replicated each bias vector to ``(vector_size, units)``, the layer
 forward starts from a copy of that matrix and lets ``sgemm`` accumulate
 into it (``y := Ax + y``), turning many fine-grained bias additions
 into one large copy (Section 5.4).
+
+Because the operator runs the same forward for thousands of
+execution vectors, per-vector heap churn is pure overhead: a
+:class:`BufferArena` preallocates every workspace (packed input, layer
+outputs, LSTM gate buffers) at the pipeline's vector size and the
+forwards write into them through the device interface's ``out=``
+contract.  The results are bit-exact with the allocating path — the
+arena only changes *where* the numbers land, never how they are
+computed.
 """
 
 from __future__ import annotations
@@ -21,38 +30,119 @@ from repro.core.modeljoin.builder import (
     DenseLayerWeights,
     LstmLayerWeights,
 )
+from repro.db.profiler import ProfileCounters
 from repro.device.base import Device
 from repro.errors import ModelJoinError
 
 
-def pack_columns(columns: list[np.ndarray]) -> np.ndarray:
+def pack_columns(
+    columns: list[np.ndarray], out: np.ndarray | None = None
+) -> np.ndarray:
     """Copy input column vectors into a row-major (rows, n) matrix.
 
     Each column vector is touched exactly once (first step of Figure 7).
+    With *out* the packing writes into the given preallocated matrix.
     """
     if not columns:
         raise ModelJoinError("inference needs at least one input column")
     rows = len(columns[0])
-    matrix = np.empty((rows, len(columns)), dtype=np.float32)
+    if out is None:
+        matrix = np.empty((rows, len(columns)), dtype=np.float32)
+    else:
+        if out.shape != (rows, len(columns)):
+            raise ModelJoinError(
+                f"pack buffer has shape {out.shape}, "
+                f"need {(rows, len(columns))}"
+            )
+        matrix = out
     for index, column in enumerate(columns):
         matrix[:, index] = column.astype(np.float32, copy=False)
     return matrix
 
 
 def unpack_columns(matrix: np.ndarray) -> list[np.ndarray]:
-    """Break the result matrix back into column vectors (last step)."""
-    return [
-        np.ascontiguousarray(matrix[:, index])
-        for index in range(matrix.shape[1])
-    ]
+    """Break the result matrix back into column vectors (last step).
+
+    Always copies: the matrix may be a reused arena buffer, and the
+    yielded column vectors must survive the next inference call.
+    """
+    return [matrix[:, index].copy() for index in range(matrix.shape[1])]
+
+
+class BufferArena:
+    """Named, preallocated float32 workspaces for one pipeline.
+
+    ``take(tag, rows, cols)`` returns a ``(rows, cols)`` view of a
+    buffer allocated once at ``max(rows, capacity_rows)`` rows; the
+    same tag returns the same storage on every subsequent vector, so
+    the steady state of the inference loop allocates nothing.  Not
+    thread-safe by design — each partition pipeline owns its own arena.
+    """
+
+    def __init__(
+        self,
+        capacity_rows: int,
+        counters: ProfileCounters | None = None,
+    ):
+        if capacity_rows < 1:
+            raise ModelJoinError("arena capacity must be positive")
+        self.capacity_rows = capacity_rows
+        self.counters = counters
+        self._buffers: dict[str, np.ndarray] = {}
+        #: bytes of allocation avoided by handing out reused buffers
+        self.reused_bytes = 0
+
+    def take(self, tag: str, rows: int, cols: int) -> np.ndarray:
+        buffer = self._buffers.get(tag)
+        if (
+            buffer is None
+            or buffer.shape[0] < rows
+            or buffer.shape[1] != cols
+        ):
+            capacity = max(rows, self.capacity_rows)
+            buffer = np.empty((capacity, cols), dtype=np.float32)
+            self._buffers[tag] = buffer
+        else:
+            saved = rows * cols * buffer.itemsize
+            self.reused_bytes += saved
+            if self.counters is not None:
+                self.counters.increment("buffer-bytes-reused", saved)
+        return buffer[:rows]
+
+    def nominal_bytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
 
 
 class VectorizedInference:
-    """Executes the layer-forward functions for one built model."""
+    """Executes the layer-forward functions for one built model.
 
-    def __init__(self, built: BuiltModel, device: Device):
+    With *vector_size* set, a :class:`BufferArena` is installed and all
+    forwards reuse preallocated workspaces; the returned result matrix
+    is then a live buffer that the caller must copy out of (which
+    :func:`unpack_columns` does) before the next :meth:`infer` call.
+    Without it, every call allocates fresh arrays — the contract the
+    pre-arena callers rely on.
+    """
+
+    def __init__(
+        self,
+        built: BuiltModel,
+        device: Device,
+        vector_size: int | None = None,
+        counters: ProfileCounters | None = None,
+    ):
         self.built = built
         self.device = device
+        self.arena = (
+            BufferArena(vector_size, counters)
+            if vector_size is not None
+            else None
+        )
+
+    def _take(self, tag: str, rows: int, cols: int) -> np.ndarray | None:
+        if self.arena is None:
+            return None
+        return self.arena.take(tag, rows, cols)
 
     def infer(self, input_matrix: np.ndarray) -> np.ndarray:
         """Run the model for a packed ``(rows, input_width)`` matrix.
@@ -66,11 +156,12 @@ class VectorizedInference:
             )
         device = self.device
         current = device.to_device(input_matrix)
-        for layer in self.built.layers:
+        for index, layer in enumerate(self.built.layers):
+            prefix = f"layer{index}"
             if isinstance(layer, DenseLayerWeights):
-                current = self._dense_forward(layer, current)
+                current = self._dense_forward(layer, current, prefix)
             else:
-                current = self._lstm_forward(layer, current)
+                current = self._lstm_forward(layer, current, prefix)
         return device.to_host(current)
 
     # ------------------------------------------------------------------
@@ -95,17 +186,31 @@ class VectorizedInference:
         return bias[np.newaxis, :]
 
     def _dense_forward(
-        self, layer: DenseLayerWeights, current: np.ndarray
+        self,
+        layer: DenseLayerWeights,
+        current: np.ndarray,
+        prefix: str = "dense",
     ) -> np.ndarray:
         device = self.device
+        rows = current.shape[0]
         accumulator = self._bias_accumulator(
-            layer.bias, layer.bias_matrix, current.shape[0]
+            layer.bias, layer.bias_matrix, rows
         )
-        pre = device.gemm(current, layer.kernel, accumulate=accumulator)
-        return device.activation(layer.activation, pre)
+        out = self._take(prefix, rows, layer.kernel.shape[1])
+        pre = device.gemm(
+            current, layer.kernel, accumulate=accumulator, out=out
+        )
+        # With an arena the activation runs in place over the gemm
+        # output; without one it allocates, as it always has.
+        return device.activation(
+            layer.activation, pre, out=pre if out is not None else None
+        )
 
     def _lstm_forward(
-        self, layer: LstmLayerWeights, sequence: np.ndarray
+        self,
+        layer: LstmLayerWeights,
+        sequence: np.ndarray,
+        prefix: str = "lstm",
     ) -> np.ndarray:
         """Listing 5: the LSTM layer forward via BLAS primitives."""
         device = self.device
@@ -118,41 +223,85 @@ class VectorizedInference:
                 f"provides {steps}"
             )
         units = layer.units
+        gates = layer.kernel.shape[1]
         hidden: np.ndarray | None = None
         cell: np.ndarray | None = None
         for step in range(steps):
-            x_t = np.ascontiguousarray(
-                sequence[:, step * features : (step + 1) * features]
-            )
+            window = sequence[:, step * features : (step + 1) * features]
+            if self.arena is None:
+                x_t = np.ascontiguousarray(window)
+            else:
+                x_t = self.arena.take(f"{prefix}-x", rows, features)
+                np.copyto(x_t, window)
             accumulator = self._bias_accumulator(
                 layer.bias, layer.bias_matrix, rows
             )
             # z_x := x W + b (sger for the rank-1 scalar-series case).
-            z = device.gemm(x_t, layer.kernel, accumulate=accumulator)
+            z = device.gemm(
+                x_t,
+                layer.kernel,
+                accumulate=accumulator,
+                out=self._take(f"{prefix}-z", rows, gates),
+            )
             if hidden is not None:
                 # z_x := h U + z_x (sgemm accumulate).
+                recurrent = device.gemm(
+                    hidden,
+                    layer.recurrent_kernel,
+                    out=self._take(f"{prefix}-hz", rows, gates),
+                )
                 z = device.add(
-                    z, device.gemm(hidden, layer.recurrent_kernel)
+                    z, recurrent, out=z if self.arena is not None else None
                 )
             gate_i = device.activation(
-                layer.recurrent_activation, z[:, :units]
+                layer.recurrent_activation,
+                z[:, :units],
+                out=self._take(f"{prefix}-gi", rows, units),
             )
             gate_f = device.activation(
-                layer.recurrent_activation, z[:, units : 2 * units]
+                layer.recurrent_activation,
+                z[:, units : 2 * units],
+                out=self._take(f"{prefix}-gf", rows, units),
             )
             candidate = device.activation(
-                layer.activation, z[:, 2 * units : 3 * units]
+                layer.activation,
+                z[:, 2 * units : 3 * units],
+                out=self._take(f"{prefix}-cand", rows, units),
             )
             gate_o = device.activation(
-                layer.recurrent_activation, z[:, 3 * units :]
+                layer.recurrent_activation,
+                z[:, 3 * units :],
+                out=self._take(f"{prefix}-go", rows, units),
             )
-            fresh = device.multiply(gate_i, candidate)  # vsMul
+            fresh = device.multiply(  # vsMul
+                gate_i,
+                candidate,
+                out=self._take(f"{prefix}-fresh", rows, units),
+            )
             if cell is None:
-                cell = device.copy(fresh)
+                cell = device.copy(
+                    fresh, out=self._take(f"{prefix}-cell", rows, units)
+                )
             else:
-                cell = device.add(device.multiply(gate_f, cell), fresh)
+                decayed = device.multiply(
+                    gate_f,
+                    cell,
+                    out=self._take(f"{prefix}-decay", rows, units),
+                )
+                cell = device.add(
+                    decayed,
+                    fresh,
+                    out=cell if self.arena is not None else None,
+                )
+            activated = device.activation(
+                layer.activation,
+                cell,
+                out=self._take(f"{prefix}-ac", rows, units),
+            )
             hidden = device.multiply(
-                gate_o, device.activation(layer.activation, cell)
+                gate_o,
+                activated,
+                out=self._take(f"{prefix}-hidden", rows, units),
             )
         if hidden is None:
             raise ModelJoinError("LSTM with zero time steps")

@@ -17,7 +17,8 @@ from __future__ import annotations
 import threading
 from collections.abc import Iterator
 
-from repro.core.modeljoin.builder import ModelBuilder
+from repro.core.modeljoin.builder import BuiltModel, ModelBuilder
+from repro.core.modeljoin.cache import CacheKey, ModelCache
 from repro.core.modeljoin.inference import (
     VectorizedInference,
     pack_columns,
@@ -43,6 +44,11 @@ _shared_state_lock = threading.Lock()
 class ModelJoinOperator(UnaryOperator):
     """Native ModelJoin: child (input flow) x model table -> predictions."""
 
+    # inference is per-vector and the build is coordinated through
+    # shared state, not through which morsels this pipeline scans — so
+    # the input flow may come from a shared morsel queue
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,
@@ -54,12 +60,14 @@ class ModelJoinOperator(UnaryOperator):
         device: Device | None = None,
         partition_index: int | None = None,
         replicate_bias: bool = True,
+        model_cache: ModelCache | None = None,
     ):
         self.metadata = metadata
         self.model_table = model_table
         self.device = device or HostDevice()
         self.partition_index = partition_index or 0
         self.replicate_bias = replicate_bias
+        self.model_cache = model_cache
         self.output_prefix = output_prefix
         self.input_columns = self._resolve_input_columns(
             child.schema, metadata, input_columns
@@ -110,7 +118,24 @@ class ModelJoinOperator(UnaryOperator):
     # ------------------------------------------------------------------
     # build phase
     # ------------------------------------------------------------------
-    def _shared_builder(self) -> ModelBuilder:
+    def _cache_key(self) -> CacheKey:
+        return CacheKey.for_build(
+            self.model_table,
+            self.metadata.model_name,
+            self.device.name,
+            self.context.vector_size,
+            self.replicate_bias,
+        )
+
+    def _shared_decision(self) -> tuple[str, object, CacheKey | None]:
+        """Hit the cache or create the shared builder — once per query.
+
+        All partition pipelines of one query must agree: a cache hit
+        skips the build barrier entirely, so a mixed hit/miss within
+        one query would deadlock the pipelines that wait.  The first
+        pipeline to arrive decides under the shared-state lock and the
+        rest follow its decision.
+        """
         key = (
             "modeljoin",
             self.model_table.name.lower(),
@@ -118,17 +143,31 @@ class ModelJoinOperator(UnaryOperator):
             self.output_prefix,
         )
         with _shared_state_lock:
-            builder = self.context.shared_state.get(key)
-            if builder is None:
-                builder = ModelBuilder(
-                    input_width=self.metadata.input_width,
-                    layers=list(self.metadata.layers),
-                    parties=self.context.parallelism,
-                    vector_size=self.context.vector_size,
-                    replicate_bias=self.replicate_bias,
-                )
-                self.context.shared_state[key] = builder
-            return builder
+            decision = self.context.shared_state.get(key)
+            if decision is None:
+                built: BuiltModel | None = None
+                cache_key: CacheKey | None = None
+                if self.model_cache is not None:
+                    cache_key = self._cache_key()
+                    built = self.model_cache.get(cache_key)
+                if built is not None:
+                    self.context.counters.increment("model-cache-hits")
+                    decision = ("hit", built, cache_key)
+                else:
+                    if self.model_cache is not None:
+                        self.context.counters.increment(
+                            "model-cache-misses"
+                        )
+                    builder = ModelBuilder(
+                        input_width=self.metadata.input_width,
+                        layers=list(self.metadata.layers),
+                        parties=self.context.parallelism,
+                        vector_size=self.context.vector_size,
+                        replicate_bias=self.replicate_bias,
+                    )
+                    decision = ("miss", builder, cache_key)
+                self.context.shared_state[key] = decision
+            return decision
 
     def _my_model_partitions(self) -> list[int]:
         """Model-table partitions this pipeline parses (round-robin)."""
@@ -137,22 +176,40 @@ class ModelJoinOperator(UnaryOperator):
         return list(range(self.partition_index, total, stride))
 
     def _build(self) -> VectorizedInference:
-        builder = self._shared_builder()
-        # The model side is drained in large batches: the build phase
-        # is bulk weight placement, not tuple-at-a-time processing, so
-        # there is no reason to chop it into execution-sized vectors.
-        build_vector_size = max(self.context.vector_size, 65536)
         with self.context.stopwatch.measure("modeljoin-build"):
-            for partition in self._my_model_partitions():
-                for batch in self.model_table.scan_partition(
-                    partition, vector_size=build_vector_size
+            kind, payload, cache_key = self._shared_decision()
+            if kind == "hit":
+                # Served from the cross-query cache: no model-table
+                # scan, no barrier — the build phase is just the lookup.
+                built = payload
+            else:
+                builder = payload
+                # The model side is drained in large batches: the build
+                # phase is bulk weight placement, not tuple-at-a-time
+                # processing, so there is no reason to chop it into
+                # execution-sized vectors.
+                build_vector_size = max(self.context.vector_size, 65536)
+                for partition in self._my_model_partitions():
+                    for batch in self.model_table.scan_partition(
+                        partition, vector_size=build_vector_size
+                    ):
+                        builder.consume_batch(batch)
+                built = builder.wait_and_finalize(self.device)
+                if (
+                    self.partition_index == 0
+                    and self.model_cache is not None
+                    and cache_key is not None
                 ):
-                    builder.consume_batch(batch)
-            built = builder.wait_and_finalize(self.device)
+                    self.model_cache.put(cache_key, built)
         if self.partition_index == 0:
             self._accounted_bytes = built.nominal_bytes()
             self.context.memory.allocate(self._accounted_bytes, "model")
-        return VectorizedInference(built, self.device)
+        return VectorizedInference(
+            built,
+            self.device,
+            vector_size=self.context.vector_size,
+            counters=self.context.counters,
+        )
 
     # ------------------------------------------------------------------
     # inference phase
@@ -167,8 +224,14 @@ class ModelJoinOperator(UnaryOperator):
             if len(batch) == 0:
                 continue
             with stopwatch.measure("modeljoin-infer"):
+                pack_buffer = None
+                if inference.arena is not None:
+                    pack_buffer = inference.arena.take(
+                        "pack", len(batch), len(self.input_columns)
+                    )
                 matrix = pack_columns(
-                    [batch.column(name) for name in self.input_columns]
+                    [batch.column(name) for name in self.input_columns],
+                    out=pack_buffer,
                 )
                 transient = matrix.nbytes
                 self.context.memory.allocate(transient, "modeljoin-vector")
@@ -206,6 +269,7 @@ def modeljoin_operator_factory(
     output_prefix: str = "prediction",
     partition_index: int | None = None,
     device: Device | None = None,
+    model_cache: ModelCache | None = None,
 ) -> ModelJoinOperator:
     """Factory the planner calls for ``MODEL JOIN`` FROM items."""
     return ModelJoinOperator(
@@ -217,4 +281,5 @@ def modeljoin_operator_factory(
         output_prefix=output_prefix,
         partition_index=partition_index,
         device=device,
+        model_cache=model_cache,
     )

@@ -75,17 +75,20 @@ class NativeModelJoin:
                 device=self.device,
                 partition_index=partition_index if parallelism > 1 else 0,
                 replicate_bias=self.replicate_bias,
+                model_cache=self.database.model_cache,
             )
 
+        pool = self.database.worker_pool if parallelism > 1 else None
         with DeviceWindow(self.device) as window:
             _, batches = run_partitioned(
-                build, parallelism, max_workers=parallelism
+                build, parallelism, pool=pool, morsel_driven=True
             )
         self.last_seconds = window.seconds
         profile = QueryProfile(
             wall_seconds=window.wall_seconds,
             memory=context.memory,
             stopwatch=context.stopwatch,
+            counters=context.counters,
         )
         profile.rows_returned = sum(len(batch) for batch in batches)
         self.last_profile = profile

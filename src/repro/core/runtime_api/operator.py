@@ -34,6 +34,10 @@ from repro.nn.runtime import MlRuntime
 class RuntimeApiOperator(UnaryOperator):
     """child (input flow) -> child columns + runtime predictions."""
 
+    # per-vector inference with no cross-pipeline coupling: safe to
+    # feed from a shared morsel queue
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,

@@ -70,15 +70,17 @@ class RuntimeApiModelJoin:
                 runtime=self.runtime,
             )
 
+        pool = self.database.worker_pool if parallelism > 1 else None
         with DeviceWindow(self.device) as window:
             _, batches = run_partitioned(
-                build, parallelism, max_workers=parallelism
+                build, parallelism, pool=pool, morsel_driven=True
             )
         self.last_seconds = window.seconds
         profile = QueryProfile(
             wall_seconds=window.wall_seconds,
             memory=context.memory,
             stopwatch=context.stopwatch,
+            counters=context.counters,
         )
         profile.rows_returned = sum(len(batch) for batch in batches)
         self.last_profile = profile

@@ -53,11 +53,25 @@ class Catalog:
 
     tables: dict[str, Table] = field(default_factory=dict)
     models: dict[str, ModelMetadata] = field(default_factory=dict)
+    #: callables invoked with a table name whenever that table's
+    #: catalog entry is dropped or replaced — derived caches (the
+    #: ModelJoin build cache) subscribe here to invalidate eagerly
+    invalidation_listeners: list = field(default_factory=list)
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Subscribe *listener(table_name)* to DROP/replace events."""
+        self.invalidation_listeners.append(listener)
+
+    def _notify_invalidation(self, table_name: str) -> None:
+        for listener in self.invalidation_listeners:
+            listener(table_name)
 
     def create_table(self, table: Table, replace: bool = False) -> None:
         key = table.name.lower()
         if key in self.tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
+        if key in self.tables:
+            self._notify_invalidation(key)
         self.tables[key] = table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -67,6 +81,7 @@ class Catalog:
                 return
             raise CatalogError(f"table {name!r} does not exist")
         del self.tables[key]
+        self._notify_invalidation(key)
         # Cascade: forget models whose backing table is gone.
         orphaned = [
             model_name
@@ -100,6 +115,10 @@ class Catalog:
             raise CatalogError(
                 f"model {metadata.model_name!r} is already registered"
             )
+        if key in self.models:
+            # Re-registration changes what the model name means; any
+            # build cached from the previous binding is stale.
+            self._notify_invalidation(self.models[key].table_name.lower())
         self.models[key] = metadata
 
     def model(self, name: str) -> ModelMetadata:

@@ -17,7 +17,7 @@ from repro.db.catalog import Catalog, ModelMetadata
 from repro.db.operators import ExecutionContext, LimitOperator, SortOperator
 from repro.db.operators.base import PhysicalOperator
 from repro.db.expressions import ColumnRef
-from repro.db.parallel import run_partitioned
+from repro.db.parallel import WorkerPool, run_partitioned
 from repro.db.planner import ModelJoinFactory, Planner, PlannerOptions
 from repro.db.profiler import QueryProfile
 from repro.db.schema import Column, Schema
@@ -51,6 +51,7 @@ class Result:
         self.batches = batches
         self.profile = profile
         self._rows: list[tuple] | None = None
+        self._columns: dict[str, np.ndarray] = {}
 
     @classmethod
     def empty(cls, profile: QueryProfile | None = None) -> "Result":
@@ -69,13 +70,24 @@ class Result:
         return self._rows
 
     def column(self, name: str) -> np.ndarray:
-        """All values of one output column as a single array."""
+        """All values of one output column as a single array.
+
+        The concatenation is cached per column, so repeated access
+        (the bench harness reads the same column for every round) does
+        not re-concatenate the batches every call.
+        """
+        key = self.schema.position_of(name)  # validates; canonical key
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
         if not self.batches:
-            dtype = self.schema.type_of(name).numpy_dtype
-            return np.empty(0, dtype=dtype)
-        return np.concatenate(
-            [batch.column(name) for batch in self.batches]
-        )
+            array = np.empty(0, dtype=self.schema.type_of(name).numpy_dtype)
+        else:
+            array = np.concatenate(
+                [batch.column_at(key) for batch in self.batches]
+            )
+        self._columns[name] = array
+        return array
 
     def to_dict(self) -> dict[str, np.ndarray]:
         return {name: self.column(name) for name in self.schema.names}
@@ -123,6 +135,38 @@ class Database:
         self.planner_options = planner_options or PlannerOptions()
         self._modeljoin_factory: ModelJoinFactory | None = None
         self.last_profile: QueryProfile | None = None
+        self._worker_pool: WorkerPool | None = None
+        #: cross-query model build cache, installed by repro.core.attach
+        #: (opaque at this layer; see repro.core.modeljoin.cache)
+        self.model_cache = None
+
+    # ------------------------------------------------------------------
+    # engine-lifetime resources
+    # ------------------------------------------------------------------
+    @property
+    def worker_pool(self) -> WorkerPool:
+        """The engine-lifetime execution thread pool (lazily started).
+
+        Parallel queries reuse these threads, so pool startup cost is
+        paid once per engine, not once per query.
+        """
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(self.parallelism)
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Release engine-lifetime resources (worker threads, caches)."""
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown()
+            self._worker_pool = None
+        if self.model_cache is not None:
+            self.model_cache.clear()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # catalog-level API
@@ -223,7 +267,9 @@ class Database:
             raise PlanError("EXPLAIN ANALYZE supports only SELECT")
         context = ExecutionContext(vector_size=self.vector_size)
         profile = QueryProfile(
-            memory=context.memory, stopwatch=context.stopwatch
+            memory=context.memory,
+            stopwatch=context.stopwatch,
+            counters=context.counters,
         )
         started = time.perf_counter()
         plan = self._planner().plan_select(statement, context)
@@ -333,7 +379,11 @@ class Database:
             vector_size=self.vector_size,
             parallelism=self.parallelism if parallel else 1,
         )
-        profile = QueryProfile(memory=context.memory, stopwatch=context.stopwatch)
+        profile = QueryProfile(
+            memory=context.memory,
+            stopwatch=context.stopwatch,
+            counters=context.counters,
+        )
         started = time.perf_counter()
         if parallel and self.parallelism > 1:
             if statement.distinct:
@@ -367,7 +417,10 @@ class Database:
             )
 
         schema, batches = run_partitioned(
-            build, self.parallelism, max_workers=self.parallelism
+            build,
+            self.parallelism,
+            pool=self.worker_pool,
+            morsel_driven=True,
         )
         if not statement.order_by and statement.limit is None:
             return Result(schema, batches, profile)

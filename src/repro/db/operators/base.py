@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
-from repro.db.profiler import MemoryAccountant, Stopwatch
+from repro.db.profiler import MemoryAccountant, ProfileCounters, Stopwatch
 from repro.db.schema import Schema
 from repro.db.vector import VECTOR_SIZE, VectorBatch
 from repro.errors import ExecutionError
@@ -24,6 +24,7 @@ class ExecutionContext:
     vector_size: int = VECTOR_SIZE
     memory: MemoryAccountant = field(default_factory=MemoryAccountant)
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    counters: ProfileCounters = field(default_factory=ProfileCounters)
     #: number of partition pipelines executing this plan
     parallelism: int = 1
     #: arbitrary extension point (the ModelJoin stores its shared model
@@ -33,6 +34,16 @@ class ExecutionContext:
 
 class PhysicalOperator:
     """Base class of all physical operators (Volcano iterator model)."""
+
+    #: True for operators that transform each input batch independently
+    #: of every other batch (scan/filter/project/rename/modeljoin).  A
+    #: pipeline made only of such operators produces the bag-union of
+    #: per-batch results, so its scans may pull morsels from a shared
+    #: queue instead of being bound to one partition (morsel-driven
+    #: scheduling).  Blocking or cross-batch operators (aggregation,
+    #: sort, limit, joins over partitioned build sides) keep the
+    #: default False.
+    morsel_streaming = False
 
     def __init__(self, context: ExecutionContext, schema: Schema):
         self.context = context

@@ -20,6 +20,8 @@ class FilterOperator(UnaryOperator):
     propagates unchanged.
     """
 
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,

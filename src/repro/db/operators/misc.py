@@ -131,6 +131,8 @@ class RenameOperator(UnaryOperator):
     column names.
     """
 
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,

@@ -19,6 +19,8 @@ from repro.db.vector import VectorBatch
 class ProjectOperator(UnaryOperator):
     """Computes a list of named expressions over each input vector."""
 
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,

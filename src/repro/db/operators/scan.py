@@ -20,6 +20,8 @@ class TableScan(PhysicalOperator):
     blocks are still filtered exactly by a FilterOperator above.
     """
 
+    morsel_streaming = True
+
     def __init__(
         self,
         context: ExecutionContext,
@@ -31,6 +33,10 @@ class TableScan(PhysicalOperator):
         self.table = table
         self.ranges = ranges or []
         self.partition_index = partition_index
+        #: shared queue of scan morsels; when set (by the parallel
+        #: executor, see repro.db.parallel.attach_morsel_sources) the
+        #: scan steals work from it instead of scanning its partition
+        self.morsel_source = None
         self.blocks_scanned = 0
         self.blocks_pruned = 0
 
@@ -43,6 +49,9 @@ class TableScan(PhysicalOperator):
         return ()
 
     def _produce(self) -> Iterator[VectorBatch]:
+        if self.morsel_source is not None:
+            yield from self._produce_morsels()
+            return
         if self.partition_index is None:
             partitions = self.table.partitions
         else:
@@ -58,6 +67,34 @@ class TableScan(PhysicalOperator):
                 batch = block.to_batch(self.schema)
                 for start in range(0, len(batch), self.context.vector_size):
                     yield batch.slice(start, start + self.context.vector_size)
+
+    def _produce_morsels(self) -> Iterator[VectorBatch]:
+        """Morsel-driven scanning: pull row ranges from a shared queue.
+
+        The pipelines of one query collectively drain the source; block
+        pruning still applies per block, and the profile counts the
+        morsels each worker executed (load-balance observability).
+        """
+        from repro.db.parallel import current_worker_name
+
+        counters = self.context.counters
+        worker = current_worker_name()
+        while True:
+            morsel = self.morsel_source.next_morsel()
+            if morsel is None:
+                return
+            counters.increment("morsels")
+            counters.increment(f"morsels.{worker}")
+            block = morsel.block
+            if self.ranges and not block.may_match(self.schema, self.ranges):
+                self.blocks_pruned += 1
+                continue
+            self.blocks_scanned += 1
+            batch = block.to_batch(self.schema).slice(
+                morsel.row_start, morsel.row_stop
+            )
+            for start in range(0, len(batch), self.context.vector_size):
+                yield batch.slice(start, start + self.context.vector_size)
 
     def describe(self) -> str:
         parts = [f"TableScan({self.table.name}"]

@@ -1,61 +1,321 @@
-"""Partition-parallel query execution.
+"""Partition-parallel query execution on a persistent worker pool.
 
 Mirrors x100's intra-query parallelism (paper Sections 4.4 and 5.2):
-each execution thread gets a *private plan instance* bound to one
-partition of the partitioned base tables, while unpartitioned tables
-(the model table) are scanned by every thread — the replication the
-paper describes for distributed setups.  All pipelines share one
-:class:`~repro.db.operators.base.ExecutionContext`, so memory accounting
-reflects the query-global peak and barrier-style shared state (the
-native ModelJoin's shared model build) is visible across threads.
+each execution thread gets a *private plan instance*, while
+unpartitioned tables (the model table) are scanned by every thread —
+the replication the paper describes for distributed setups.  All
+pipelines share one :class:`~repro.db.operators.base.ExecutionContext`,
+so memory accounting reflects the query-global peak and barrier-style
+shared state (the native ModelJoin's shared model build) is visible
+across threads.
 
-Correctness contract: a query may be executed partition-parallel when
-its result is the bag-union of per-partition results — true whenever
-every aggregation's group keys functionally include the fact table's
-partition key, which holds for all ModelJoin queries (group keys carry
-the unique tuple ID).  The caller asserts this by opting in.
+Two scheduling strategies exist:
+
+* **Static partition binding** — pipeline *i* scans partition *i* of
+  every partitioned base table.  Correct whenever the query result is
+  the bag-union of per-partition results (aggregations whose group keys
+  functionally include the partition key).  This is the fallback for
+  plans containing blocking operators.
+
+* **Morsel-driven** — when every operator of every pipeline is
+  *morsel-streaming* (scan/filter/project/rename/modeljoin) and exactly
+  one partitioned table is scanned, the partitions are split into scan
+  morsels on a shared queue and the pipelines steal work from it.
+  Skewed partitions then no longer gate query latency: a worker that
+  finishes its morsel takes the next one, whichever partition it came
+  from.
+
+The worker pool itself is *engine-lifetime*: :class:`WorkerPool` is
+owned by the :class:`~repro.db.engine.Database` and reused across
+queries, so thread startup cost disappears from per-query latency (the
+serving scenario of repeated scoring queries).
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
-from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 from repro.db.operators.base import ExecutionContext, PhysicalOperator
 from repro.db.schema import Schema
 from repro.db.vector import VectorBatch
+from repro.errors import ExecutionError
 
 PlanBuilder = Callable[[int], PhysicalOperator]
+
+#: default number of rows per scan morsel (a few execution vectors)
+MORSEL_ROWS = 4096
+
+_worker_slot = threading.local()
+
+
+def current_worker_name() -> str:
+    """Name of the pool worker running the caller (or 'main')."""
+    return getattr(_worker_slot, "name", "main")
+
+
+class WorkerPool:
+    """A persistent, named pool of query-execution threads.
+
+    Unlike a per-query ``ThreadPoolExecutor``, the pool's threads live
+    for the lifetime of the owning engine.  :meth:`run_tasks` schedules
+    one task per worker and blocks until all complete — tasks of one
+    parallel query may synchronize with each other (the ModelJoin build
+    barrier), which is safe because every task is guaranteed its own
+    thread.  A pool-level lock serializes parallel queries so two
+    queries can never interleave on the same workers and deadlock.
+    """
+
+    def __init__(self, size: int, name_prefix: str = "repro-worker"):
+        if size < 1:
+            raise ExecutionError("worker pool needs at least one thread")
+        self.size = size
+        self._query_lock = threading.Lock()
+        self._task_ready = threading.Condition()
+        self._tasks: list | None = None
+        #: bumped per run_tasks call so a worker that loops around
+        #: never re-executes the batch it just finished
+        self._generation = 0
+        self._done = threading.Semaphore(0)
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"{name_prefix}-{index}",
+                daemon=True,
+            )
+            for index in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker_loop(self, index: int) -> None:
+        _worker_slot.name = f"worker-{index}"
+        seen_generation = 0
+        while True:
+            with self._task_ready:
+                while (
+                    self._generation == seen_generation
+                    and not self._shutdown
+                ):
+                    self._task_ready.wait()
+                if self._shutdown:
+                    return
+                seen_generation = self._generation
+                tasks = self._tasks
+            task = tasks[index] if index < len(tasks) else None
+            if task is not None:
+                try:
+                    task.result = task.function()
+                except BaseException as error:  # propagated by run_tasks
+                    task.error = error
+            self._done.release()
+
+    def run_tasks(self, functions: list[Callable[[], object]]) -> list:
+        """Run each function on its own worker; return results in order.
+
+        Raises the first task error after all tasks finished (tasks may
+        be barrier-coupled, so none is abandoned mid-flight).
+        """
+        if len(functions) > self.size:
+            raise ExecutionError(
+                f"{len(functions)} tasks exceed the pool's "
+                f"{self.size} workers"
+            )
+        if self._shutdown:
+            raise ExecutionError("worker pool is shut down")
+
+        @dataclass
+        class _Task:
+            function: Callable[[], object]
+            result: object = None
+            error: BaseException | None = None
+
+        tasks = [_Task(function) for function in functions]
+        with self._query_lock:
+            with self._task_ready:
+                self._tasks = tasks
+                self._generation += 1
+                self._task_ready.notify_all()
+            for _ in range(self.size):
+                self._done.acquire()
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        return [task.result for task in tasks]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent)."""
+        if self._shutdown:
+            return
+        with self._task_ready:
+            self._shutdown = True
+            self._task_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+@dataclass
+class Morsel:
+    """One unit of stealable scan work: a row range of one block."""
+
+    partition_index: int
+    block: object
+    row_start: int
+    row_stop: int
+
+
+class MorselSource:
+    """A thread-safe queue of scan morsels over one partitioned table.
+
+    Built once per query by the coordinator; the pipelines' scans pull
+    from it until it runs dry.  Work stealing is implicit: whichever
+    worker asks next gets the next morsel, so partition skew spreads
+    over all workers instead of gating on the largest partition.
+    """
+
+    def __init__(self, table, morsel_rows: int = MORSEL_ROWS):
+        self.table = table
+        self._lock = threading.Lock()
+        self._morsels = self._split(table, morsel_rows)
+        self._cursor = 0
+        self.dispensed = 0
+
+    @staticmethod
+    def _split(table, morsel_rows: int) -> list[Morsel]:
+        morsels: list[Morsel] = []
+        for partition_index, partition in enumerate(table.partitions):
+            for block in partition.blocks():
+                rows = block.length
+                for start in range(0, rows, morsel_rows):
+                    morsels.append(
+                        Morsel(
+                            partition_index,
+                            block,
+                            start,
+                            min(start + morsel_rows, rows),
+                        )
+                    )
+        return morsels
+
+    def __len__(self) -> int:
+        return len(self._morsels)
+
+    def next_morsel(self) -> Morsel | None:
+        with self._lock:
+            if self._cursor >= len(self._morsels):
+                return None
+            morsel = self._morsels[self._cursor]
+            self._cursor += 1
+            self.dispensed += 1
+            return morsel
+
+
+def _pipeline_operators(plan: PhysicalOperator) -> list[PhysicalOperator]:
+    operators = [plan]
+    for child in plan.children():
+        operators.extend(_pipeline_operators(child))
+    return operators
+
+
+def attach_morsel_sources(
+    plans: list[PhysicalOperator], morsel_rows: int = MORSEL_ROWS
+) -> list[MorselSource]:
+    """Switch eligible pipelines to morsel-driven scanning.
+
+    Eligible when every operator of every pipeline is morsel-streaming
+    and the pipelines scan exactly one partitioned base table (scans of
+    unpartitioned tables are broadcast and stay as they are).  Returns
+    the shared sources that were attached ([] means static partition
+    binding stays in effect).
+    """
+    from repro.db.operators.scan import TableScan
+
+    partitioned_scans: list[list[TableScan]] = []
+    for plan in plans:
+        operators = _pipeline_operators(plan)
+        if not all(op.morsel_streaming for op in operators):
+            return []
+        mine = [
+            op
+            for op in operators
+            if isinstance(op, TableScan) and op.table.num_partitions > 1
+        ]
+        if len(mine) != 1:
+            return []
+        partitioned_scans.append(mine)
+    tables = {id(scans[0].table) for scans in partitioned_scans}
+    if len(tables) != 1:
+        return []
+    source = MorselSource(
+        partitioned_scans[0][0].table, morsel_rows=morsel_rows
+    )
+    for scans in partitioned_scans:
+        scans[0].morsel_source = source
+    return [source]
 
 
 def run_partitioned(
     plan_builder: PlanBuilder,
     num_partitions: int,
     max_workers: int | None = None,
+    pool: WorkerPool | None = None,
+    morsel_driven: bool = False,
 ) -> tuple[Schema, list[VectorBatch]]:
-    """Execute one plan instance per partition, in a thread pool.
+    """Execute one plan instance per partition pipeline.
+
+    With *pool* the pipelines run on the engine's persistent workers;
+    otherwise a transient thread-per-partition fallback is used (kept
+    for callers without an engine).  With *morsel_driven* the plans are
+    built eagerly and, when eligible, rewired to steal scan morsels
+    from a shared queue (see :func:`attach_morsel_sources`).
 
     Returns the output schema and all result batches, ordered by
-    partition (batch order within a partition is preserved).
+    pipeline (batch order within a pipeline is preserved).
     """
     if num_partitions < 1:
         raise ValueError("need at least one partition")
 
-    def run_one(
-        partition_index: int,
-    ) -> tuple[Schema, list[VectorBatch]]:
-        plan = plan_builder(partition_index)
+    if num_partitions == 1:
+        plan = plan_builder(0)
         return plan.schema, list(plan.batches())
 
-    if num_partitions == 1:
-        return run_one(0)
+    plans = [plan_builder(index) for index in range(num_partitions)]
+    if morsel_driven:
+        attach_morsel_sources(plans)
 
-    workers = max_workers or num_partitions
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        per_partition = list(pool.map(run_one, range(num_partitions)))
-    schema = per_partition[0][0]
+    def run_one(plan: PhysicalOperator) -> list[VectorBatch]:
+        return list(plan.batches())
+
+    if pool is not None:
+        per_pipeline = pool.run_tasks(
+            [lambda plan=plan: run_one(plan) for plan in plans]
+        )
+    else:
+        per_pipeline = [None] * len(plans)
+        errors: list[BaseException] = []
+
+        def run_at(index: int) -> None:
+            try:
+                per_pipeline[index] = run_one(plans[index])
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_at, args=(index,))
+            for index in range(len(plans))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+    schema = plans[0].schema
     batches = [
-        batch for _, partition in per_partition for batch in partition
+        batch for pipeline in per_pipeline for batch in pipeline
     ]
     return schema, batches
 

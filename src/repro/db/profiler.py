@@ -60,19 +60,55 @@ class MemoryAccountant:
 
 @dataclass
 class Stopwatch:
-    """Accumulates named wall-clock phase timings."""
+    """Accumulates named wall-clock phase timings.
+
+    Partition pipelines share one stopwatch through the execution
+    context, so the read-modify-write in :meth:`add` must be locked —
+    unsynchronized pipelines would lose each other's time.
+    """
 
     phases: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def measure(self, name: str):
         """Context manager adding the elapsed time to phase *name*."""
         return _Measurement(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        with self._lock:
+            self.phases[name] = self.phases.get(name, 0.0) + seconds
 
     def total(self) -> float:
-        return sum(self.phases.values())
+        with self._lock:
+            return sum(self.phases.values())
+
+
+class ProfileCounters:
+    """Thread-safe named event counters (cache hits, morsels, ...).
+
+    Operators increment counters through the execution context; the
+    query profile exposes the final values.  Counter names are free-form
+    dotted strings — per-worker breakdowns use ``name.worker-i`` keys
+    next to the aggregate ``name`` key.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
 
 
 class _Measurement:
@@ -96,6 +132,7 @@ class QueryProfile:
     wall_seconds: float = 0.0
     memory: MemoryAccountant = field(default_factory=MemoryAccountant)
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    counters: ProfileCounters = field(default_factory=ProfileCounters)
     rows_returned: int = 0
 
     @property

@@ -13,6 +13,7 @@ order-based aggregation downstream.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterator
 
 import numpy as np
@@ -58,6 +59,11 @@ class Partition:
                 yield batch.slice(start, start + vector_size)
 
 
+#: process-wide unique table identities (survives DROP + re-CREATE of
+#: the same name, so caches keyed by identity can never alias tables)
+_table_uids = itertools.count()
+
+
 class Table:
     """A named, partitioned, columnar base table."""
 
@@ -83,6 +89,12 @@ class Table:
         self.partitions = [
             Partition(schema, block_size) for _ in range(num_partitions)
         ]
+        #: identity that distinguishes this table object from any other
+        #: ever created (even under the same name)
+        self.uid = next(_table_uids)
+        #: data version, bumped on every append — caches derived from
+        #: the table's contents key on (uid, version)
+        self.version = 0
 
     @property
     def num_partitions(self) -> int:
@@ -99,6 +111,7 @@ class Table:
         """Route the rows of *batch* to their partitions and store them."""
         if len(batch) == 0:
             return
+        self.version += 1
         if self.num_partitions == 1:
             self.partitions[0].append(batch)
             return

@@ -133,8 +133,36 @@ def rebatch(batches: list[VectorBatch], schema: Schema, size: int = VECTOR_SIZE)
     """Yield batches of exactly *size* rows (last one may be shorter).
 
     Operators that buffer (e.g. aggregation output) use this to restore
-    the engine's vector granularity.
+    the engine's vector granularity.  Streams with a carry buffer of at
+    most ``size - 1`` rows instead of concatenating the whole input, so
+    peak memory stays one vector regardless of how many batches arrive
+    (*batches* may be any iterable, including a generator).
     """
-    whole = concat_batches(schema, batches)
-    for start in range(0, len(whole), size):
-        yield whole.slice(start, start + size)
+    if size < 1:
+        raise ExecutionError("rebatch size must be positive")
+    carry: list[VectorBatch] = []
+    carried = 0
+    for batch in batches:
+        if len(batch) == 0:
+            continue
+        if not carry and len(batch) == size:
+            yield batch  # already aligned: pass through untouched
+            continue
+        start = 0
+        while carried + (len(batch) - start) >= size:
+            take = size - carried
+            piece = batch.slice(start, start + take)
+            if carry:
+                carry.append(piece)
+                yield concat_batches(schema, carry)
+                carry = []
+                carried = 0
+            else:
+                yield piece
+            start += take
+        if start < len(batch):
+            remainder = batch.slice(start, len(batch))
+            carry.append(remainder)
+            carried += len(remainder)
+    if carried:
+        yield concat_batches(schema, carry)

@@ -93,32 +93,68 @@ class Device:
         a: np.ndarray,
         b: np.ndarray,
         accumulate: np.ndarray | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """``a @ b`` (+ *accumulate*), like BLAS sgemm's C := AB + C."""
+        """``a @ b`` (+ *accumulate*), like BLAS sgemm's C := AB + C.
+
+        With *out* the product is written into the given buffer (which
+        must not alias ``a``, ``b`` or *accumulate*); *accumulate* is
+        never modified either way.
+        """
         self._check_float32(a, b)
         if a.shape[1] != b.shape[0]:
             raise DeviceError(
                 f"gemm shape mismatch: {a.shape} @ {b.shape}"
             )
-        result = a @ b
+        if out is None:
+            result = a @ b
+            if accumulate is not None:
+                result = result + accumulate
+            return result
+        np.matmul(a, b, out=out)
         if accumulate is not None:
-            result = result + accumulate
-        return result
+            np.add(out, accumulate, out=out)
+        return out
 
-    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Elementwise product (vsMul)."""
-        return a * b
+        if out is None:
+            return a * b
+        return np.multiply(a, b, out=out)
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Elementwise sum (vsAdd)."""
-        return a + b
+        if out is None:
+            return a + b
+        return np.add(a, b, out=out)
 
-    def copy(self, array: np.ndarray) -> np.ndarray:
-        return array.copy()
+    def copy(
+        self, array: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            return array.copy()
+        np.copyto(out, array)
+        return out
 
-    def activation(self, name: str, array: np.ndarray) -> np.ndarray:
-        """Apply a named activation kernel."""
-        return get_activation(name)(array)
+    def activation(
+        self,
+        name: str,
+        array: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Apply a named activation kernel (in place when *out* given;
+        ``out is array`` is allowed)."""
+        return get_activation(name).apply(array, out)
 
     def transpose(self, array: np.ndarray) -> np.ndarray:
         """Materialized transpose (the operator transposes the input

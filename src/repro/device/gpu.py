@@ -92,9 +92,9 @@ class SimulatedGpu(Device):
     # ------------------------------------------------------------------
     # kernels
     # ------------------------------------------------------------------
-    def gemm(self, a, b, accumulate=None):
+    def gemm(self, a, b, accumulate=None, out=None):
         started = time.perf_counter()
-        result = super().gemm(a, b, accumulate)
+        result = super().gemm(a, b, accumulate, out)
         self.stats.host_kernel_seconds += time.perf_counter() - started
         self.stats.kernel_launches += 1
         self.stats.flops += 2 * a.shape[0] * a.shape[1] * b.shape[1]
@@ -114,18 +114,24 @@ class SimulatedGpu(Device):
         )
         return result
 
-    def multiply(self, a, b):
-        return self._elementwise(lambda: a * b, int(np.size(a)))
-
-    def add(self, a, b):
-        return self._elementwise(lambda: a + b, int(np.size(a)))
-
-    def copy(self, array):
-        return self._elementwise(array.copy, int(np.size(array)))
-
-    def activation(self, name, array):
+    def multiply(self, a, b, out=None):
         return self._elementwise(
-            lambda: super(SimulatedGpu, self).activation(name, array),
+            lambda: Device.multiply(self, a, b, out), int(np.size(a))
+        )
+
+    def add(self, a, b, out=None):
+        return self._elementwise(
+            lambda: Device.add(self, a, b, out), int(np.size(a))
+        )
+
+    def copy(self, array, out=None):
+        return self._elementwise(
+            lambda: Device.copy(self, array, out), int(np.size(array))
+        )
+
+    def activation(self, name, array, out=None):
+        return self._elementwise(
+            lambda: Device.activation(self, name, array, out),
             int(np.size(array)),
         )
 

@@ -17,23 +17,23 @@ class HostDevice(Device):
     name = "cpu"
     is_gpu = False
 
-    def gemm(self, a, b, accumulate=None):
-        result = super().gemm(a, b, accumulate)
+    def gemm(self, a, b, accumulate=None, out=None):
+        result = super().gemm(a, b, accumulate, out)
         self.stats.kernel_launches += 1
         self.stats.flops += 2 * a.shape[0] * a.shape[1] * b.shape[1]
         return result
 
-    def multiply(self, a, b):
+    def multiply(self, a, b, out=None):
         self.stats.kernel_launches += 1
         self.stats.elementwise_elements += int(np.size(a))
-        return super().multiply(a, b)
+        return super().multiply(a, b, out)
 
-    def add(self, a, b):
+    def add(self, a, b, out=None):
         self.stats.kernel_launches += 1
         self.stats.elementwise_elements += int(np.size(a))
-        return super().add(a, b)
+        return super().add(a, b, out)
 
-    def activation(self, name, array):
+    def activation(self, name, array, out=None):
         self.stats.kernel_launches += 1
         self.stats.elementwise_elements += int(np.size(array))
-        return super().activation(name, array)
+        return super().activation(name, array, out)

@@ -24,9 +24,21 @@ class Activation:
     forward: Callable[[np.ndarray], np.ndarray]
     #: derivative expressed in terms of the *activated output* y
     derivative: Callable[[np.ndarray], np.ndarray]
+    #: optional allocation-free forward writing into a caller buffer;
+    #: must be bit-exact with :attr:`forward`
+    inplace: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
 
     def __call__(self, values: np.ndarray) -> np.ndarray:
         return self.forward(values)
+
+    def apply(self, values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Forward pass, into *out* when given (``out is values`` is fine)."""
+        if out is None:
+            return self.forward(values)
+        if self.inplace is not None:
+            return self.inplace(values, out)
+        np.copyto(out, self.forward(values))
+        return out
 
 
 def _linear(values: np.ndarray) -> np.ndarray:
@@ -46,13 +58,42 @@ def _tanh(values: np.ndarray) -> np.ndarray:
     return np.tanh(values)
 
 
+def _linear_out(values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    if out is not values:
+        np.copyto(out, values)
+    return out
+
+
+def _relu_out(values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    return np.maximum(values, np.zeros(1, dtype=values.dtype), out=out)
+
+
+def _sigmoid_out(values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    # The same operation sequence as :func:`_sigmoid`, expressed as
+    # in-place ufunc calls so no intermediate is allocated.
+    np.clip(values, -80.0, 80.0, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def _tanh_out(values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    return np.tanh(values, out=out)
+
+
 _ACTIVATIONS: dict[str, Activation] = {
-    "linear": Activation("linear", _linear, lambda y: np.ones_like(y)),
-    "relu": Activation(
-        "relu", _relu, lambda y: (y > 0).astype(y.dtype)
+    "linear": Activation(
+        "linear", _linear, lambda y: np.ones_like(y), _linear_out
     ),
-    "sigmoid": Activation("sigmoid", _sigmoid, lambda y: y * (1.0 - y)),
-    "tanh": Activation("tanh", _tanh, lambda y: 1.0 - y * y),
+    "relu": Activation(
+        "relu", _relu, lambda y: (y > 0).astype(y.dtype), _relu_out
+    ),
+    "sigmoid": Activation(
+        "sigmoid", _sigmoid, lambda y: y * (1.0 - y), _sigmoid_out
+    ),
+    "tanh": Activation("tanh", _tanh, lambda y: 1.0 - y * y, _tanh_out),
 }
 
 

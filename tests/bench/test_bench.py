@@ -13,6 +13,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import (
     format_bytes,
+    format_counter_summary,
     format_memory_table,
     format_qualitative_table,
     format_runtime_series,
@@ -186,5 +187,55 @@ class TestReporting:
         csv = points_to_csv(self._points())
         lines = csv.splitlines()
         assert lines[0].startswith("experiment,variant")
+        assert lines[0].endswith(",counters")
         assert len(lines) == 5
         assert "True" in lines[-1]  # the skipped point
+
+    def test_csv_includes_counters(self):
+        point = SweepPoint(
+            "fig8",
+            "ModelJoin_CPU",
+            100,
+            8,
+            2,
+            0.1,
+            extra={"counters": {"morsels": 4, "model-cache-hits": 1}},
+        )
+        csv = points_to_csv([point])
+        assert '"model-cache-hits=1;morsels=4"' in csv
+
+    def test_counter_summary_aggregates(self):
+        points = [
+            SweepPoint(
+                "fig8",
+                "ModelJoin_CPU",
+                100,
+                8,
+                2,
+                0.1,
+                extra={
+                    "counters": {
+                        "model-cache-misses": 1,
+                        "morsels": 4,
+                        "buffer-bytes-reused": 1 << 20,
+                    }
+                },
+            ),
+            SweepPoint(
+                "fig8",
+                "ModelJoin_CPU",
+                100,
+                16,
+                2,
+                0.1,
+                extra={"counters": {"model-cache-hits": 1, "morsels": 4}},
+            ),
+        ]
+        text = format_counter_summary(points)
+        assert "model-cache-hits" in text
+        assert "morsels" in text
+        assert "8" in text  # morsels summed across points
+        assert "1.0 MB" in text  # bytes rendered human-readable
+
+    def test_counter_summary_empty_without_counters(self):
+        assert format_counter_summary(self._points()) == ""

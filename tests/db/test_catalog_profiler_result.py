@@ -150,6 +150,21 @@ class TestResult:
     def test_column_concat(self, result):
         assert result.column("a").tolist() == [1, 2]
 
+    def test_column_concat_cached(self, result):
+        assert result.column("a") is result.column("a")
+
+    def test_column_cache_is_per_column(self, result):
+        a = result.column("a")
+        b = result.column("b")
+        assert a is not b
+        assert result.column("b") is b
+
+    def test_column_unknown_name_rejected(self, result):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            result.column("missing")
+
     def test_column_of_empty_result(self, db):
         db.execute("CREATE TABLE e (a INTEGER)")
         result = db.execute("SELECT a FROM e")

@@ -104,3 +104,55 @@ class TestBatchHelpers:
     def test_rebatch_sizes(self, schema, batch):
         chunks = list(rebatch([batch, batch], schema, size=5))
         assert [len(chunk) for chunk in chunks] == [5, 5, 2]
+
+    def test_rebatch_preserves_row_order(self, schema):
+        batches = [
+            VectorBatch.from_dict(
+                schema,
+                {
+                    "id": np.arange(start, start + count),
+                    "v": np.arange(start, start + count) * 0.5,
+                },
+            )
+            for start, count in [(0, 3), (3, 7), (10, 1), (11, 9)]
+        ]
+        chunks = list(rebatch(batches, schema, size=4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 4, 4, 4]
+        ids = np.concatenate([chunk.column("id") for chunk in chunks])
+        assert ids.tolist() == list(range(20))
+
+    def test_rebatch_streams_lazily(self, schema, batch):
+        """Consumes input incrementally — no up-front concatenation."""
+        pulled = []
+
+        def tracked():
+            for index in range(4):
+                pulled.append(index)
+                yield batch  # 6 rows each
+
+        chunks = rebatch(tracked(), schema, size=6)
+        assert pulled == []
+        first = next(chunks)
+        assert len(first) == 6
+        assert pulled == [0]  # aligned batch passed straight through
+        next(chunks)
+        assert pulled == [0, 1]
+        assert len(list(chunks)) == 2
+
+    def test_rebatch_aligned_batches_not_copied(self, schema, batch):
+        chunks = list(rebatch([batch], schema, size=len(batch)))
+        assert chunks[0] is batch
+
+    def test_rebatch_skips_empty_batches(self, schema, batch):
+        chunks = list(
+            rebatch(
+                [VectorBatch.empty(schema), batch, VectorBatch.empty(schema)],
+                schema,
+                size=4,
+            )
+        )
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+
+    def test_rebatch_rejects_nonpositive_size(self, schema, batch):
+        with pytest.raises(ExecutionError):
+            list(rebatch([batch], schema, size=0))
