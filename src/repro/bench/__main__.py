@@ -8,11 +8,21 @@ Usage::
     python -m repro.bench table3  ...
     python -m repro.bench all     ...
     python -m repro.bench serving --check-regression [--json BENCH_pr1.json]
+    python -m repro.bench tracing [--check-overhead] [--json BENCH_pr2.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
 exits non-zero unless every warm query beats its cold counterpart with
 bit-exact predictions, and writes the evidence as JSON.
+
+The ``tracing`` experiment runs the tracing-overhead gate (traced vs
+untraced dense ModelJoin, <5% overhead) and exports a validated
+Chrome-trace evidence file; ``--check-overhead`` turns the verdict
+into the exit code.
+
+``--trace out.json`` on any sweep experiment records every swept
+engine into one shared span timeline and exports it as
+Chrome-trace/Perfetto JSON (open at https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     format_counter_summary,
     format_memory_table,
+    format_metrics_summary,
     format_qualitative_table,
     format_runtime_series,
     points_to_csv,
@@ -42,7 +53,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig8", "fig9", "table2", "table3", "all", "serving"],
+        choices=[
+            "fig8",
+            "fig9",
+            "table2",
+            "table3",
+            "all",
+            "serving",
+            "tracing",
+        ],
     )
     parser.add_argument(
         "--preset",
@@ -71,9 +90,22 @@ def main(argv: list[str] | None = None) -> int:
         help="serving experiment: fail unless warm beats cold",
     )
     parser.add_argument(
+        "--check-overhead",
+        action="store_true",
+        help="tracing experiment: fail when tracing costs more than 5%%",
+    )
+    parser.add_argument(
         "--json",
-        default="BENCH_pr1.json",
-        help="serving experiment: where to write the JSON evidence",
+        default=None,
+        help="serving/tracing experiment: where to write the JSON "
+        "evidence (defaults: BENCH_pr1.json / BENCH_pr2.json)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans of every swept engine and export the "
+        "combined Chrome-trace JSON to PATH",
     )
     arguments = parser.parse_args(argv)
     config = BenchConfig.from_preset(arguments.preset)
@@ -96,9 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_cache_serving(config)
         rendered = format_serving_report(report)
         print(rendered)
-        if arguments.json:
-            write_report(report, arguments.json)
-            print(f"\nwrote {arguments.json}")
+        json_path = arguments.json or "BENCH_pr1.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
         if arguments.out:
             with open(arguments.out, "w") as handle:
                 handle.write(rendered + "\n")
@@ -107,10 +139,41 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
+    if arguments.experiment == "tracing":
+        from repro.bench.tracing_bench import (
+            format_tracing_report,
+            run_tracing_bench,
+            write_report,
+        )
+
+        trace_path = arguments.trace or "trace_evidence.json"
+        report = run_tracing_bench(config, trace_path=trace_path)
+        rendered = format_tracing_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr2.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if not report["trace"]["ok"]:
+            print("trace evidence check FAILED", file=sys.stderr)
+            return 1
+        if arguments.check_overhead and not report["overhead"]["ok"]:
+            print("tracing overhead check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    tracer = None
+    if arguments.trace:
+        from repro.db.tracing import Tracer
+
+        tracer = Tracer(enabled=True)
+
     sections: list[str] = []
     all_points = []
     if arguments.experiment in ("fig8", "all", "table2"):
-        dense = run_dense_sweep(config)
+        dense = run_dense_sweep(config, tracer=tracer)
         all_points.extend(dense)
         sections.append(
             format_runtime_series(
@@ -120,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     if arguments.experiment in ("fig9", "all", "table2"):
-        lstm = run_lstm_sweep(config)
+        lstm = run_lstm_sweep(config, tracer=tracer)
         all_points.extend(lstm)
         sections.append(
             format_runtime_series(
@@ -130,7 +193,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     if arguments.experiment in ("table3", "all", "table2"):
-        memory = measure_memory_table(config)
+        memory = measure_memory_table(config, tracer=tracer)
         all_points.extend(memory)
         sections.append(format_memory_table(memory, config.table3_rows))
     if arguments.experiment in ("table2", "all"):
@@ -148,6 +211,9 @@ def main(argv: list[str] | None = None) -> int:
     counter_section = format_counter_summary(all_points)
     if counter_section:
         sections.append(counter_section)
+    metrics_section = format_metrics_summary(all_points)
+    if metrics_section:
+        sections.append(metrics_section)
 
     report = "\n\n".join(sections)
     print(report)
@@ -157,6 +223,9 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.csv:
         with open(arguments.csv, "w") as handle:
             handle.write(points_to_csv(all_points) + "\n")
+    if tracer is not None:
+        events = tracer.export(arguments.trace)
+        print(f"\nwrote {events} trace events to {arguments.trace}")
     return 0
 
 

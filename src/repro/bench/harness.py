@@ -132,13 +132,22 @@ def _verify(
     return f"max_err={error:.2e}"
 
 
-def run_dense_sweep(config: BenchConfig) -> list[SweepPoint]:
-    """Figure 8: dense models, all variants, fact-tuple sweep."""
+def run_dense_sweep(
+    config: BenchConfig, tracer=None
+) -> list[SweepPoint]:
+    """Figure 8: dense models, all variants, fact-tuple sweep.
+
+    With *tracer* (an enabled :class:`repro.db.tracing.Tracer`) every
+    swept engine records into one shared timeline, which the CLI's
+    ``--trace`` flag exports after the sweep.
+    """
     points: list[SweepPoint] = []
     for width, depth in config.dense_grid:
         model = make_dense_model(width, depth, input_width=4, seed=width + depth)
         for rows in config.fact_rows:
-            database = connect(parallelism=config.parallelism)
+            database = connect(
+                parallelism=config.parallelism, tracer=tracer
+            )
             dataset = load_iris_table(
                 database,
                 rows,
@@ -171,7 +180,9 @@ def run_dense_sweep(config: BenchConfig) -> list[SweepPoint]:
     return points
 
 
-def run_lstm_sweep(config: BenchConfig) -> list[SweepPoint]:
+def run_lstm_sweep(
+    config: BenchConfig, tracer=None
+) -> list[SweepPoint]:
     """Figure 9: LSTM models, all variants, fact-tuple sweep."""
     points: list[SweepPoint] = []
     for width in config.lstm_widths:
@@ -179,7 +190,9 @@ def run_lstm_sweep(config: BenchConfig) -> list[SweepPoint]:
             width, time_steps=config.time_steps, seed=width
         )
         for rows in config.fact_rows:
-            database = connect(parallelism=config.parallelism)
+            database = connect(
+                parallelism=config.parallelism, tracer=tracer
+            )
             series = load_windowed_series_table(
                 database,
                 rows,
@@ -264,7 +277,9 @@ def _run_cell(
     )
 
 
-def measure_memory_table(config: BenchConfig) -> list[SweepPoint]:
+def measure_memory_table(
+    config: BenchConfig, tracer=None
+) -> list[SweepPoint]:
     """Table 3: peak memory for inference of the representative models."""
     points: list[SweepPoint] = []
     # The four columns of the paper's Table 3.
@@ -280,7 +295,9 @@ def measure_memory_table(config: BenchConfig) -> list[SweepPoint]:
             )
             work = _mltosql_lstm_work(rows, width, config.time_steps)
         for name in variants:
-            database = connect(parallelism=config.parallelism)
+            database = connect(
+                parallelism=config.parallelism, tracer=tracer
+            )
             if kind == "dense":
                 dataset = load_iris_table(database, rows)
                 env = BenchEnvironment(

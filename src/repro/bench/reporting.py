@@ -365,16 +365,69 @@ def format_counter_summary(points: list[SweepPoint]) -> str:
     return "\n".join(lines)
 
 
+def format_metrics_summary(points: list[SweepPoint]) -> str:
+    """Engine-lifetime metrics aggregated per variant.
+
+    Each sweep cell runs on a fresh engine, so a cell's metrics
+    snapshot covers the queries that cell issued; the summary reports
+    the per-variant mean of the flattened metric values — the latency
+    percentiles (``query.latency.p50``/``p95``/``p99``), cache hit
+    ratio and morsel queue-wait percentiles of a typical cell.  Returns
+    "" when no point carries metrics.
+    """
+    by_variant: dict[str, dict[str, list[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for point in points:
+        for name, value in point.extra.get("metrics", {}).items():
+            by_variant[point.variant][name].append(float(value))
+    if not by_variant:
+        return ""
+    shown = (
+        "query.latency.p50",
+        "query.latency.p95",
+        "query.latency.p99",
+        "modeljoin.build_seconds.p50",
+        "morsel.queue_wait.p95",
+        "cache.hit_ratio",
+    )
+    title = "Engine metrics (mean per variant over the sweep's cells)"
+    lines = [title, "=" * len(title)]
+    header = ["variant".ljust(16)] + [
+        name.rjust(28) for name in shown
+    ]
+    lines.append(" ".join(header))
+    for variant in sorted(by_variant):
+        values = by_variant[variant]
+        row = [variant.ljust(16)]
+        for name in shown:
+            samples = values.get(name)
+            if not samples:
+                row.append("--".rjust(28))
+            elif name == "cache.hit_ratio":
+                mean = sum(samples) / len(samples)
+                row.append(f"{mean:.2f}".rjust(28))
+            else:
+                mean = sum(samples) / len(samples)
+                row.append(format_seconds(mean).rjust(28))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
 def points_to_csv(points: list[SweepPoint]) -> str:
     """Machine-readable dump of a sweep."""
     lines = [
         "experiment,variant,rows,width,depth,seconds,wall_seconds,"
-        "peak_memory_bytes,skipped,note,counters"
+        "peak_memory_bytes,skipped,note,counters,metrics"
     ]
     for point in points:
         counters = point.extra.get("counters", {})
         rendered_counters = ";".join(
             f"{name}={counters[name]}" for name in sorted(counters)
+        )
+        metrics = point.extra.get("metrics", {})
+        rendered_metrics = ";".join(
+            f"{name}={metrics[name]:.6g}" for name in sorted(metrics)
         )
         lines.append(
             ",".join(
@@ -394,6 +447,7 @@ def points_to_csv(points: list[SweepPoint]) -> str:
                     str(point.skipped),
                     '"' + point.note.replace('"', "'") + '"',
                     '"' + rendered_counters + '"',
+                    '"' + rendered_metrics + '"',
                 ]
             )
         )

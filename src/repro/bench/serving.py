@@ -30,6 +30,7 @@ from repro.bench.harness import BenchConfig
 from repro.core.attach import connect
 from repro.core.modeljoin.runner import NativeModelJoin
 from repro.core.registry import publish_model
+from repro.db.tracing import flatten_metrics
 from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
 from repro.workloads.models import make_dense_model, make_lstm_model
 from repro.workloads.timeseries import load_windowed_series_table
@@ -110,6 +111,9 @@ def _run_cell(cell: dict, config: BenchConfig) -> dict:
         for run in warm_runs
     )
     cache_stats = database.model_cache.statistics()
+    # Engine-lifetime metrics over the cold + warm runs: latency
+    # percentiles, cumulative cache hit ratio, build-time histogram.
+    engine_metrics = flatten_metrics(database.metrics.snapshot())
     database.close()
 
     # Reference run on an engine without any cache installed: the
@@ -142,6 +146,7 @@ def _run_cell(cell: dict, config: BenchConfig) -> dict:
         "cold_counters": cold["counters"],
         "warm_counters": warm_counters,
         "cache_statistics": cache_stats,
+        "metrics": engine_metrics,
         "bit_exact_warm": bool(bit_exact_warm),
         "bit_exact_uncached": bool(bit_exact_uncached),
         "warm_cache_hits": warm_counters.get("model-cache-hits", 0),

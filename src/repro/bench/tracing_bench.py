@@ -1,0 +1,265 @@
+"""Tracing-overhead gate and trace-evidence run.
+
+Observability must not distort the measurements it exists to explain,
+so this module turns that requirement into a benchmark with a pass/fail
+verdict:
+
+* **Overhead** — the dense-grid ModelJoin workload runs with the tracer
+  disabled and enabled, interleaved over several repeats; the gate
+  compares the *best* run of each arm (scheduler jitter only ever adds
+  time, so the minimum is the noise-robust estimator — the same
+  reasoning as ``timeit``) and fails when the enabled best exceeds the
+  disabled best by more than :data:`OVERHEAD_THRESHOLD` (5%).
+
+* **Evidence** — one partition-parallel traced query is exported as
+  Chrome-trace JSON and checked to contain every level of the span
+  hierarchy: the query span, the ModelJoin build and inference phase
+  spans, per-operator spans, per-worker morsel spans and device kernel
+  spans.
+
+``python -m repro.bench tracing --json BENCH_pr2.json`` writes the
+combined report; ``--check-overhead`` makes the overhead verdict the
+exit code (left off in CI, where shared runners make timing flaky).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.bench.harness import BenchConfig
+from repro.core.attach import connect
+from repro.core.modeljoin.runner import NativeModelJoin
+from repro.core.registry import publish_model
+from repro.db.tracing import flatten_metrics
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+#: maximum tolerated slowdown of the traced run (fraction)
+OVERHEAD_THRESHOLD = 0.05
+
+#: span levels the exported trace must contain, as (category, names)
+#: pairs — at least one event of each category, and when names are
+#: given at least one event with one of those names
+REQUIRED_SPAN_LEVELS = (
+    ("query", ()),
+    ("phase", ("modeljoin-build",)),
+    ("phase", ("modeljoin-infer",)),
+    ("operator", ()),
+    ("morsel", ("morsel",)),
+    ("kernel", ("gemm",)),
+)
+
+
+def _setup(rows: int, width: int, depth: int, parallelism: int):
+    database = connect(parallelism=parallelism)
+    load_iris_table(database, rows, num_partitions=parallelism)
+    model = make_dense_model(width, depth, input_width=4, seed=width)
+    publish_model(
+        database,
+        "tracing_model",
+        model,
+        model_table_partitions=parallelism,
+        replace=True,
+    )
+    runner = NativeModelJoin(database, "tracing_model")
+    return database, runner
+
+
+def _timed_run(runner: NativeModelJoin, parallel: bool) -> float:
+    started = time.perf_counter()
+    runner.predict("iris", "id", list(FEATURE_COLUMNS), parallel=parallel)
+    return time.perf_counter() - started
+
+
+def run_overhead_gate(
+    rows: int = 10_000,
+    width: int = 64,
+    depth: int = 4,
+    repeats: int = 7,
+    parallelism: int = 1,
+) -> dict:
+    """Best enabled-vs-disabled latency of the dense ModelJoin.
+
+    The repeats are interleaved (disabled, enabled, disabled, ...) so
+    clock drift and cache warmth hit both arms equally; a warm-up run
+    first fills the model build cache for both.  The gate compares the
+    minimum of each arm: noise is strictly additive, so the minima
+    estimate the true cost of each configuration.
+    """
+    parallel = parallelism > 1
+    database, runner = _setup(rows, width, depth, parallelism)
+    try:
+        _timed_run(runner, parallel)  # warm-up: model build + caches
+        disabled: list[float] = []
+        enabled: list[float] = []
+        for _ in range(repeats):
+            database.disable_tracing()
+            disabled.append(_timed_run(runner, parallel))
+            database.enable_tracing()
+            enabled.append(_timed_run(runner, parallel))
+            database.tracer.clear()
+        database.disable_tracing()
+    finally:
+        database.close()
+    disabled_best = min(disabled)
+    enabled_best = min(enabled)
+    overhead = (
+        enabled_best / disabled_best - 1.0 if disabled_best > 0 else 0.0
+    )
+    return {
+        "workload": {
+            "rows": rows,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
+            "parallelism": parallelism,
+        },
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_best_seconds": disabled_best,
+        "enabled_best_seconds": enabled_best,
+        "disabled_median_seconds": statistics.median(disabled),
+        "enabled_median_seconds": statistics.median(enabled),
+        "overhead_fraction": overhead,
+        "threshold": OVERHEAD_THRESHOLD,
+        "ok": overhead <= OVERHEAD_THRESHOLD,
+    }
+
+
+def check_span_levels(trace: dict) -> dict:
+    """Verify a Chrome-trace document contains the full span hierarchy."""
+    events = [
+        event
+        for event in trace.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    categories: dict[str, int] = {}
+    names_by_category: dict[str, set] = {}
+    for event in events:
+        category = event.get("cat", "")
+        categories[category] = categories.get(category, 0) + 1
+        names_by_category.setdefault(category, set()).add(event["name"])
+    missing: list[str] = []
+    for category, names in REQUIRED_SPAN_LEVELS:
+        present = names_by_category.get(category, set())
+        if not present:
+            missing.append(category)
+        elif names and not present.intersection(names):
+            missing.append(f"{category}:{'|'.join(names)}")
+    return {
+        "events": len(events),
+        "categories": categories,
+        "span_names": sorted(
+            {event["name"] for event in events}
+        ),
+        "missing_levels": missing,
+        "ok": not missing,
+    }
+
+
+def run_trace_evidence(
+    trace_path: str,
+    rows: int = 10_000,
+    width: int = 64,
+    depth: int = 4,
+    parallelism: int = 4,
+) -> dict:
+    """One traced parallel ModelJoin query, exported and validated."""
+    database, runner = _setup(rows, width, depth, parallelism)
+    try:
+        database.enable_tracing()
+        runner.predict(
+            "iris", "id", list(FEATURE_COLUMNS), parallel=parallelism > 1
+        )
+        exported = database.export_trace(trace_path)
+        metrics = flatten_metrics(database.metrics.snapshot())
+    finally:
+        database.close()
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    levels = check_span_levels(trace)
+    levels["path"] = trace_path
+    levels["exported_events"] = exported
+    return {"trace": levels, "metrics": metrics}
+
+
+def run_tracing_bench(
+    config: BenchConfig, trace_path: str = "trace_evidence.json"
+) -> dict:
+    """The full tracing benchmark: overhead gate plus trace evidence."""
+    if config.preset == "smoke":
+        rows, width, depth, repeats = 2_000, 16, 2, 3
+    else:
+        # The width-256 dense-grid cell: large enough that the ~2us
+        # per-launch span cost amortizes against real kernel work,
+        # small enough that 2 * repeats runs stay interactive.
+        rows, width, depth, repeats = 10_000, 256, 4, 7
+    overhead = run_overhead_gate(
+        rows=rows, width=width, depth=depth, repeats=repeats
+    )
+    evidence = run_trace_evidence(
+        trace_path,
+        rows=rows,
+        width=width,
+        depth=depth,
+        parallelism=config.parallelism,
+    )
+    return {
+        "experiment": "tracing",
+        "preset": config.preset,
+        "overhead": overhead,
+        "trace": evidence["trace"],
+        "metrics": evidence["metrics"],
+        "ok": overhead["ok"] and evidence["trace"]["ok"],
+    }
+
+
+def format_tracing_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_tracing_bench`."""
+    from repro.bench.reporting import format_seconds
+
+    overhead = report["overhead"]
+    trace = report["trace"]
+    title = f"Tracing — overhead gate and span evidence (preset {report['preset']})"
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"disabled best: {format_seconds(overhead['disabled_best_seconds'])}   "
+        f"enabled best: {format_seconds(overhead['enabled_best_seconds'])}   "
+        f"overhead: {overhead['overhead_fraction'] * 100:+.2f}% "
+        f"(threshold {overhead['threshold'] * 100:.0f}%) "
+        f"-> {'PASS' if overhead['ok'] else 'FAIL'}"
+    )
+    lines.append(
+        f"trace: {trace['events']} span events in {trace['path']} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(trace['categories'].items()))})"
+    )
+    if trace["missing_levels"]:
+        lines.append(f"missing span levels: {trace['missing_levels']}")
+    else:
+        lines.append(
+            "span hierarchy complete: query, build/infer phases, "
+            "operators, per-worker morsels, device kernels"
+        )
+    latency_keys = [
+        key for key in sorted(report["metrics"]) if key.startswith("query.latency")
+    ]
+    if latency_keys:
+        lines.append(
+            "query.latency: "
+            + "  ".join(
+                f"{key.rsplit('.', 1)[1]}="
+                f"{format_seconds(report['metrics'][key])}"
+                for key in latency_keys
+                if key.rsplit(".", 1)[1] != "count"
+            )
+        )
+    lines.append(f"\nVerdict: {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

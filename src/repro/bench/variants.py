@@ -27,6 +27,7 @@ from repro.core.registry import publish_model
 from repro.core.runtime_api.runner import RuntimeApiModelJoin
 from repro.core.udf_integration.inference_udf import UdfModelJoin
 from repro.db.engine import Database
+from repro.db.tracing import flatten_metrics
 from repro.device.gpu import SimulatedGpu
 from repro.device.host import HostDevice
 from repro.errors import ModelJoinError
@@ -123,6 +124,9 @@ class _NativeVariant(Variant):
             extra={
                 "phases": dict(profile.stopwatch.phases),
                 "counters": profile.counters.snapshot(),
+                "metrics": flatten_metrics(
+                    env.database.metrics.snapshot()
+                ),
             },
         )
 
@@ -157,6 +161,9 @@ class _RuntimeApiVariant(Variant):
             extra={
                 "phases": dict(profile.stopwatch.phases),
                 "counters": profile.counters.snapshot(),
+                "metrics": flatten_metrics(
+                    env.database.metrics.snapshot()
+                ),
             },
         )
 

@@ -36,8 +36,21 @@ def attach(database: Database) -> Database:
 def connect(
     parallelism: int = 1,
     vector_size: int = 1024,
+    tracer=None,
+    metrics=None,
 ) -> Database:
-    """Create a new database with the full repro feature set attached."""
+    """Create a new database with the full repro feature set attached.
+
+    *tracer* / *metrics* (see :mod:`repro.db.tracing`) let several
+    engines share one span timeline and one metrics registry — the
+    bench sweeps pass a shared tracer so every swept configuration
+    lands in a single exported trace.
+    """
     return attach(
-        Database(parallelism=parallelism, vector_size=vector_size)
+        Database(
+            parallelism=parallelism,
+            vector_size=vector_size,
+            tracer=tracer,
+            metrics=metrics,
+        )
     )

@@ -15,6 +15,7 @@ Unlike ML-To-SQL, payload columns are simply passed through untouched
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterator
 
 from repro.core.modeljoin.builder import BuiltModel, ModelBuilder
@@ -115,6 +116,12 @@ class ModelJoinOperator(UnaryOperator):
     def ordering(self) -> tuple[str, ...]:
         return self.child.ordering
 
+    def open(self) -> None:
+        super().open()
+        # Device kernels emit spans into the same timeline as the
+        # operator (no-op while the tracer is disabled).
+        self.device.set_tracer(self.context.tracer)
+
     # ------------------------------------------------------------------
     # build phase
     # ------------------------------------------------------------------
@@ -142,6 +149,7 @@ class ModelJoinOperator(UnaryOperator):
             self.metadata.model_name.lower(),
             self.output_prefix,
         )
+        metrics = self.context.metrics
         with _shared_state_lock:
             decision = self.context.shared_state.get(key)
             if decision is None:
@@ -152,12 +160,14 @@ class ModelJoinOperator(UnaryOperator):
                     built = self.model_cache.get(cache_key)
                 if built is not None:
                     self.context.counters.increment("model-cache-hits")
+                    self._record_cache_metrics(metrics, hit=True)
                     decision = ("hit", built, cache_key)
                 else:
                     if self.model_cache is not None:
                         self.context.counters.increment(
                             "model-cache-misses"
                         )
+                        self._record_cache_metrics(metrics, hit=False)
                     builder = ModelBuilder(
                         input_width=self.metadata.input_width,
                         layers=list(self.metadata.layers),
@@ -169,6 +179,17 @@ class ModelJoinOperator(UnaryOperator):
                 self.context.shared_state[key] = decision
             return decision
 
+    @staticmethod
+    def _record_cache_metrics(metrics, hit: bool) -> None:
+        """Engine-lifetime cache accounting: hit/miss counters plus the
+        cumulative ``cache.hit_ratio`` gauge."""
+        if metrics is None:
+            return
+        metrics.counter("cache.hits" if hit else "cache.misses").increment()
+        hits = metrics.counter("cache.hits").value
+        misses = metrics.counter("cache.misses").value
+        metrics.gauge("cache.hit_ratio").set(hits / (hits + misses))
+
     def _my_model_partitions(self) -> list[int]:
         """Model-table partitions this pipeline parses (round-robin)."""
         total = self.model_table.num_partitions
@@ -176,6 +197,25 @@ class ModelJoinOperator(UnaryOperator):
         return list(range(self.partition_index, total, stride))
 
     def _build(self) -> VectorizedInference:
+        tracer = self.context.tracer
+        started = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "modeljoin-build",
+                category="phase",
+                parent_id=self._span_id,
+                args={"partition": self.partition_index},
+            ):
+                inference = self._build_inner()
+        else:
+            inference = self._build_inner()
+        if self.partition_index == 0 and self.context.metrics is not None:
+            self.context.metrics.histogram(
+                "modeljoin.build_seconds"
+            ).observe(time.perf_counter() - started)
+        return inference
+
+    def _build_inner(self) -> VectorizedInference:
         with self.context.stopwatch.measure("modeljoin-build"):
             kind, payload, cache_key = self._shared_decision()
             if kind == "hit":
@@ -216,35 +256,52 @@ class ModelJoinOperator(UnaryOperator):
     # ------------------------------------------------------------------
     def _produce(self) -> Iterator[VectorBatch]:
         inference = self._build()
-        stopwatch = self.context.stopwatch
+        tracer = self.context.tracer
         prediction_schema = Schema(
             self.schema.columns[len(self.child.schema) :]
         )
         for batch in self.child.next_batches():
             if len(batch) == 0:
                 continue
-            with stopwatch.measure("modeljoin-infer"):
-                pack_buffer = None
-                if inference.arena is not None:
-                    pack_buffer = inference.arena.take(
-                        "pack", len(batch), len(self.input_columns)
+            if tracer.enabled:
+                with tracer.span(
+                    "modeljoin-infer",
+                    category="phase",
+                    parent_id=self._span_id,
+                    args={"rows": len(batch)},
+                ):
+                    yield self._infer_batch(
+                        inference, prediction_schema, batch
                     )
-                matrix = pack_columns(
-                    [batch.column(name) for name in self.input_columns],
-                    out=pack_buffer,
+            else:
+                yield self._infer_batch(inference, prediction_schema, batch)
+
+    def _infer_batch(
+        self,
+        inference: VectorizedInference,
+        prediction_schema: Schema,
+        batch: VectorBatch,
+    ) -> VectorBatch:
+        with self.context.stopwatch.measure("modeljoin-infer"):
+            pack_buffer = None
+            if inference.arena is not None:
+                pack_buffer = inference.arena.take(
+                    "pack", len(batch), len(self.input_columns)
                 )
-                transient = matrix.nbytes
-                self.context.memory.allocate(transient, "modeljoin-vector")
-                try:
-                    result = inference.infer(matrix)
-                finally:
-                    self.context.memory.release(
-                        transient, "modeljoin-vector"
-                    )
-                predictions = VectorBatch(
-                    prediction_schema, unpack_columns(result)
-                )
-            yield batch.concat_columns(predictions)
+            matrix = pack_columns(
+                [batch.column(name) for name in self.input_columns],
+                out=pack_buffer,
+            )
+            transient = matrix.nbytes
+            self.context.memory.allocate(transient, "modeljoin-vector")
+            try:
+                result = inference.infer(matrix)
+            finally:
+                self.context.memory.release(transient, "modeljoin-vector")
+            predictions = VectorBatch(
+                prediction_schema, unpack_columns(result)
+            )
+        return batch.concat_columns(predictions)
 
     def close(self) -> None:
         if self._accounted_bytes:

@@ -15,8 +15,8 @@ from repro.core.modeljoin.operator import ModelJoinOperator
 from repro.db.catalog import ModelMetadata
 from repro.db.engine import Database
 from repro.db.operators import ExecutionContext, TableScan
-from repro.db.parallel import run_partitioned
-from repro.db.profiler import QueryProfile
+from repro.db.parallel import run_plans
+from repro.db.profiler import QueryProfile, finalize_profile
 from repro.db.vector import VectorBatch
 from repro.device.base import Device, DeviceWindow
 from repro.device.host import HostDevice
@@ -53,9 +53,10 @@ class NativeModelJoin:
             if parallel and self.database.parallelism > 1
             else 1
         )
-        context = ExecutionContext(
-            vector_size=self.database.vector_size, parallelism=parallelism
+        context: ExecutionContext = self.database._context(
+            parallelism=parallelism
         )
+        tracer = context.tracer
 
         def build(partition_index: int) -> ModelJoinOperator:
             scan_partition = (
@@ -80,9 +81,20 @@ class NativeModelJoin:
 
         pool = self.database.worker_pool if parallelism > 1 else None
         with DeviceWindow(self.device) as window:
-            _, batches = run_partitioned(
-                build, parallelism, pool=pool, morsel_driven=True
-            )
+            with tracer.span(
+                "query",
+                category="query",
+                args={
+                    "kind": "native-modeljoin",
+                    "model": self.metadata.model_name,
+                    "parallel": parallelism > 1,
+                },
+            ):
+                context.trace_parent = tracer.current_span_id()
+                plans = [build(index) for index in range(parallelism)]
+                _, batches = run_plans(
+                    plans, pool=pool, morsel_driven=True
+                )
         self.last_seconds = window.seconds
         profile = QueryProfile(
             wall_seconds=window.wall_seconds,
@@ -91,6 +103,7 @@ class NativeModelJoin:
             counters=context.counters,
         )
         profile.rows_returned = sum(len(batch) for batch in batches)
+        finalize_profile(profile, self.database.metrics)
         self.last_profile = profile
         return batches, context
 

@@ -74,8 +74,14 @@ class RuntimeApiOperator(UnaryOperator):
 
     def open(self) -> None:
         super().open()
+        self.runtime.device.set_tracer(self.context.tracer)
         with self.context.stopwatch.measure("runtime-load"):
-            self._handle = self.runtime.load_model(self.model)
+            with self.context.tracer.span(
+                "runtime-load",
+                category="phase",
+                parent_id=self._span_id,
+            ):
+                self._handle = self.runtime.load_model(self.model)
         # The runtime holds the framework graph plus the device copy of
         # the weights, and some fixed session state — the "slightly
         # higher fixed memory" the paper observes for TF(C-API) in
@@ -87,28 +93,43 @@ class RuntimeApiOperator(UnaryOperator):
         self.context.memory.allocate(self._accounted_bytes, "runtime-model")
 
     def _produce(self) -> Iterator[VectorBatch]:
-        stopwatch = self.context.stopwatch
+        tracer = self.context.tracer
         prediction_schema = Schema(
             self.schema.columns[len(self.child.schema) :]
         )
         for batch in self.child.next_batches():
             if len(batch) == 0:
                 continue
+            if tracer.enabled:
+                with tracer.span(
+                    "runtime-infer",
+                    category="phase",
+                    parent_id=self._span_id,
+                    args={"rows": len(batch)},
+                ):
+                    yield self._infer_batch(prediction_schema, batch)
+            else:
+                yield self._infer_batch(prediction_schema, batch)
+
+    def _infer_batch(
+        self, prediction_schema: Schema, batch: VectorBatch
+    ) -> VectorBatch:
+        stopwatch = self.context.stopwatch
+        with stopwatch.measure("runtime-convert"):
+            buffer = columnar_to_row_major(
+                [batch.column(name) for name in self.input_columns]
+            )
+        transient = buffer.array.nbytes
+        self.context.memory.allocate(transient, "runtime-vector")
+        try:
+            with stopwatch.measure("runtime-infer"):
+                result = self.runtime.run(self._handle, buffer)
             with stopwatch.measure("runtime-convert"):
-                buffer = columnar_to_row_major(
-                    [batch.column(name) for name in self.input_columns]
-                )
-            transient = buffer.array.nbytes
-            self.context.memory.allocate(transient, "runtime-vector")
-            try:
-                with stopwatch.measure("runtime-infer"):
-                    result = self.runtime.run(self._handle, buffer)
-                with stopwatch.measure("runtime-convert"):
-                    columns = row_major_to_columnar(result)
-            finally:
-                self.context.memory.release(transient, "runtime-vector")
-            predictions = VectorBatch(prediction_schema, columns)
-            yield batch.concat_columns(predictions)
+                columns = row_major_to_columnar(result)
+        finally:
+            self.context.memory.release(transient, "runtime-vector")
+        predictions = VectorBatch(prediction_schema, columns)
+        return batch.concat_columns(predictions)
 
     def close(self) -> None:
         if self._handle is not None:

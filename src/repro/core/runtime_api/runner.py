@@ -7,8 +7,8 @@ import numpy as np
 from repro.core.runtime_api.operator import RuntimeApiOperator
 from repro.db.engine import Database
 from repro.db.operators import ExecutionContext, TableScan
-from repro.db.parallel import run_partitioned
-from repro.db.profiler import QueryProfile
+from repro.db.parallel import run_plans
+from repro.db.profiler import QueryProfile, finalize_profile
 from repro.db.vector import VectorBatch
 from repro.device.base import Device, DeviceWindow
 from repro.device.host import HostDevice
@@ -49,9 +49,10 @@ class RuntimeApiModelJoin:
             if parallel and self.database.parallelism > 1
             else 1
         )
-        context = ExecutionContext(
-            vector_size=self.database.vector_size, parallelism=parallelism
+        context: ExecutionContext = self.database._context(
+            parallelism=parallelism
         )
+        tracer = context.tracer
 
         def build(partition_index: int) -> RuntimeApiOperator:
             scan_partition = (
@@ -72,9 +73,19 @@ class RuntimeApiModelJoin:
 
         pool = self.database.worker_pool if parallelism > 1 else None
         with DeviceWindow(self.device) as window:
-            _, batches = run_partitioned(
-                build, parallelism, pool=pool, morsel_driven=True
-            )
+            with tracer.span(
+                "query",
+                category="query",
+                args={
+                    "kind": "runtime-api",
+                    "parallel": parallelism > 1,
+                },
+            ):
+                context.trace_parent = tracer.current_span_id()
+                plans = [build(index) for index in range(parallelism)]
+                _, batches = run_plans(
+                    plans, pool=pool, morsel_driven=True
+                )
         self.last_seconds = window.seconds
         profile = QueryProfile(
             wall_seconds=window.wall_seconds,
@@ -83,6 +94,7 @@ class RuntimeApiModelJoin:
             counters=context.counters,
         )
         profile.rows_returned = sum(len(batch) for batch in batches)
+        finalize_profile(profile, self.database.metrics)
         self.last_profile = profile
         return batches, context
 

@@ -17,9 +17,9 @@ from repro.db.catalog import Catalog, ModelMetadata
 from repro.db.operators import ExecutionContext, LimitOperator, SortOperator
 from repro.db.operators.base import PhysicalOperator
 from repro.db.expressions import ColumnRef
-from repro.db.parallel import WorkerPool, run_partitioned
+from repro.db.parallel import WorkerPool, run_plans
 from repro.db.planner import ModelJoinFactory, Planner, PlannerOptions
-from repro.db.profiler import QueryProfile
+from repro.db.profiler import QueryProfile, finalize_profile
 from repro.db.schema import Column, Schema
 from repro.db.sql.ast import (
     CreateTable,
@@ -32,6 +32,7 @@ from repro.db.sql.ast import (
 )
 from repro.db.sql.parser import parse_statement
 from repro.db.table import Table
+from repro.db.tracing import MetricsRegistry, Tracer
 from repro.db.types import SqlType, parse_type_name
 from repro.db.udf import PythonUdf, register_udf
 from repro.db.vector import VECTOR_SIZE, VectorBatch, concat_batches
@@ -126,6 +127,8 @@ class Database:
         parallelism: int = 1,
         vector_size: int = VECTOR_SIZE,
         planner_options: PlannerOptions | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -139,6 +142,13 @@ class Database:
         #: cross-query model build cache, installed by repro.core.attach
         #: (opaque at this layer; see repro.core.modeljoin.cache)
         self.model_cache = None
+        #: engine-lifetime span producer; disabled (no-op) by default.
+        #: Pass a shared enabled Tracer to trace several engines into
+        #: one timeline (the bench sweeps do).
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: engine-lifetime metrics registry (latency percentiles, cache
+        #: hit ratios, ... aggregated across queries)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # engine-lifetime resources
@@ -161,6 +171,36 @@ class Database:
             self._worker_pool = None
         if self.model_cache is not None:
             self.model_cache.clear()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self) -> Tracer:
+        """Start recording spans; returns the engine's tracer."""
+        self.tracer.enabled = True
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer.enabled = False
+
+    def export_trace(self, path: str) -> int:
+        """Write the recorded spans as Chrome-trace/Perfetto JSON.
+
+        Returns the number of exported trace events.  Open the file at
+        https://ui.perfetto.dev or in ``chrome://tracing``.
+        """
+        return self.tracer.export(path)
+
+    def _context(self, parallelism: int = 1) -> ExecutionContext:
+        """A fresh execution context wired to the engine's tracer and
+        metrics (operator timing switches on with the tracer)."""
+        return ExecutionContext(
+            vector_size=self.vector_size,
+            parallelism=parallelism,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            operator_timing=self.tracer.enabled,
+        )
 
     def __enter__(self) -> "Database":
         return self
@@ -257,28 +297,87 @@ class Database:
         plan = self._planner().plan_select(statement, context)
         return plan.explain()
 
-    def explain_analyze(self, sql: str) -> tuple[str, Result]:
-        """Execute *sql* and return the plan annotated with the rows
-        each operator emitted, plus the result (EXPLAIN ANALYZE)."""
+    def explain_analyze(
+        self, sql: str, parallel: bool = False
+    ) -> tuple[str, Result]:
+        """Execute *sql* and return the plan annotated with per-operator
+        stats (rows, batches, cumulative time), plus the result.
+
+        With ``parallel=True`` the query runs one pipeline per
+        partition and the per-partition operator stats are merged into
+        a single rendered tree (query-global numbers, not one
+        pipeline's share).
+        """
         statement = parse_statement(sql)
         if isinstance(statement, Explain):
             statement = statement.statement
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN ANALYZE supports only SELECT")
-        context = ExecutionContext(vector_size=self.vector_size)
+        if parallel and self.parallelism > 1:
+            return self._explain_analyze_parallel(statement)
+        context = self._context()
+        context.operator_timing = True
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
             counters=context.counters,
         )
         started = time.perf_counter()
-        plan = self._planner().plan_select(statement, context)
-        batches = list(plan.batches())
+        with self.tracer.span(
+            "query", category="query", args={"kind": "explain-analyze"}
+        ):
+            context.trace_parent = self.tracer.current_span_id()
+            plan = self._planner().plan_select(statement, context)
+            batches = list(plan.batches())
         profile.wall_seconds = time.perf_counter() - started
         result = Result(plan.schema, batches, profile)
         profile.rows_returned = result.row_count
+        finalize_profile(profile, self.metrics)
         self.last_profile = profile
         return plan.explain(stats=True), result
+
+    def _explain_analyze_parallel(
+        self, statement: SelectStatement
+    ) -> tuple[str, Result]:
+        if statement.distinct:
+            raise PlanError("DISTINCT is not supported in parallel mode")
+        context = self._context(parallelism=self.parallelism)
+        context.operator_timing = True
+        profile = QueryProfile(
+            memory=context.memory,
+            stopwatch=context.stopwatch,
+            counters=context.counters,
+        )
+        collected: dict = {}
+        started = time.perf_counter()
+        with self.tracer.span(
+            "query",
+            category="query",
+            args={"kind": "explain-analyze", "parallel": True},
+        ):
+            context.trace_parent = self.tracer.current_span_id()
+            result = self._execute_select_parallel(
+                statement, context, profile, collect=collected
+            )
+        profile.wall_seconds = time.perf_counter() - started
+        profile.rows_returned = result.row_count
+        finalize_profile(profile, self.metrics)
+        self.last_profile = profile
+        plans = collected["plans"]
+        merged = plans[0]
+        for other in plans[1:]:
+            merged.merge_stats_from(other)
+        lines = [
+            f"Parallel: {len(plans)} pipelines "
+            "(per-operator stats merged across pipelines)"
+        ]
+        coordinator = collected.get("coordinator")
+        if coordinator is not None:
+            lines.append("coordinator (post-merge):")
+            lines.append(coordinator.explain(indent=2, stats=True))
+            lines.append("per-pipeline plan:")
+        lines.append(merged.explain(indent=2, stats=True))
+        return "\n".join(lines), result
 
     # ------------------------------------------------------------------
     # statement handlers
@@ -375,9 +474,8 @@ class Database:
     def _execute_select(
         self, statement: SelectStatement, parallel: bool
     ) -> Result:
-        context = ExecutionContext(
-            vector_size=self.vector_size,
-            parallelism=self.parallelism if parallel else 1,
+        context = self._context(
+            parallelism=self.parallelism if parallel else 1
         )
         profile = QueryProfile(
             memory=context.memory,
@@ -385,16 +483,27 @@ class Database:
             counters=context.counters,
         )
         started = time.perf_counter()
-        if parallel and self.parallelism > 1:
-            if statement.distinct:
-                raise PlanError("DISTINCT is not supported in parallel mode")
-            result = self._execute_select_parallel(statement, context, profile)
-        else:
-            plan = self._planner().plan_select(statement, context)
-            batches = list(plan.batches())
-            result = Result(plan.schema, batches, profile)
+        with self.tracer.span(
+            "query",
+            category="query",
+            args={"parallel": bool(parallel and self.parallelism > 1)},
+        ):
+            context.trace_parent = self.tracer.current_span_id()
+            if parallel and self.parallelism > 1:
+                if statement.distinct:
+                    raise PlanError(
+                        "DISTINCT is not supported in parallel mode"
+                    )
+                result = self._execute_select_parallel(
+                    statement, context, profile
+                )
+            else:
+                plan = self._planner().plan_select(statement, context)
+                batches = list(plan.batches())
+                result = Result(plan.schema, batches, profile)
         profile.wall_seconds = time.perf_counter() - started
         profile.rows_returned = result.row_count
+        finalize_profile(profile, self.metrics)
         self.last_profile = profile
         return result
 
@@ -403,6 +512,7 @@ class Database:
         statement: SelectStatement,
         context: ExecutionContext,
         profile: QueryProfile,
+        collect: dict | None = None,
     ) -> Result:
         # ORDER BY / LIMIT are global operations: run the core of the
         # query per partition and apply them on the merged result.
@@ -410,17 +520,14 @@ class Database:
             statement, order_by=(), limit=None, offset=0
         )
         planner = self._planner()
-
-        def build(partition_index: int):
-            return planner.plan_select(
-                core, context, partition_index=partition_index
-            )
-
-        schema, batches = run_partitioned(
-            build,
-            self.parallelism,
-            pool=self.worker_pool,
-            morsel_driven=True,
+        plans = [
+            planner.plan_select(core, context, partition_index=index)
+            for index in range(self.parallelism)
+        ]
+        if collect is not None:
+            collect["plans"] = plans
+        schema, batches = run_plans(
+            plans, pool=self.worker_pool, morsel_driven=True
         )
         if not statement.order_by and statement.limit is None:
             return Result(schema, batches, profile)
@@ -440,4 +547,6 @@ class Database:
             plan = LimitOperator(
                 context, plan, statement.limit, statement.offset
             )
+        if collect is not None:
+            collect["coordinator"] = plan
         return Result(plan.schema, list(plan.batches()), profile)

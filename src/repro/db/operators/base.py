@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.db.profiler import MemoryAccountant, ProfileCounters, Stopwatch
 from repro.db.schema import Schema
+from repro.db.tracing import NULL_TRACER, MetricsRegistry, Tracer
 from repro.db.vector import VECTOR_SIZE, VectorBatch
 from repro.errors import ExecutionError
 
@@ -30,6 +32,26 @@ class ExecutionContext:
     #: arbitrary extension point (the ModelJoin stores its shared model
     #: build state here, keyed by operator id)
     shared_state: dict = field(default_factory=dict)
+    #: span producer (a no-op NullTracer unless the engine enabled it)
+    tracer: Tracer = NULL_TRACER
+    #: engine-lifetime metrics registry, or None without an engine
+    metrics: MetricsRegistry | None = None
+    #: collect per-operator cumulative time and batch timing (set for
+    #: EXPLAIN ANALYZE and whenever the tracer is enabled; off on the
+    #: default hot path, which then pays only a row/batch increment)
+    operator_timing: bool = False
+    #: span id the partition pipelines parent under (cross-thread edge
+    #: from the coordinator's query span to the workers)
+    trace_parent: int | None = None
+
+
+def format_operator_seconds(seconds: float) -> str:
+    """Compact duration rendering for EXPLAIN ANALYZE stat lines."""
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
 
 
 class PhysicalOperator:
@@ -52,6 +74,15 @@ class PhysicalOperator:
         #: rows this operator emitted (filled during execution;
         #: rendered by EXPLAIN ANALYZE)
         self.rows_emitted = 0
+        #: batches this operator emitted
+        self.batches_emitted = 0
+        #: seconds spent producing this operator's batches, children
+        #: included (cumulative time; only filled with operator_timing)
+        self.cumulative_seconds = 0.0
+        #: tracing state: this operator's span id and its parent span
+        self._span_id: int | None = None
+        self._trace_parent: int | None = None
+        self._first_pull_us: float | None = None
 
     @property
     def ordering(self) -> tuple[str, ...]:
@@ -67,12 +98,43 @@ class PhysicalOperator:
         """Acquire resources. Subclasses must call ``super().open()``."""
         if self._opened:
             raise ExecutionError(f"{type(self).__name__} opened twice")
+        tracer = self.context.tracer
+        if tracer.enabled:
+            self._span_id = tracer.allocate_id()
+            if self._trace_parent is None:
+                # Root operator of a pipeline: attach to the innermost
+                # open span of this thread (pipeline or query span).
+                self._trace_parent = tracer.current_span_id()
         self._opened = True
+
+    def _adopt_child_span(self, child: "PhysicalOperator") -> None:
+        """Parent *child*'s operator span under this operator's span."""
+        if self._span_id is not None:
+            child._trace_parent = self._span_id
 
     def next_batches(self) -> Iterator[VectorBatch]:
         """Yield output batches until exhausted (counts rows)."""
-        for batch in self._produce():
+        if not self.context.operator_timing:
+            for batch in self._produce():
+                self.rows_emitted += len(batch)
+                self.batches_emitted += 1
+                yield batch
+            return
+        tracer = self.context.tracer
+        if tracer.enabled and self._first_pull_us is None:
+            self._first_pull_us = tracer.now_us()
+        perf = time.perf_counter
+        producer = self._produce()
+        while True:
+            started = perf()
+            try:
+                batch = next(producer)
+            except StopIteration:
+                self.cumulative_seconds += perf() - started
+                return
+            self.cumulative_seconds += perf() - started
             self.rows_emitted += len(batch)
+            self.batches_emitted += 1
             yield batch
 
     def _produce(self) -> Iterator[VectorBatch]:
@@ -81,6 +143,30 @@ class PhysicalOperator:
 
     def close(self) -> None:
         """Release resources. Subclasses must call ``super().close()``."""
+        tracer = self.context.tracer
+        if (
+            tracer.enabled
+            and self._span_id is not None
+            and self._first_pull_us is not None
+        ):
+            # One complete event per operator: wall interval from the
+            # first pull to close, with the cumulative busy time and
+            # row/batch counts as arguments.  Intervals nest properly
+            # (a parent pulls its child from inside its own interval).
+            tracer.record(
+                name=type(self).__name__,
+                category="operator",
+                start_us=self._first_pull_us,
+                duration_us=tracer.now_us() - self._first_pull_us,
+                span_id=self._span_id,
+                parent_id=self._trace_parent,
+                args={
+                    "rows": self.rows_emitted,
+                    "batches": self.batches_emitted,
+                    "busy_seconds": round(self.cumulative_seconds, 6),
+                },
+            )
+            self._first_pull_us = None
         self._opened = False
 
     def batches(self) -> Iterator[VectorBatch]:
@@ -91,11 +177,31 @@ class PhysicalOperator:
         finally:
             self.close()
 
+    def merge_stats_from(self, other: "PhysicalOperator") -> None:
+        """Fold *other*'s execution stats into this operator, tree-wise.
+
+        Parallel EXPLAIN ANALYZE runs one structurally identical plan
+        per partition pipeline; merging them pairwise turns the rendered
+        tree into query-global per-operator stats instead of showing
+        only one pipeline's share.
+        """
+        self.rows_emitted += other.rows_emitted
+        self.batches_emitted += other.batches_emitted
+        self.cumulative_seconds += other.cumulative_seconds
+        for mine, theirs in zip(self.children(), other.children()):
+            mine.merge_stats_from(theirs)
+
     def explain(self, indent: int = 0, stats: bool = False) -> str:
         """Human-readable plan tree (EXPLAIN / EXPLAIN ANALYZE output)."""
         line = " " * indent + self.describe()
         if stats:
             line += f"  [rows: {self.rows_emitted}]"
+            line += f" [batches: {self.batches_emitted}]"
+            if self.context.operator_timing:
+                line += (
+                    " [time: "
+                    f"{format_operator_seconds(self.cumulative_seconds)}]"
+                )
         children = "\n".join(
             child.explain(indent + 2, stats=stats)
             for child in self.children()
@@ -123,6 +229,7 @@ class UnaryOperator(PhysicalOperator):
 
     def open(self) -> None:
         super().open()
+        self._adopt_child_span(self.child)
         self.child.open()
 
     def close(self) -> None:
@@ -149,6 +256,8 @@ class BinaryOperator(PhysicalOperator):
 
     def open(self) -> None:
         super().open()
+        self._adopt_child_span(self.left)
+        self._adopt_child_span(self.right)
         self.left.open()
         self.right.open()
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 
 from repro.db.column import ColumnRange
@@ -74,13 +75,30 @@ class TableScan(PhysicalOperator):
         The pipelines of one query collectively drain the source; block
         pruning still applies per block, and the profile counts the
         morsels each worker executed (load-balance observability).
+        With tracing on, each morsel is a span that stays open while
+        the downstream operators consume its vectors — the span covers
+        this worker's whole per-morsel pipeline work, and the
+        ``morsel.queue_wait`` histogram records the time spent asking
+        the shared queue for the next morsel.
         """
         from repro.db.parallel import current_worker_name
 
         counters = self.context.counters
+        tracer = self.context.tracer
+        traced = tracer.enabled
+        metrics = self.context.metrics
+        queue_wait = (
+            metrics.histogram("morsel.queue_wait")
+            if metrics is not None
+            else None
+        )
         worker = current_worker_name()
+        perf = time.perf_counter
         while True:
+            waited = perf()
             morsel = self.morsel_source.next_morsel()
+            if queue_wait is not None:
+                queue_wait.observe(perf() - waited)
             if morsel is None:
                 return
             counters.increment("morsels")
@@ -90,11 +108,32 @@ class TableScan(PhysicalOperator):
                 self.blocks_pruned += 1
                 continue
             self.blocks_scanned += 1
-            batch = block.to_batch(self.schema).slice(
-                morsel.row_start, morsel.row_stop
-            )
-            for start in range(0, len(batch), self.context.vector_size):
-                yield batch.slice(start, start + self.context.vector_size)
+            if traced:
+                with tracer.span(
+                    "morsel",
+                    category="morsel",
+                    parent_id=self._span_id,
+                    args={
+                        "partition": morsel.partition_index,
+                        "rows": morsel.row_stop - morsel.row_start,
+                        "worker": worker,
+                    },
+                ):
+                    yield from self._emit_morsel(morsel)
+            else:
+                yield from self._emit_morsel(morsel)
+
+    def _emit_morsel(self, morsel) -> Iterator[VectorBatch]:
+        batch = morsel.block.to_batch(self.schema).slice(
+            morsel.row_start, morsel.row_stop
+        )
+        for start in range(0, len(batch), self.context.vector_size):
+            yield batch.slice(start, start + self.context.vector_size)
+
+    def merge_stats_from(self, other) -> None:
+        super().merge_stats_from(other)
+        self.blocks_scanned += other.blocks_scanned
+        self.blocks_pruned += other.blocks_pruned
 
     def describe(self) -> str:
         parts = [f"TableScan({self.table.name}"]

@@ -257,6 +257,72 @@ def attach_morsel_sources(
     return [source]
 
 
+def run_plans(
+    plans: list[PhysicalOperator],
+    pool: WorkerPool | None = None,
+    morsel_driven: bool = False,
+) -> tuple[Schema, list[VectorBatch]]:
+    """Execute already-built partition pipelines concurrently.
+
+    The caller keeps the plan instances, so their post-run operator
+    stats remain inspectable (parallel EXPLAIN ANALYZE merges them).
+    With a tracer enabled on the plans' context, every pipeline records
+    a ``pipeline`` span on its worker thread, parented under the
+    query's span via ``context.trace_parent``.
+    """
+    if not plans:
+        raise ValueError("need at least one plan")
+    if morsel_driven:
+        attach_morsel_sources(plans)
+
+    def run_one(index: int, plan: PhysicalOperator) -> list[VectorBatch]:
+        tracer = plan.context.tracer
+        if not tracer.enabled:
+            return list(plan.batches())
+        with tracer.span(
+            "pipeline",
+            category="parallel",
+            parent_id=plan.context.trace_parent,
+            args={"pipeline": index, "worker": current_worker_name()},
+        ):
+            return list(plan.batches())
+
+    if len(plans) == 1:
+        per_pipeline = [run_one(0, plans[0])]
+    elif pool is not None:
+        per_pipeline = pool.run_tasks(
+            [
+                lambda index=index, plan=plan: run_one(index, plan)
+                for index, plan in enumerate(plans)
+            ]
+        )
+    else:
+        per_pipeline = [None] * len(plans)
+        errors: list[BaseException] = []
+
+        def run_at(index: int) -> None:
+            try:
+                per_pipeline[index] = run_one(index, plans[index])
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_at, args=(index,))
+            for index in range(len(plans))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+    schema = plans[0].schema
+    batches = [
+        batch for pipeline in per_pipeline for batch in pipeline
+    ]
+    return schema, batches
+
+
 def run_partitioned(
     plan_builder: PlanBuilder,
     num_partitions: int,
@@ -283,41 +349,7 @@ def run_partitioned(
         return plan.schema, list(plan.batches())
 
     plans = [plan_builder(index) for index in range(num_partitions)]
-    if morsel_driven:
-        attach_morsel_sources(plans)
-
-    def run_one(plan: PhysicalOperator) -> list[VectorBatch]:
-        return list(plan.batches())
-
-    if pool is not None:
-        per_pipeline = pool.run_tasks(
-            [lambda plan=plan: run_one(plan) for plan in plans]
-        )
-    else:
-        per_pipeline = [None] * len(plans)
-        errors: list[BaseException] = []
-
-        def run_at(index: int) -> None:
-            try:
-                per_pipeline[index] = run_one(plans[index])
-            except BaseException as error:
-                errors.append(error)
-
-        threads = [
-            threading.Thread(target=run_at, args=(index,))
-            for index in range(len(plans))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if errors:
-            raise errors[0]
-    schema = plans[0].schema
-    batches = [
-        batch for pipeline in per_pipeline for batch in pipeline
-    ]
-    return schema, batches
+    return run_plans(plans, pool=pool, morsel_driven=morsel_driven)
 
 
 def make_context(

@@ -19,13 +19,24 @@ from dataclasses import dataclass, field
 
 
 class MemoryAccountant:
-    """Tracks logically allocated bytes and the high-water mark."""
+    """Tracks logically allocated bytes and the high-water mark.
+
+    Releasing more than was allocated (a double release, or a release
+    against the wrong category) clamps the balance at zero instead of
+    letting it go negative: a negative balance would silently deflate
+    every later peak — the Table-3-style numbers — for the rest of the
+    query.  Each clamp increments :attr:`underflows`, which the engine
+    surfaces as the ``memory.release-underflow`` counter so accounting
+    bugs are visible instead of corrupting the measurements.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.current_bytes = 0
         self.peak_bytes = 0
         self.by_category: dict[str, int] = {}
+        #: releases that exceeded the tracked balance (clamped at zero)
+        self.underflows = 0
 
     def allocate(self, nbytes: int, category: str = "other") -> None:
         if nbytes < 0:
@@ -42,16 +53,26 @@ class MemoryAccountant:
         if nbytes < 0:
             raise ValueError("cannot release a negative number of bytes")
         with self._lock:
-            self.current_bytes -= nbytes
-            self.by_category[category] = (
-                self.by_category.get(category, 0) - nbytes
-            )
+            underflow = False
+            balance = self.by_category.get(category, 0) - nbytes
+            if balance < 0:
+                underflow = True
+                balance = 0
+            self.by_category[category] = balance
+            total = self.current_bytes - nbytes
+            if total < 0:
+                underflow = True
+                total = 0
+            self.current_bytes = total
+            if underflow:
+                self.underflows += 1
 
     def reset(self) -> None:
         with self._lock:
             self.current_bytes = 0
             self.peak_bytes = 0
             self.by_category.clear()
+            self.underflows = 0
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
@@ -138,3 +159,24 @@ class QueryProfile:
     @property
     def peak_memory_bytes(self) -> int:
         return self.memory.peak_bytes
+
+
+def finalize_profile(profile: QueryProfile, metrics=None) -> None:
+    """Post-query bookkeeping shared by the engine and the runners.
+
+    Surfaces memory-release underflows as the ``memory.release-underflow``
+    profile counter and, when an engine-lifetime metrics registry is
+    given (duck-typed: see :class:`repro.db.tracing.MetricsRegistry`),
+    feeds the cross-query aggregates: ``query.latency`` (histogram),
+    ``query.count`` and ``query.rows`` (counters).
+    """
+    underflows = profile.memory.underflows
+    if underflows:
+        profile.counters.increment("memory.release-underflow", underflows)
+    if metrics is None:
+        return
+    metrics.histogram("query.latency").observe(profile.wall_seconds)
+    metrics.counter("query.count").increment()
+    metrics.counter("query.rows").increment(profile.rows_returned)
+    if underflows:
+        metrics.counter("memory.release-underflow").increment(underflows)

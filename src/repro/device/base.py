@@ -66,6 +66,18 @@ class Device:
 
     def __init__(self) -> None:
         self.stats = DeviceStats()
+        #: optional span producer (see :meth:`set_tracer`); kernels emit
+        #: ``kernel``-category spans only while it is enabled
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.db.tracing.Tracer`.
+
+        Kernel calls (``gemm``/``multiply``/``add``/``copy``/
+        ``activation``) then record spans in the ``kernel`` category
+        whenever the tracer is enabled; pass ``None`` to detach.
+        """
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # memory movement
@@ -106,6 +118,23 @@ class Device:
             raise DeviceError(
                 f"gemm shape mismatch: {a.shape} @ {b.shape}"
             )
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "gemm",
+                category="kernel",
+                args={
+                    "device": self.name,
+                    "m": a.shape[0],
+                    "k": a.shape[1],
+                    "n": b.shape[1],
+                },
+            ):
+                return self._gemm(a, b, accumulate, out)
+        return self._gemm(a, b, accumulate, out)
+
+    @staticmethod
+    def _gemm(a, b, accumulate, out) -> np.ndarray:
         if out is None:
             result = a @ b
             if accumulate is not None:
@@ -116,6 +145,16 @@ class Device:
             np.add(out, accumulate, out=out)
         return out
 
+    def _elementwise_span(self, name: str, elements: int):
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.span(
+                name,
+                category="kernel",
+                args={"device": self.name, "elements": elements},
+            )
+        return None
+
     def multiply(
         self,
         a: np.ndarray,
@@ -123,9 +162,11 @@ class Device:
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Elementwise product (vsMul)."""
-        if out is None:
-            return a * b
-        return np.multiply(a, b, out=out)
+        span = self._elementwise_span("multiply", a.size)
+        if span is None:
+            return a * b if out is None else np.multiply(a, b, out=out)
+        with span:
+            return a * b if out is None else np.multiply(a, b, out=out)
 
     def add(
         self,
@@ -134,9 +175,11 @@ class Device:
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Elementwise sum (vsAdd)."""
-        if out is None:
-            return a + b
-        return np.add(a, b, out=out)
+        span = self._elementwise_span("add", a.size)
+        if span is None:
+            return a + b if out is None else np.add(a, b, out=out)
+        with span:
+            return a + b if out is None else np.add(a, b, out=out)
 
     def copy(
         self, array: np.ndarray, out: np.ndarray | None = None
@@ -154,7 +197,11 @@ class Device:
     ) -> np.ndarray:
         """Apply a named activation kernel (in place when *out* given;
         ``out is array`` is allowed)."""
-        return get_activation(name).apply(array, out)
+        span = self._elementwise_span(f"activation:{name}", array.size)
+        if span is None:
+            return get_activation(name).apply(array, out)
+        with span:
+            return get_activation(name).apply(array, out)
 
     def transpose(self, array: np.ndarray) -> np.ndarray:
         """Materialized transpose (the operator transposes the input

@@ -187,7 +187,7 @@ class TestReporting:
         csv = points_to_csv(self._points())
         lines = csv.splitlines()
         assert lines[0].startswith("experiment,variant")
-        assert lines[0].endswith(",counters")
+        assert lines[0].endswith(",counters,metrics")
         assert len(lines) == 5
         assert "True" in lines[-1]  # the skipped point
 
