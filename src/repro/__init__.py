@@ -23,8 +23,13 @@ Quickstart::
 """
 
 from repro.core.attach import attach, connect
+from repro.db import faults as _faults
 from repro.db.engine import Database, Result
 
 __version__ = "1.0.0"
 
 __all__ = ["attach", "connect", "Database", "Result", "__version__"]
+
+# Opt-in chaos hook: REPRO_FAULTS="seed=7,worker.task=prob:0.1" installs
+# a fault injector at import time (no-op when the variable is unset).
+_faults.install_from_env()

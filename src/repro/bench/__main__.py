@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench all     ...
     python -m repro.bench serving --check-regression [--json BENCH_pr1.json]
     python -m repro.bench tracing [--check-overhead] [--json BENCH_pr2.json]
+    python -m repro.bench chaos   [--smoke] [--seed 7] [--json BENCH_pr3.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -19,6 +20,15 @@ The ``tracing`` experiment runs the tracing-overhead gate (traced vs
 untraced dense ModelJoin, <5% overhead) and exports a validated
 Chrome-trace evidence file; ``--check-overhead`` turns the verdict
 into the exit code.
+
+The ``chaos`` experiment runs every fault-injection scenario (worker
+and morsel crashes, GPU kernel faults, build failures, flaky ODBC
+transfers, cache corruption) and gates on 100% query completion,
+bit-exact results, bounded p95 latency, visible resilience metrics,
+retry/fallback trace spans and zero disabled-injector overhead; it
+always exits non-zero on failure.  ``--smoke`` is shorthand for
+``--preset smoke``; ``--seed`` makes the injected fault schedule
+reproducible.
 
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
@@ -61,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
             "all",
             "serving",
             "tracing",
+            "chaos",
         ],
     )
     parser.add_argument(
@@ -97,8 +108,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing experiment: where to write the JSON "
-        "evidence (defaults: BENCH_pr1.json / BENCH_pr2.json)",
+        help="serving/tracing/chaos experiment: where to write the JSON "
+        "evidence (defaults: BENCH_pr1.json / BENCH_pr2.json / "
+        "BENCH_pr3.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for --preset smoke",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="chaos experiment: seed of the injected fault schedule",
     )
     parser.add_argument(
         "--trace",
@@ -108,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         "combined Chrome-trace JSON to PATH",
     )
     arguments = parser.parse_args(argv)
+    if arguments.smoke:
+        arguments.preset = "smoke"
     config = BenchConfig.from_preset(arguments.preset)
     if arguments.parallel:
         config = BenchConfig(
@@ -161,6 +186,30 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if arguments.check_overhead and not report["overhead"]["ok"]:
             print("tracing overhead check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "chaos":
+        from repro.bench.chaos import (
+            format_chaos_report,
+            run_chaos_bench,
+            write_report,
+        )
+
+        trace_path = arguments.trace or "chaos_trace.json"
+        report = run_chaos_bench(
+            config, seed=arguments.seed, trace_path=trace_path
+        )
+        rendered = format_chaos_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr3.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if not report["ok"]:
+            print("chaos resilience check FAILED", file=sys.stderr)
             return 1
         return 0
 

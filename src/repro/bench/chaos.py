@@ -1,0 +1,587 @@
+"""Chaos benchmark: resilient execution under injected faults.
+
+Runs the engine's fault sites (see :mod:`repro.db.faults`) through six
+failure scenarios and gates on the robustness contract:
+
+* **100% completion** — every query under fault injection completes
+  (through retries and fallbacks), none errors out;
+* **bit-exact results** — every faulted run returns exactly the
+  fault-free run's values (``np.array_equal``, not allclose): retries
+  re-process requeued morsels exactly once, and the GPU-to-host
+  fallback computes with the same NumPy kernels;
+* **bounded latency** — the faulted p95 stays within
+  ``LATENCY_FACTOR * clean p95 + LATENCY_SLACK_SECONDS``;
+* **observability** — the aggregated metrics registry shows
+  ``query.retries``, ``fallback.engaged`` and ``cache.corruption``,
+  and the exported Chrome trace contains ``retry`` and ``fallback``
+  marker spans;
+* **zero disabled overhead** — with no injector installed every fault
+  site is one falsy check; an interleaved best-of-N comparison against
+  an installed-but-unarmed injector must stay within the PR 2 tracing
+  overhead threshold (5%).
+
+``python -m repro.bench chaos --smoke --seed 7 --json BENCH_pr3.json``
+is the CI smoke entry point; the full preset sizes everything up.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig
+from repro.bench.tracing_bench import OVERHEAD_THRESHOLD, write_report
+from repro.core.attach import connect
+from repro.core.client.external import ExternalInference
+from repro.core.modeljoin.runner import NativeModelJoin
+from repro.core.registry import publish_model
+from repro.db import faults
+from repro.db.faults import FaultInjector
+from repro.db.tracing import MetricsRegistry, Tracer, flatten_metrics
+from repro.device.gpu import SimulatedGpu
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+#: faulted p95 must stay under FACTOR * clean p95 + SLACK
+LATENCY_FACTOR = 10.0
+LATENCY_SLACK_SECONDS = 1.0
+
+#: per-dispatch crash probability of the sustained-fault scenario
+TASK_FAULT_PROBABILITY = 0.12
+
+SQL = "SELECT sepal_length + sepal_width AS s FROM iris"
+
+__all__ = [
+    "run_chaos_bench",
+    "format_chaos_report",
+    "write_report",
+]
+
+
+def _p95(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[int(0.95 * (len(ordered) - 1))]
+
+
+def _latency_ok(clean_p95: float, faulted_p95: float) -> bool:
+    return faulted_p95 <= LATENCY_FACTOR * clean_p95 + LATENCY_SLACK_SECONDS
+
+
+def _scenario_result(
+    name: str,
+    queries: int,
+    completed: int,
+    bit_exact: bool,
+    clean_p95: float,
+    faulted_p95: float,
+    injector: FaultInjector,
+    extra: dict | None = None,
+) -> dict:
+    result = {
+        "name": name,
+        "queries": queries,
+        "completed": completed,
+        "bit_exact": bit_exact,
+        "clean_p95_seconds": clean_p95,
+        "faulted_p95_seconds": faulted_p95,
+        "latency_ok": _latency_ok(clean_p95, faulted_p95),
+        "faults": injector.statistics(),
+        "faults_injected": injector.total_faults(),
+        "ok": completed == queries
+        and bit_exact
+        and _latency_ok(clean_p95, faulted_p95),
+    }
+    if extra:
+        result.update(extra)
+    return result
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _sql_scenario(
+    name: str,
+    arm,
+    queries: int,
+    rows: int,
+    parallelism: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> dict:
+    """N parallel SQL queries with *arm(injector)* policies installed."""
+    db = connect(
+        parallelism=parallelism,
+        tracer=tracer,
+        metrics=metrics,
+        task_retries=8,
+    )
+    try:
+        load_iris_table(db, rows, num_partitions=parallelism)
+        reference = np.sort(db.execute(SQL).column("s"))
+        clean: list[float] = []
+        for _ in range(queries):
+            started = time.perf_counter()
+            db.execute(SQL, parallel=True)
+            clean.append(time.perf_counter() - started)
+        injector = FaultInjector(seed=seed)
+        arm(injector)
+        completed = 0
+        bit_exact = True
+        faulted: list[float] = []
+        with faults.active(injector):
+            for _ in range(queries):
+                started = time.perf_counter()
+                result = db.execute(SQL, parallel=True)
+                faulted.append(time.perf_counter() - started)
+                completed += 1
+                if not np.array_equal(
+                    np.sort(result.column("s")), reference
+                ):
+                    bit_exact = False
+        return _scenario_result(
+            name,
+            queries,
+            completed,
+            bit_exact,
+            _p95(clean),
+            _p95(faulted),
+            injector,
+        )
+    finally:
+        db.close()
+
+
+def _modeljoin_scenario(
+    name: str,
+    arm,
+    rows: int,
+    width: int,
+    depth: int,
+    parallelism: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    device_factory=None,
+    clear_cache: bool = False,
+) -> dict:
+    """One ModelJoin run under faults, bit-exact vs the clean run."""
+    db = connect(
+        parallelism=parallelism,
+        tracer=tracer,
+        metrics=metrics,
+        task_retries=8,
+    )
+    try:
+        load_iris_table(db, rows, num_partitions=parallelism)
+        model = make_dense_model(width, depth, input_width=4, seed=width)
+        publish_model(
+            db,
+            "chaos_model",
+            model,
+            model_table_partitions=parallelism,
+            replace=True,
+        )
+        parallel = parallelism > 1
+
+        def run():
+            device = device_factory() if device_factory else None
+            runner = NativeModelJoin(db, "chaos_model", device=device)
+            started = time.perf_counter()
+            predictions = runner.predict(
+                "iris", "id", list(FEATURE_COLUMNS), parallel=parallel
+            )
+            return predictions, time.perf_counter() - started
+
+        reference, clean_seconds = run()
+        if clear_cache:
+            # A cache hit would skip the faulted build path entirely.
+            db.model_cache.clear()
+        injector = FaultInjector(seed=seed)
+        arm(injector)
+        with faults.active(injector):
+            predictions, faulted_seconds = run()
+        return _scenario_result(
+            name,
+            1,
+            1,
+            np.array_equal(predictions, reference),
+            clean_seconds,
+            faulted_seconds,
+            injector,
+        )
+    finally:
+        db.close()
+
+
+def _transfer_scenario(
+    rows: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> dict:
+    """External baseline with a flaky ODBC link: retries must recover."""
+    db = connect(tracer=tracer, metrics=metrics)
+    try:
+        load_iris_table(db, rows)
+        model = make_dense_model(8, 2, input_width=4, seed=8)
+        external = ExternalInference(db, model)
+        started = time.perf_counter()
+        reference = external.run(
+            "iris", "id", list(FEATURE_COLUMNS)
+        ).predictions
+        clean_seconds = time.perf_counter() - started
+        injector = FaultInjector(seed=seed)
+        injector.raise_once("odbc.fetch", count=2)
+        with faults.active(injector):
+            started = time.perf_counter()
+            report = external.run("iris", "id", list(FEATURE_COLUMNS))
+            faulted_seconds = time.perf_counter() - started
+        return _scenario_result(
+            "transfer-fault",
+            1,
+            1,
+            np.array_equal(report.predictions, reference),
+            clean_seconds,
+            faulted_seconds,
+            injector,
+            extra={
+                "attempts": external.connection.last_stats.attempts,
+                "retries": external.connection.last_stats.retries,
+                "degraded": external.degraded,
+            },
+        )
+    finally:
+        db.close()
+
+
+def _cache_scenario(
+    rows: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> dict:
+    """A corrupted cached model must be quarantined and rebuilt."""
+    db = connect(tracer=tracer, metrics=metrics)
+    try:
+        load_iris_table(db, rows)
+        model = make_dense_model(16, 2, input_width=4, seed=16)
+        publish_model(db, "cache_model", model, replace=True)
+
+        def run():
+            runner = NativeModelJoin(db, "cache_model")
+            started = time.perf_counter()
+            predictions = runner.predict(
+                "iris", "id", list(FEATURE_COLUMNS)
+            )
+            return predictions, time.perf_counter() - started
+
+        reference, clean_seconds = run()  # populates the cache
+        injector = FaultInjector(seed=seed)
+        injector.corrupt_payload("cache.load", probability=1.0)
+        with faults.active(injector):
+            predictions, faulted_seconds = run()
+        cache_stats = db.model_cache.statistics()
+        return _scenario_result(
+            "cache-corruption",
+            1,
+            1,
+            np.array_equal(predictions, reference)
+            and cache_stats["corruptions"] >= 1,
+            clean_seconds,
+            faulted_seconds,
+            injector,
+            extra={"cache": cache_stats},
+        )
+    finally:
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# disabled-overhead gate
+# ----------------------------------------------------------------------
+def run_disabled_overhead_gate(
+    rows: int = 10_000,
+    width: int = 64,
+    depth: int = 4,
+    repeats: int = 5,
+) -> dict:
+    """Fault sites must be free when no faults are armed.
+
+    Interleaved best-of-N of the dense ModelJoin with (a) no injector
+    installed — every site is a single falsy check — and (b) an
+    installed injector with *no armed policies* — sites reach the
+    injector but find nothing to do.  Both must agree within the PR 2
+    tracing-overhead threshold.
+
+    A failing round is re-measured once with doubled repeats before the
+    gate reports failure: on shared/noisy machines a single best-of-N
+    round can still catch a scheduling hiccup, and a genuine per-site
+    cost will fail both rounds.
+    """
+    result = _measure_disabled_overhead(rows, width, depth, repeats)
+    result["rounds"] = 1
+    if not result["ok"]:
+        retry = _measure_disabled_overhead(rows, width, depth, repeats * 2)
+        if retry["overhead_fraction"] < result["overhead_fraction"]:
+            retry["rounds"] = 2
+            result = retry
+        else:
+            result["rounds"] = 2
+    return result
+
+
+def _measure_disabled_overhead(
+    rows: int, width: int, depth: int, repeats: int
+) -> dict:
+    db = connect()
+    try:
+        load_iris_table(db, rows)
+        model = make_dense_model(width, depth, input_width=4, seed=width)
+        publish_model(db, "overhead_model", model, replace=True)
+        runner = NativeModelJoin(db, "overhead_model")
+
+        def timed() -> float:
+            started = time.perf_counter()
+            runner.predict("iris", "id", list(FEATURE_COLUMNS))
+            return time.perf_counter() - started
+
+        timed()  # warm-up: model build cache
+        timed()  # warm-up: steady-state allocator/buffer reuse
+        disabled: list[float] = []
+        armed_empty: list[float] = []
+        for _ in range(repeats):
+            faults.uninstall()
+            disabled.append(timed())
+            faults.install(FaultInjector())
+            armed_empty.append(timed())
+        faults.uninstall()
+    finally:
+        db.close()
+    disabled_best = min(disabled)
+    installed_best = min(armed_empty)
+    overhead = (
+        installed_best / disabled_best - 1.0 if disabled_best > 0 else 0.0
+    )
+    return {
+        "workload": {
+            "rows": rows,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
+        },
+        "disabled_seconds": disabled,
+        "installed_unarmed_seconds": armed_empty,
+        "disabled_best_seconds": disabled_best,
+        "installed_best_seconds": installed_best,
+        "overhead_fraction": overhead,
+        "threshold": OVERHEAD_THRESHOLD,
+        "ok": overhead <= OVERHEAD_THRESHOLD,
+    }
+
+
+def _check_trace(trace_path: str, tracer: Tracer) -> dict:
+    events = tracer.export(trace_path)
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    categories: dict[str, int] = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") == "X":
+            category = event.get("cat", "")
+            categories[category] = categories.get(category, 0) + 1
+    has_retry = categories.get("retry", 0) > 0
+    has_fallback = categories.get("fallback", 0) > 0
+    return {
+        "path": trace_path,
+        "exported_events": events,
+        "categories": categories,
+        "has_retry_spans": has_retry,
+        "has_fallback_spans": has_fallback,
+        "ok": has_retry and has_fallback,
+    }
+
+
+# ----------------------------------------------------------------------
+# the benchmark
+# ----------------------------------------------------------------------
+def run_chaos_bench(
+    config: BenchConfig,
+    seed: int = 7,
+    trace_path: str = "chaos_trace.json",
+) -> dict:
+    """All fault scenarios, the overhead gate, and the evidence trace."""
+    if config.preset == "smoke":
+        sql_queries, sql_rows = 10, 1_500
+        mj_rows, mj_width, mj_depth = 1_500, 8, 2
+        # The overhead comparison needs a workload long enough that
+        # timer noise stays well under the 5% threshold, even in smoke.
+        overhead_rows, overhead_width, overhead_depth, repeats = (
+            6_000,
+            64,
+            4,
+            5,
+        )
+    else:
+        sql_queries, sql_rows = 40, 6_000
+        mj_rows, mj_width, mj_depth = 6_000, 64, 4
+        overhead_rows, overhead_width, overhead_depth, repeats = (
+            10_000,
+            64,
+            4,
+            5,
+        )
+    parallelism = config.parallelism
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry()
+
+    scenarios = [
+        _sql_scenario(
+            "worker-crash",
+            lambda injector: injector.raise_with_probability(
+                "worker.task", TASK_FAULT_PROBABILITY
+            ),
+            sql_queries,
+            sql_rows,
+            parallelism,
+            seed,
+            tracer,
+            metrics,
+        ),
+        _sql_scenario(
+            "morsel-crash",
+            lambda injector: injector.raise_once(
+                "worker.morsel", count=2
+            ),
+            sql_queries,
+            sql_rows,
+            parallelism,
+            seed,
+            tracer,
+            metrics,
+        ),
+        _modeljoin_scenario(
+            "gpu-kernel-fault",
+            lambda injector: injector.raise_once("device.gemm", count=1),
+            mj_rows,
+            mj_width,
+            mj_depth,
+            1,
+            seed,
+            tracer,
+            metrics,
+            device_factory=SimulatedGpu,
+        ),
+        _modeljoin_scenario(
+            "build-fault",
+            lambda injector: injector.raise_once(
+                "modeljoin.build", count=1
+            ),
+            mj_rows,
+            mj_width,
+            mj_depth,
+            parallelism,
+            seed,
+            tracer,
+            metrics,
+            clear_cache=True,
+        ),
+        _transfer_scenario(sql_rows, seed, tracer, metrics),
+        _cache_scenario(sql_rows, seed, tracer, metrics),
+    ]
+
+    trace = _check_trace(trace_path, tracer)
+    overhead = run_disabled_overhead_gate(
+        rows=overhead_rows,
+        width=overhead_width,
+        depth=overhead_depth,
+        repeats=repeats,
+    )
+    metric_values = flatten_metrics(metrics.snapshot())
+    metrics_visible = {
+        "query.retries": metric_values.get("query.retries", 0),
+        "worker.crashes": metric_values.get("worker.crashes", 0),
+        "fallback.engaged": metric_values.get("fallback.engaged", 0),
+        "cache.corruption": metric_values.get("cache.corruption", 0),
+    }
+    metrics_ok = (
+        metrics_visible["query.retries"] > 0
+        and metrics_visible["fallback.engaged"] > 0
+        and metrics_visible["cache.corruption"] > 0
+    )
+    total_queries = sum(s["queries"] for s in scenarios)
+    total_completed = sum(s["completed"] for s in scenarios)
+    report = {
+        "experiment": "chaos",
+        "preset": config.preset,
+        "seed": seed,
+        "scenarios": scenarios,
+        "completion": {
+            "queries": total_queries,
+            "completed": total_completed,
+            "rate": total_completed / total_queries,
+        },
+        "bit_exact": all(s["bit_exact"] for s in scenarios),
+        "metrics_visible": metrics_visible,
+        "metrics": metric_values,
+        "trace": trace,
+        "overhead": overhead,
+        "ok": all(s["ok"] for s in scenarios)
+        and total_completed == total_queries
+        and metrics_ok
+        and trace["ok"]
+        and overhead["ok"],
+    }
+    return report
+
+
+def format_chaos_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_chaos_bench`."""
+    title = (
+        f"Chaos — resilient execution under injected faults "
+        f"(preset {report['preset']}, seed {report['seed']})"
+    )
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'scenario':<18} {'queries':>7} {'done':>5} {'bit-exact':>9} "
+        f"{'clean p95':>10} {'faulted p95':>11} {'faults':>6} {'ok':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scenario in report["scenarios"]:
+        lines.append(
+            f"{scenario['name']:<18} {scenario['queries']:>7} "
+            f"{scenario['completed']:>5} "
+            f"{str(scenario['bit_exact']):>9} "
+            f"{scenario['clean_p95_seconds'] * 1000:>8.1f}ms "
+            f"{scenario['faulted_p95_seconds'] * 1000:>9.1f}ms "
+            f"{scenario['faults_injected']:>6} "
+            f"{'yes' if scenario['ok'] else 'NO':>4}"
+        )
+    completion = report["completion"]
+    lines.append(
+        f"\ncompletion: {completion['completed']}/{completion['queries']} "
+        f"({completion['rate'] * 100:.0f}%)   "
+        f"bit-exact: {report['bit_exact']}"
+    )
+    visible = report["metrics_visible"]
+    lines.append(
+        "metrics: "
+        + "  ".join(f"{key}={value}" for key, value in visible.items())
+    )
+    trace = report["trace"]
+    lines.append(
+        f"trace: {trace['exported_events']} events in {trace['path']} "
+        f"(retry spans: {trace['has_retry_spans']}, "
+        f"fallback spans: {trace['has_fallback_spans']})"
+    )
+    overhead = report["overhead"]
+    lines.append(
+        f"disabled-faults overhead: "
+        f"{overhead['overhead_fraction'] * 100:+.2f}% "
+        f"(threshold {overhead['threshold'] * 100:.0f}%) "
+        f"-> {'PASS' if overhead['ok'] else 'FAIL'}"
+    )
+    lines.append(f"\nVerdict: {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)

@@ -24,6 +24,9 @@ def attach(database: Database) -> Database:
         cache = ModelCache()
         database.model_cache = cache
         database.catalog.add_invalidation_listener(cache.invalidate_table)
+    if getattr(database.model_cache, "metrics", None) is None:
+        # Integrity quarantines report through the engine's registry.
+        database.model_cache.metrics = database.metrics
 
     def factory(**kwargs):
         kwargs.setdefault("model_cache", database.model_cache)
@@ -38,13 +41,16 @@ def connect(
     vector_size: int = 1024,
     tracer=None,
     metrics=None,
+    task_retries: int = 2,
 ) -> Database:
     """Create a new database with the full repro feature set attached.
 
     *tracer* / *metrics* (see :mod:`repro.db.tracing`) let several
     engines share one span timeline and one metrics registry — the
     bench sweeps pass a shared tracer so every swept configuration
-    lands in a single exported trace.
+    lands in a single exported trace.  *task_retries* bounds how often
+    a crashed partition pipeline is retried before the query fails
+    (see :doc:`docs/ROBUSTNESS`).
     """
     return attach(
         Database(
@@ -52,5 +58,6 @@ def connect(
             vector_size=vector_size,
             tracer=tracer,
             metrics=metrics,
+            task_retries=task_retries,
         )
     )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.client.odbc import OdbcConnection, TransferStats
 from repro.db.engine import Database
 from repro.device.base import Device, DeviceWindow
+from repro.errors import InjectedFaultError, QueryTimeoutError
 from repro.nn.model import Sequential
 from repro.nn.runtime import InferenceSession, TensorBuffer
 
@@ -55,6 +56,41 @@ class ExternalInference:
         self.model = model
         self.device = device
         self.session = InferenceSession(model, device)
+        #: True when the last run fell back to an in-engine fetch after
+        #: the ODBC transfer failed all its retries
+        self.degraded = False
+
+    def _fetch(self, sql: str, column_names: list[str]):
+        """Fetch over ODBC; degrade to an in-engine fetch on failure.
+
+        The ODBC layer already retries transient failures with backoff;
+        if the link is still down after that, the baseline degrades to
+        reading the columns straight out of the engine (no wire
+        round-trip) rather than failing the run — the transfer-variant
+        leg of the fallback chain.
+        """
+        try:
+            arrays = self.connection.fetch_arrays(sql)
+            self.degraded = False
+            return arrays
+        except (InjectedFaultError, QueryTimeoutError):
+            database = self.connection.database
+            result = database.execute(sql)
+            self.degraded = True
+            self.connection.last_stats = TransferStats(
+                rows=result.row_count,
+                attempts=self.connection.max_retries + 1,
+                retries=self.connection.max_retries,
+            )
+            metrics = database.metrics
+            metrics.counter("fallback.engaged").increment()
+            metrics.counter("fallback.transfer").increment()
+            database.tracer.instant(
+                "fallback",
+                category="fallback",
+                args={"kind": "transfer", "note": "odbc->in-engine fetch"},
+            )
+            return {name: result.column(name) for name in column_names}
 
     def run(
         self,
@@ -68,10 +104,11 @@ class ExternalInference:
         Inference runs in client batches (the framework's batch size),
         like ``model.predict(..., batch_size=...)`` would.
         """
-        columns = ", ".join([id_column] + list(input_columns))
+        column_names = [id_column] + list(input_columns)
+        columns = ", ".join(column_names)
         started = time.perf_counter()
-        arrays = self.connection.fetch_arrays(
-            f"SELECT {columns} FROM {fact_table}"
+        arrays = self._fetch(
+            f"SELECT {columns} FROM {fact_table}", column_names
         )
         fetch_seconds = time.perf_counter() - started
         matrix = np.column_stack(

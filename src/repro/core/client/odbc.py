@@ -8,19 +8,32 @@ again on the "client" side — an honest per-value CPU cost, not a sleep.
 An optional bandwidth model additionally accounts (without sleeping)
 the seconds a remote link of the given speed would add; the reported
 baseline times include it only when a bandwidth is configured.
+
+Transfers are the one part of the stack that crosses a (simulated)
+process boundary, so they carry their own resilience: each fetch or
+upload is retried with jittered exponential backoff on transient
+failures (connection resets, injected ``odbc.fetch`` faults), bounded
+by ``max_retries`` and an optional wall-clock ``timeout_seconds``.
 """
 
 from __future__ import annotations
 
+import random
 import struct
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.db import faults
 from repro.db.engine import Database
+from repro.db.resilience import backoff_seconds
 from repro.db.schema import Schema
 from repro.db.types import SqlType
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, InjectedFaultError, QueryTimeoutError
+
+#: exception types a transfer attempt may recover from by retrying
+TRANSIENT_ERRORS = (InjectedFaultError, ConnectionError, TimeoutError)
 
 
 @dataclass
@@ -31,6 +44,8 @@ class TransferStats:
     bytes_on_wire: int = 0
     serialize_seconds: float = 0.0
     modeled_wire_seconds: float = 0.0
+    attempts: int = 1
+    retries: int = 0
 
 
 _PACK_CODES = {
@@ -51,20 +66,75 @@ class OdbcConnection:
     would see — "moving large datasets from a database server to a
     separate machine ... would further decrease the performance of the
     Tensorflow variant" (Section 6.2.1).
+
+    ``timeout_seconds`` bounds one logical transfer including all its
+    retry attempts; when it expires mid-retry the transfer raises
+    :class:`~repro.errors.QueryTimeoutError` instead of retrying again.
     """
 
     database: Database
     bandwidth_bytes_per_second: float | None = None
     last_stats: TransferStats = field(default_factory=TransferStats)
+    timeout_seconds: float | None = None
+    max_retries: int = 3
+    retry_backoff_seconds: float = 0.01
+
+    # ------------------------------------------------------------------
+    # retry orchestration
+    # ------------------------------------------------------------------
+    def _run_with_retries(self, attempt):
+        """Run one transfer attempt function until it succeeds.
+
+        Transient failures (injected faults, connection resets, socket
+        timeouts) are retried up to ``max_retries`` times with jittered
+        exponential backoff; the attempt count lands in the returned
+        :class:`TransferStats`.  A non-transient error propagates
+        unchanged on the first attempt.
+        """
+        deadline = (
+            time.perf_counter() + self.timeout_seconds
+            if self.timeout_seconds is not None
+            else None
+        )
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.fire("odbc.fetch")
+                stats = attempt()
+                break
+            except TRANSIENT_ERRORS as error:
+                if attempts > self.max_retries:
+                    raise
+                if deadline is not None and time.perf_counter() >= deadline:
+                    raise QueryTimeoutError(
+                        f"ODBC transfer exceeded {self.timeout_seconds}s "
+                        f"after {attempts} attempt(s)"
+                    ) from error
+                pause = backoff_seconds(
+                    attempts, base=self.retry_backoff_seconds
+                )
+                # Full jitter: desynchronizes concurrent clients that
+                # failed at the same instant.
+                time.sleep(random.uniform(0, pause))
+        stats.attempts = attempts
+        stats.retries = attempts - 1
+        self.last_stats = stats
+        return stats
 
     def fetch_arrays(self, sql: str) -> dict[str, np.ndarray]:
         """Run *sql* server-side and fetch the result to the client.
 
         Returns client-side NumPy arrays per column, after a real
-        pack/unpack round trip per row.
+        pack/unpack round trip per row.  Transient transfer failures
+        are retried (see :meth:`_run_with_retries`).
         """
-        import time
+        out: dict = {}
+        self._run_with_retries(lambda: self._fetch_once(sql, out))
+        return out["arrays"]
 
+    def _fetch_once(self, sql: str, out: dict) -> TransferStats:
         result = self.database.execute(sql)
         schema = result.schema
         row_format = "<" + "".join(
@@ -90,7 +160,7 @@ class OdbcConnection:
             for slot, value in enumerate(values):
                 columns[slot].append(value)
         serialize_seconds = time.perf_counter() - started
-        arrays = self._to_arrays(schema, columns)
+        out["arrays"] = self._to_arrays(schema, columns)
         stats = TransferStats(
             rows=rows,
             bytes_on_wire=len(wire),
@@ -100,8 +170,7 @@ class OdbcConnection:
             stats.modeled_wire_seconds = (
                 len(wire) / self.bandwidth_bytes_per_second
             )
-        self.last_stats = stats
-        return arrays
+        return stats
 
     @staticmethod
     def _to_arrays(
@@ -117,9 +186,18 @@ class OdbcConnection:
     def upload_arrays(
         self, table_name: str, arrays: dict[str, np.ndarray]
     ) -> TransferStats:
-        """Ship client-side arrays back into a server table (row-wise)."""
-        import time
+        """Ship client-side arrays back into a server table (row-wise).
 
+        Retried like :meth:`fetch_arrays`; the row append happens last
+        in an attempt, so a retried attempt never double-inserts.
+        """
+        return self._run_with_retries(
+            lambda: self._upload_once(table_name, arrays)
+        )
+
+    def _upload_once(
+        self, table_name: str, arrays: dict[str, np.ndarray]
+    ) -> TransferStats:
         table = self.database.table(table_name)
         row_format = "<" + "".join(
             _PACK_CODES[column.sql_type] for column in table.schema
@@ -142,5 +220,4 @@ class OdbcConnection:
             stats.modeled_wire_seconds = (
                 len(wire) / self.bandwidth_bytes_per_second
             )
-        self.last_stats = stats
         return stats

@@ -25,7 +25,7 @@ from repro.core.ml_to_sql.representation import LayerBlock, blocks_from_dims
 from repro.db.catalog import LayerMetadata
 from repro.db.vector import VectorBatch
 from repro.device.base import Device
-from repro.errors import ModelJoinError
+from repro.errors import ModelJoinError, WorkerCrashError
 
 _GATES = ("i", "f", "c", "o")
 
@@ -260,12 +260,38 @@ class ModelBuilder:
         Every partition pipeline calls this once; all block until the
         model is ready, mirroring Figure 6's single synchronization
         point before the inference phase starts.
+
+        Failure semantics: if a cooperating pipeline crashed before
+        reaching the barrier it calls :meth:`abort`, which breaks the
+        barrier — the pipelines already waiting then observe a
+        :class:`WorkerCrashError` (retryable) instead of hanging
+        forever.  A retried pipeline arriving after a successful build
+        short-circuits past the (spent) barrier.
         """
-        self._barrier.wait()
+        if self._built is not None:
+            # A retried pipeline joining after the group already built:
+            # the original barrier is spent, the model is ready.
+            return self._built
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError as error:
+            raise WorkerCrashError(
+                "model build aborted: a cooperating pipeline crashed "
+                "before the build barrier"
+            ) from error
         with self._finalize_lock:
             if self._built is None:
                 self._built = self._finalize(device)
         return self._built
+
+    def abort(self) -> None:
+        """Break the build barrier so waiting pipelines fail fast.
+
+        Called by a pipeline that crashed mid-build; without it the
+        surviving pipelines would block on :meth:`wait_and_finalize`
+        forever (the crashed party can never arrive).  Idempotent.
+        """
+        self._barrier.abort()
 
     def _finalize(self, device: Device) -> BuiltModel:
         layers = []

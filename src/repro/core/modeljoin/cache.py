@@ -29,10 +29,14 @@ observable like every other engine allocation.
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.modeljoin.builder import BuiltModel
+from repro.db import faults
 from repro.db.profiler import MemoryAccountant
 from repro.db.table import Table
 
@@ -40,6 +44,30 @@ from repro.db.table import Table
 DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
 
 MEMORY_CATEGORY = "model-cache"
+
+
+def model_checksum(built: BuiltModel) -> int:
+    """CRC32 over every weight array of a finalized build.
+
+    Cheap relative to a rebuild (one linear pass over the bytes) and
+    order-stable: layers in order, then each layer's array fields in
+    declaration order.  Used to detect in-memory corruption of cached
+    models — the "models as validatable data" idea of SQL4NN applied to
+    the serving cache.
+    """
+    crc = 0
+    # getattr: unit tests cache stub objects without layers (checksum 0
+    # is stable for those, which is all integrity checking needs).
+    for layer in getattr(built, "layers", ()):
+        for value in vars(layer).values():
+            if isinstance(value, np.ndarray):
+                array = (
+                    value
+                    if value.flags.c_contiguous
+                    else np.ascontiguousarray(value)
+                )
+                crc = zlib.crc32(array, crc)
+    return crc
 
 
 @dataclass(frozen=True)
@@ -89,10 +117,15 @@ class ModelCache:
         self.memory = MemoryAccountant()
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, BuiltModel] = OrderedDict()
+        self._checksums: dict[CacheKey, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.corruptions = 0
+        #: optional engine-lifetime MetricsRegistry (set by attach());
+        #: quarantines then bump the ``cache.corruption`` counter
+        self.metrics = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -103,11 +136,35 @@ class ModelCache:
         return self.memory.current_bytes
 
     def get(self, key: CacheKey) -> BuiltModel | None:
-        """The cached build for *key*, or None (counts hit/miss)."""
+        """The cached build for *key*, or None (counts hit/miss).
+
+        Every hit is integrity-verified against the checksum stored at
+        :meth:`put`; a mismatch *quarantines* the entry — it is evicted,
+        counted (``corruptions`` statistic and the engine's
+        ``cache.corruption`` metric) and reported as a miss, so the
+        caller transparently rebuilds instead of serving corrupt
+        weights.
+        """
         with self._lock:
             built = self._entries.get(key)
             if built is None:
                 self.misses += 1
+                return None
+            if faults.ACTIVE is not None and faults.ACTIVE.corrupts(
+                "cache.load"
+            ):
+                _flip_bits(built)
+            expected = self._checksums.get(key)
+            if expected is not None and model_checksum(built) != expected:
+                self._entries.pop(key)
+                self._checksums.pop(key, None)
+                self.memory.release(
+                    built.nominal_bytes(), MEMORY_CATEGORY
+                )
+                self.corruptions += 1
+                self.misses += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cache.corruption").increment()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
@@ -116,7 +173,9 @@ class ModelCache:
     def put(self, key: CacheKey, built: BuiltModel) -> None:
         """Insert a finalized build, evicting LRU entries over the cap.
 
-        A build larger than the whole cap is not retained at all.
+        A build larger than the whole cap is not retained at all.  The
+        entry's integrity checksum is computed here, once, so every
+        later :meth:`get` can verify it.
         """
         nbytes = built.nominal_bytes()
         if nbytes > self.capacity_bytes:
@@ -125,6 +184,7 @@ class ModelCache:
             if key in self._entries:
                 return
             self._entries[key] = built
+            self._checksums[key] = model_checksum(built)
             self.memory.allocate(nbytes, MEMORY_CATEGORY)
             while (
                 self.memory.current_bytes > self.capacity_bytes
@@ -135,6 +195,7 @@ class ModelCache:
                     self._entries[victim_key] = victim
                     self._entries.move_to_end(victim_key, last=False)
                     break
+                self._checksums.pop(victim_key, None)
                 self.memory.release(
                     victim.nominal_bytes(), MEMORY_CATEGORY
                 )
@@ -153,6 +214,7 @@ class ModelCache:
             ]
             for key in stale:
                 built = self._entries.pop(key)
+                self._checksums.pop(key, None)
                 self.memory.release(
                     built.nominal_bytes(), MEMORY_CATEGORY
                 )
@@ -162,6 +224,7 @@ class ModelCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._checksums.clear()
             self.memory.reset()
 
     def statistics(self) -> dict[str, int]:
@@ -173,4 +236,19 @@ class ModelCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "corruptions": self.corruptions,
             }
+
+
+def _flip_bits(built: BuiltModel) -> None:
+    """Corrupt a cached build in place (the ``cache.load`` fault).
+
+    Flips the bits of the first weight value found — enough for the
+    checksum to catch, small enough to model a single-event upset.
+    """
+    for layer in getattr(built, "layers", ()):
+        for value in vars(layer).values():
+            if isinstance(value, np.ndarray) and value.size:
+                flat = value.view(np.uint32).reshape(-1)
+                flat[0] ^= 0xFFFFFFFF
+                return

@@ -25,19 +25,27 @@ from repro.core.modeljoin.inference import (
     pack_columns,
     unpack_columns,
 )
+from repro.db import faults
 from repro.db.catalog import ModelMetadata
 from repro.db.operators.base import (
     ExecutionContext,
     PhysicalOperator,
     UnaryOperator,
 )
+from repro.db.parallel import ROUND_ABORTED_KEY
+from repro.db.resilience import breaker_for
 from repro.db.schema import Column, Schema
 from repro.db.table import Table
 from repro.db.types import SqlType
 from repro.db.vector import VectorBatch
 from repro.device.base import Device
 from repro.device.host import HostDevice
-from repro.errors import ModelJoinError
+from repro.errors import (
+    DeviceError,
+    InjectedFaultError,
+    ModelJoinError,
+    WorkerCrashError,
+)
 
 _shared_state_lock = threading.Lock()
 
@@ -80,6 +88,13 @@ class ModelJoinOperator(UnaryOperator):
         schema = Schema(child.schema.columns + prediction_columns)
         super().__init__(context, schema, child)
         self._accounted_bytes = 0
+        #: fallback notes ('gpu-sim->cpu', ...) rendered by describe()
+        #: (and so by EXPLAIN ANALYZE) once a fallback engaged
+        self.fallbacks: list[str] = []
+        #: the finalized model (kept for building a host-device
+        #: fallback inference without re-running the build)
+        self._built_model: BuiltModel | None = None
+        self._inference: VectorizedInference | None = None
 
     @staticmethod
     def _resolve_input_columns(
@@ -118,9 +133,20 @@ class ModelJoinOperator(UnaryOperator):
 
     def open(self) -> None:
         super().open()
+        if self.device.is_gpu and breaker_for(self.device).is_open:
+            # The device's circuit breaker is open (too many recent
+            # faults): skip it for the whole query instead of failing
+            # into the per-batch fallback path again.
+            original = self.device.name
+            self.device = HostDevice()
+            self._note_fallback(
+                "circuit-breaker", f"{original}->{self.device.name}", None
+            )
         # Device kernels emit spans into the same timeline as the
-        # operator (no-op while the tracer is disabled).
+        # operator (no-op while the tracer is disabled), and check the
+        # query's deadline between kernels.
         self.device.set_tracer(self.context.tracer)
+        self.device.set_cancellation(self.context.cancellation)
 
     # ------------------------------------------------------------------
     # build phase
@@ -134,6 +160,33 @@ class ModelJoinOperator(UnaryOperator):
             self.replicate_bias,
         )
 
+    def _decision_key(self) -> tuple:
+        return (
+            "modeljoin",
+            self.model_table.name.lower(),
+            self.metadata.model_name.lower(),
+            self.output_prefix,
+        )
+
+    def _retract_shared_decision(self, builder: ModelBuilder) -> None:
+        """Remove a poisoned miss decision after a failed build.
+
+        Only the decision holding *this* builder is removed (identity
+        check), so concurrent cleanup from several crashed pipelines —
+        or a decision already replaced by a retry — stays safe.  The
+        retried pipeline group then re-decides with a fresh builder
+        whose barrier is not broken.
+        """
+        key = self._decision_key()
+        with _shared_state_lock:
+            decision = self.context.shared_state.get(key)
+            if (
+                decision is not None
+                and decision[0] == "miss"
+                and decision[1] is builder
+            ):
+                self.context.shared_state.pop(key, None)
+
     def _shared_decision(self) -> tuple[str, object, CacheKey | None]:
         """Hit the cache or create the shared builder — once per query.
 
@@ -143,12 +196,7 @@ class ModelJoinOperator(UnaryOperator):
         pipeline to arrive decides under the shared-state lock and the
         rest follow its decision.
         """
-        key = (
-            "modeljoin",
-            self.model_table.name.lower(),
-            self.metadata.model_name.lower(),
-            self.output_prefix,
-        )
+        key = self._decision_key()
         metrics = self.context.metrics
         with _shared_state_lock:
             decision = self.context.shared_state.get(key)
@@ -224,17 +272,37 @@ class ModelJoinOperator(UnaryOperator):
                 built = payload
             else:
                 builder = payload
-                # The model side is drained in large batches: the build
-                # phase is bulk weight placement, not tuple-at-a-time
-                # processing, so there is no reason to chop it into
-                # execution-sized vectors.
-                build_vector_size = max(self.context.vector_size, 65536)
-                for partition in self._my_model_partitions():
-                    for batch in self.model_table.scan_partition(
-                        partition, vector_size=build_vector_size
-                    ):
-                        builder.consume_batch(batch)
-                built = builder.wait_and_finalize(self.device)
+                try:
+                    if faults.ACTIVE is not None:
+                        faults.ACTIVE.fire("modeljoin.build")
+                    # The model side is drained in large batches: the
+                    # build phase is bulk weight placement, not
+                    # tuple-at-a-time processing, so there is no reason
+                    # to chop it into execution-sized vectors.
+                    build_vector_size = max(self.context.vector_size, 65536)
+                    for partition in self._my_model_partitions():
+                        for batch in self.model_table.scan_partition(
+                            partition, vector_size=build_vector_size
+                        ):
+                            builder.consume_batch(batch)
+                    if self.context.shared_state.get(ROUND_ABORTED_KEY):
+                        # A sibling task already crashed this round; its
+                        # abort sweep may have run before our builder
+                        # existed, so never enter the barrier wait.
+                        raise WorkerCrashError(
+                            "model build aborted: a cooperating "
+                            "pipeline crashed before the build barrier"
+                        )
+                    built = builder.wait_and_finalize(self.device)
+                except BaseException:
+                    # Break the barrier so sibling pipelines observe a
+                    # retryable WorkerCrashError instead of waiting for
+                    # a party that will never arrive, and retract the
+                    # poisoned decision so a retried group rebuilds
+                    # from scratch.
+                    builder.abort()
+                    self._retract_shared_decision(builder)
+                    raise
                 if (
                     self.partition_index == 0
                     and self.model_cache is not None
@@ -244,6 +312,7 @@ class ModelJoinOperator(UnaryOperator):
         if self.partition_index == 0:
             self._accounted_bytes = built.nominal_bytes()
             self.context.memory.allocate(self._accounted_bytes, "model")
+        self._built_model = built
         return VectorizedInference(
             built,
             self.device,
@@ -255,7 +324,7 @@ class ModelJoinOperator(UnaryOperator):
     # inference phase
     # ------------------------------------------------------------------
     def _produce(self) -> Iterator[VectorBatch]:
-        inference = self._build()
+        self._inference = self._build()
         tracer = self.context.tracer
         prediction_schema = Schema(
             self.schema.columns[len(self.child.schema) :]
@@ -270,19 +339,17 @@ class ModelJoinOperator(UnaryOperator):
                     parent_id=self._span_id,
                     args={"rows": len(batch)},
                 ):
-                    yield self._infer_batch(
-                        inference, prediction_schema, batch
-                    )
+                    yield self._infer_batch(prediction_schema, batch)
             else:
-                yield self._infer_batch(inference, prediction_schema, batch)
+                yield self._infer_batch(prediction_schema, batch)
 
     def _infer_batch(
         self,
-        inference: VectorizedInference,
         prediction_schema: Schema,
         batch: VectorBatch,
     ) -> VectorBatch:
         with self.context.stopwatch.measure("modeljoin-infer"):
+            inference = self._inference
             pack_buffer = None
             if inference.arena is not None:
                 pack_buffer = inference.arena.take(
@@ -295,7 +362,14 @@ class ModelJoinOperator(UnaryOperator):
             transient = matrix.nbytes
             self.context.memory.allocate(transient, "modeljoin-vector")
             try:
-                result = inference.infer(matrix)
+                try:
+                    result = inference.infer(matrix)
+                except (DeviceError, InjectedFaultError) as error:
+                    fallback = self._host_fallback_inference(error)
+                    if fallback is None:
+                        raise
+                    self._inference = fallback
+                    result = fallback.infer(matrix)
             finally:
                 self.context.memory.release(transient, "modeljoin-vector")
             predictions = VectorBatch(
@@ -303,18 +377,79 @@ class ModelJoinOperator(UnaryOperator):
             )
         return batch.concat_columns(predictions)
 
+    def _host_fallback_inference(
+        self, error: Exception
+    ) -> VectorizedInference | None:
+        """A host-device inference over the already-built model.
+
+        Engaged when a simulated-GPU kernel faults mid-inference: the
+        finalized model's arrays are host NumPy either way, so the host
+        forward is bit-exact with the device forward — the failing
+        batch is recomputed and all later batches stay on the host.
+        Returns None when there is nothing to fall back *from* (already
+        on the host, or the model is not built yet).
+        """
+        if not self.device.is_gpu or self._built_model is None:
+            return None
+        breaker_for(self.device).record_failure()
+        host = HostDevice()
+        host.set_tracer(self.context.tracer)
+        host.set_cancellation(self.context.cancellation)
+        self._note_fallback(
+            "device", f"{self.device.name}->{host.name}", error
+        )
+        return VectorizedInference(
+            self._built_model,
+            host,
+            vector_size=self.context.vector_size,
+            counters=self.context.counters,
+        )
+
+    def _note_fallback(
+        self, kind: str, note: str, error: Exception | None
+    ) -> None:
+        """Surface an engaged fallback: counters, metrics, trace span."""
+        self.fallbacks.append(note)
+        self.context.counters.increment("fallback.engaged")
+        metrics = self.context.metrics
+        if metrics is not None:
+            metrics.counter("fallback.engaged").increment()
+            metrics.counter(f"fallback.{kind}").increment()
+        tracer = self.context.tracer
+        if tracer.enabled:
+            args = {"kind": kind, "note": note}
+            if error is not None:
+                args["error"] = f"{type(error).__name__}: {error}"
+            tracer.instant(
+                "fallback",
+                category="fallback",
+                parent_id=self._span_id,
+                args=args,
+            )
+
     def close(self) -> None:
         if self._accounted_bytes:
             self.context.memory.release(self._accounted_bytes, "model")
             self._accounted_bytes = 0
         super().close()
 
+    def merge_stats_from(self, other: PhysicalOperator) -> None:
+        super().merge_stats_from(other)
+        # Union the pipelines' fallback notes so a fallback engaged on
+        # any worker shows up in the merged EXPLAIN ANALYZE tree.
+        for note in getattr(other, "fallbacks", ()):  # pragma: no branch
+            if note not in self.fallbacks:
+                self.fallbacks.append(note)
+
     def describe(self) -> str:
-        return (
+        base = (
             f"ModelJoin(model={self.metadata.model_name}, "
             f"device={self.device.name}, "
             f"inputs=[{', '.join(self.input_columns)}])"
         )
+        if self.fallbacks:
+            base += f" [fallback: {', '.join(self.fallbacks)}]"
+        return base
 
 
 def modeljoin_operator_factory(

@@ -17,6 +17,7 @@ from repro.db.engine import Database
 from repro.db.operators import ExecutionContext, TableScan
 from repro.db.parallel import run_plans
 from repro.db.profiler import QueryProfile, finalize_profile
+from repro.db.resilience import CancellationToken
 from repro.db.vector import VectorBatch
 from repro.device.base import Device, DeviceWindow
 from repro.device.host import HostDevice
@@ -38,12 +39,14 @@ class NativeModelJoin:
         self.replicate_bias = replicate_bias
         self.last_profile: QueryProfile | None = None
         self.last_seconds: float = 0.0
+        self.last_plans: list[ModelJoinOperator] = []
 
     def execute(
         self,
         fact_table: str,
         input_columns: list[str] | None = None,
         parallel: bool = False,
+        timeout_seconds: float | None = None,
     ) -> tuple[list[VectorBatch], ExecutionContext]:
         """Run the ModelJoin; returns output batches and the context."""
         table = self.database.table(fact_table)
@@ -56,6 +59,10 @@ class NativeModelJoin:
         context: ExecutionContext = self.database._context(
             parallelism=parallelism
         )
+        if timeout_seconds is not None:
+            context.cancellation = CancellationToken.with_timeout(
+                timeout_seconds
+            )
         tracer = context.tracer
 
         def build(partition_index: int) -> ModelJoinOperator:
@@ -92,8 +99,13 @@ class NativeModelJoin:
             ):
                 context.trace_parent = tracer.current_span_id()
                 plans = [build(index) for index in range(parallelism)]
+                self.last_plans = plans
                 _, batches = run_plans(
-                    plans, pool=pool, morsel_driven=True
+                    plans,
+                    pool=pool,
+                    morsel_driven=True,
+                    plan_builder=build,
+                    retries=self.database.task_retries,
                 )
         self.last_seconds = window.seconds
         profile = QueryProfile(
@@ -113,10 +125,14 @@ class NativeModelJoin:
         id_column: str,
         input_columns: list[str] | None = None,
         parallel: bool = False,
+        timeout_seconds: float | None = None,
     ) -> np.ndarray:
         """Predictions ordered by the fact table's unique ID."""
         batches, _ = self.execute(
-            fact_table, input_columns=input_columns, parallel=parallel
+            fact_table,
+            input_columns=input_columns,
+            parallel=parallel,
+            timeout_seconds=timeout_seconds,
         )
         ids = np.concatenate([batch.column(id_column) for batch in batches])
         order = np.argsort(ids, kind="stable")

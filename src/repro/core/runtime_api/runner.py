@@ -84,7 +84,11 @@ class RuntimeApiModelJoin:
                 context.trace_parent = tracer.current_span_id()
                 plans = [build(index) for index in range(parallelism)]
                 _, batches = run_plans(
-                    plans, pool=pool, morsel_driven=True
+                    plans,
+                    pool=pool,
+                    morsel_driven=True,
+                    plan_builder=build,
+                    retries=self.database.task_retries,
                 )
         self.last_seconds = window.seconds
         profile = QueryProfile(

@@ -20,6 +20,7 @@ from repro.db.expressions import ColumnRef
 from repro.db.parallel import WorkerPool, run_plans
 from repro.db.planner import ModelJoinFactory, Planner, PlannerOptions
 from repro.db.profiler import QueryProfile, finalize_profile
+from repro.db.resilience import CancellationToken
 from repro.db.schema import Column, Schema
 from repro.db.sql.ast import (
     CreateTable,
@@ -36,7 +37,12 @@ from repro.db.tracing import MetricsRegistry, Tracer
 from repro.db.types import SqlType, parse_type_name
 from repro.db.udf import PythonUdf, register_udf
 from repro.db.vector import VECTOR_SIZE, VectorBatch, concat_batches
-from repro.errors import ExecutionError, PlanError, TypeMismatchError
+from repro.errors import (
+    ExecutionError,
+    PlanError,
+    QueryTimeoutError,
+    TypeMismatchError,
+)
 
 
 class Result:
@@ -129,12 +135,18 @@ class Database:
         planner_options: PlannerOptions | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        task_retries: int = 2,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
         self.catalog = Catalog()
         self.parallelism = parallelism
         self.vector_size = vector_size
+        #: how many times a crashed partition pipeline is retried (on a
+        #: rotated worker, with backoff) before the query fails
+        self.task_retries = task_retries
         self.planner_options = planner_options or PlannerOptions()
         self._modeljoin_factory: ModelJoinFactory | None = None
         self.last_profile: QueryProfile | None = None
@@ -257,18 +269,34 @@ class Database:
     # ------------------------------------------------------------------
     # statement execution
     # ------------------------------------------------------------------
-    def execute(self, sql: str, parallel: bool = False) -> Result:
+    def execute(
+        self,
+        sql: str,
+        parallel: bool = False,
+        timeout_seconds: float | None = None,
+    ) -> Result:
         """Parse and execute one SQL statement.
 
         With ``parallel=True`` a SELECT runs one pipeline per partition
         of its partitioned base tables; the caller asserts the query is
         partition-compatible (see :mod:`repro.db.parallel`).
+
+        ``timeout_seconds`` sets a per-query deadline: execution checks
+        a cooperative cancellation token at every batch/morsel boundary
+        and raises :class:`~repro.errors.QueryTimeoutError` once the
+        deadline passes (the worker pool drains cleanly and stays
+        usable).
         """
         statement = parse_statement(sql)
-        return self.execute_statement(statement, parallel=parallel)
+        return self.execute_statement(
+            statement, parallel=parallel, timeout_seconds=timeout_seconds
+        )
 
     def execute_statement(
-        self, statement: Statement, parallel: bool = False
+        self,
+        statement: Statement,
+        parallel: bool = False,
+        timeout_seconds: float | None = None,
     ) -> Result:
         if isinstance(statement, Explain):
             return self._execute_explain(statement)
@@ -284,7 +312,9 @@ class Database:
         if isinstance(statement, InsertSelect):
             return self._execute_insert_select(statement)
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement, parallel=parallel)
+            return self._execute_select(
+                statement, parallel=parallel, timeout_seconds=timeout_seconds
+            )
         raise PlanError(f"unsupported statement {type(statement).__name__}")
 
     def explain(self, sql: str) -> str:
@@ -472,35 +502,46 @@ class Database:
         return Result.empty(result.profile)
 
     def _execute_select(
-        self, statement: SelectStatement, parallel: bool
+        self,
+        statement: SelectStatement,
+        parallel: bool,
+        timeout_seconds: float | None = None,
     ) -> Result:
         context = self._context(
             parallelism=self.parallelism if parallel else 1
         )
+        if timeout_seconds is not None:
+            context.cancellation = CancellationToken.with_timeout(
+                timeout_seconds
+            )
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
             counters=context.counters,
         )
         started = time.perf_counter()
-        with self.tracer.span(
-            "query",
-            category="query",
-            args={"parallel": bool(parallel and self.parallelism > 1)},
-        ):
-            context.trace_parent = self.tracer.current_span_id()
-            if parallel and self.parallelism > 1:
-                if statement.distinct:
-                    raise PlanError(
-                        "DISTINCT is not supported in parallel mode"
+        try:
+            with self.tracer.span(
+                "query",
+                category="query",
+                args={"parallel": bool(parallel and self.parallelism > 1)},
+            ):
+                context.trace_parent = self.tracer.current_span_id()
+                if parallel and self.parallelism > 1:
+                    if statement.distinct:
+                        raise PlanError(
+                            "DISTINCT is not supported in parallel mode"
+                        )
+                    result = self._execute_select_parallel(
+                        statement, context, profile
                     )
-                result = self._execute_select_parallel(
-                    statement, context, profile
-                )
-            else:
-                plan = self._planner().plan_select(statement, context)
-                batches = list(plan.batches())
-                result = Result(plan.schema, batches, profile)
+                else:
+                    plan = self._planner().plan_select(statement, context)
+                    batches = list(plan.batches())
+                    result = Result(plan.schema, batches, profile)
+        except QueryTimeoutError:
+            self.metrics.counter("query.timeouts").increment()
+            raise
         profile.wall_seconds = time.perf_counter() - started
         profile.rows_returned = result.row_count
         finalize_profile(profile, self.metrics)
@@ -527,7 +568,13 @@ class Database:
         if collect is not None:
             collect["plans"] = plans
         schema, batches = run_plans(
-            plans, pool=self.worker_pool, morsel_driven=True
+            plans,
+            pool=self.worker_pool,
+            morsel_driven=True,
+            plan_builder=lambda index: planner.plan_select(
+                core, context, partition_index=index
+            ),
+            retries=self.task_retries,
         )
         if not statement.order_by and statement.limit is None:
             return Result(schema, batches, profile)

@@ -7,6 +7,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.db.profiler import MemoryAccountant, ProfileCounters, Stopwatch
+from repro.db.resilience import CancellationToken
 from repro.db.schema import Schema
 from repro.db.tracing import NULL_TRACER, MetricsRegistry, Tracer
 from repro.db.vector import VECTOR_SIZE, VectorBatch
@@ -43,6 +44,10 @@ class ExecutionContext:
     #: span id the partition pipelines parent under (cross-thread edge
     #: from the coordinator's query span to the workers)
     trace_parent: int | None = None
+    #: cooperative deadline/cancellation token; checked per batch in
+    #: operator ``next()`` loops, per morsel in the scan loop and per
+    #: kernel on the device (None = the query has no deadline)
+    cancellation: CancellationToken | None = None
 
 
 def format_operator_seconds(seconds: float) -> str:
@@ -113,9 +118,17 @@ class PhysicalOperator:
             child._trace_parent = self._span_id
 
     def next_batches(self) -> Iterator[VectorBatch]:
-        """Yield output batches until exhausted (counts rows)."""
+        """Yield output batches until exhausted (counts rows).
+
+        A cooperative cancellation checkpoint runs once per batch: one
+        ``is None`` test on the hot path, a deadline comparison only
+        when the query actually carries a token.
+        """
+        cancellation = self.context.cancellation
         if not self.context.operator_timing:
             for batch in self._produce():
+                if cancellation is not None:
+                    cancellation.check()
                 self.rows_emitted += len(batch)
                 self.batches_emitted += 1
                 yield batch
@@ -133,6 +146,8 @@ class PhysicalOperator:
                 self.cumulative_seconds += perf() - started
                 return
             self.cumulative_seconds += perf() - started
+            if cancellation is not None:
+                cancellation.check()
             self.rows_emitted += len(batch)
             self.batches_emitted += 1
             yield batch

@@ -38,6 +38,9 @@ class TableScan(PhysicalOperator):
         #: executor, see repro.db.parallel.attach_morsel_sources) the
         #: scan steals work from it instead of scanning its partition
         self.morsel_source = None
+        #: this pipeline's index, used as the in-flight owner id so a
+        #: crashed pipeline's morsels can be requeued for its retry
+        self.morsel_owner = None
         self.blocks_scanned = 0
         self.blocks_pruned = 0
 
@@ -81,12 +84,14 @@ class TableScan(PhysicalOperator):
         ``morsel.queue_wait`` histogram records the time spent asking
         the shared queue for the next morsel.
         """
+        from repro.db import faults
         from repro.db.parallel import current_worker_name
 
         counters = self.context.counters
         tracer = self.context.tracer
         traced = tracer.enabled
         metrics = self.context.metrics
+        cancellation = self.context.cancellation
         queue_wait = (
             metrics.histogram("morsel.queue_wait")
             if metrics is not None
@@ -95,8 +100,12 @@ class TableScan(PhysicalOperator):
         worker = current_worker_name()
         perf = time.perf_counter
         while True:
+            if cancellation is not None:
+                cancellation.check()
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("worker.morsel")
             waited = perf()
-            morsel = self.morsel_source.next_morsel()
+            morsel = self.morsel_source.next_morsel(self.morsel_owner)
             if queue_wait is not None:
                 queue_wait.observe(perf() - waited)
             if morsel is None:

@@ -29,23 +29,51 @@ The worker pool itself is *engine-lifetime*: :class:`WorkerPool` is
 owned by the :class:`~repro.db.engine.Database` and reused across
 queries, so thread startup cost disappears from per-query latency (the
 serving scenario of repeated scoring queries).
+
+**Failure containment** (see ``docs/ROBUSTNESS.md``): a crashed
+pipeline no longer fails the whole query.  :func:`run_plans` collects a
+:class:`TaskOutcome` per pipeline; when a *plan_builder* is given,
+failed pipelines are retried up to *retries* times with exponential
+backoff — each retry gets a **fresh plan instance** (operators are not
+reopenable) dispatched to a **different worker** (the pool rotates task
+assignment by attempt), and any morsels the crashed pipeline had taken
+from the shared queue are requeued first, so no input rows are lost or
+double-counted.  Failures that do propagate are chained
+(``raise original from WorkerCrashError(...)``) so the original
+exception type and worker traceback survive alongside the task
+identity.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.db import faults
 from repro.db.operators.base import ExecutionContext, PhysicalOperator
+from repro.db.resilience import backoff_seconds
 from repro.db.schema import Schema
 from repro.db.vector import VectorBatch
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    QueryTimeoutError,
+    WorkerCrashError,
+)
 
 PlanBuilder = Callable[[int], PhysicalOperator]
 
 #: default number of rows per scan morsel (a few execution vectors)
 MORSEL_ROWS = 4096
+
+#: shared-state key flagging "a task of the current round crashed".
+#: Set *before* the builder-abort sweep and checked by barrier-coupled
+#: operators right before they wait: a builder registered before the
+#: flag was set is caught by the sweep, one registered after sees the
+#: flag — so no pipeline can wait on a barrier whose party count will
+#: never be reached.
+ROUND_ABORTED_KEY = "__round_aborted__"
 
 _worker_slot = threading.local()
 
@@ -53,6 +81,16 @@ _worker_slot = threading.local()
 def current_worker_name() -> str:
     """Name of the pool worker running the caller (or 'main')."""
     return getattr(_worker_slot, "name", "main")
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one dispatched task (success *or* failure)."""
+
+    result: object = None
+    error: BaseException | None = None
+    #: name of the worker that ran the task ('' if never dispatched)
+    worker: str = ""
 
 
 class WorkerPool:
@@ -65,6 +103,11 @@ class WorkerPool:
     barrier), which is safe because every task is guaranteed its own
     thread.  A pool-level lock serializes parallel queries so two
     queries can never interleave on the same workers and deadlock.
+
+    A crashing task is *contained*: its exception is captured into a
+    :class:`TaskOutcome` and the pool's threads stay healthy — the
+    worker loop itself never dies, so a failed query costs nothing but
+    its own latency.
     """
 
     def __init__(self, size: int, name_prefix: str = "repro-worker"):
@@ -74,11 +117,14 @@ class WorkerPool:
         self._query_lock = threading.Lock()
         self._task_ready = threading.Condition()
         self._tasks: list | None = None
-        #: bumped per run_tasks call so a worker that loops around
-        #: never re-executes the batch it just finished
+        #: bumped per dispatch so a worker that loops around never
+        #: re-executes the batch it just finished
         self._generation = 0
         self._done = threading.Semaphore(0)
         self._shutdown = False
+        #: worker threads that failed to drain within the shutdown
+        #: timeout (empty after a clean shutdown)
+        self.undrained: list[str] = []
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -105,19 +151,41 @@ class WorkerPool:
                     return
                 seen_generation = self._generation
                 tasks = self._tasks
-            task = tasks[index] if index < len(tasks) else None
-            if task is not None:
+            entry = tasks[index] if index < len(tasks) else None
+            if entry is not None:
+                function, outcome, on_error = entry
+                outcome.worker = _worker_slot.name
                 try:
-                    task.result = task.function()
-                except BaseException as error:  # propagated by run_tasks
-                    task.error = error
+                    if faults.ACTIVE is not None:
+                        faults.ACTIVE.fire("worker.task")
+                    outcome.result = function()
+                except BaseException as error:  # contained, see outcome
+                    outcome.error = error
+                    if on_error is not None:
+                        try:
+                            on_error(outcome)
+                        except Exception:
+                            pass
             self._done.release()
 
-    def run_tasks(self, functions: list[Callable[[], object]]) -> list:
-        """Run each function on its own worker; return results in order.
+    def run_task_outcomes(
+        self,
+        functions: list[Callable[[], object]],
+        worker_offset: int = 0,
+        on_error: Callable[[TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        """Run each function on its own worker; never raises task errors.
 
-        Raises the first task error after all tasks finished (tasks may
-        be barrier-coupled, so none is abandoned mid-flight).
+        Returns one :class:`TaskOutcome` per function, in order.  Tasks
+        may be barrier-coupled, so every task runs to completion (or
+        failure) before this returns — none is abandoned mid-flight.
+        *worker_offset* rotates the task→worker assignment, so a retry
+        round (offset = attempt number) lands each task on a different
+        worker than the one it crashed on.  *on_error* runs on the
+        crashing worker's thread the moment a task fails — the executor
+        uses it to break shared build barriers so barrier-coupled
+        sibling tasks fail fast instead of waiting for a party that
+        will never arrive.
         """
         if len(functions) > self.size:
             raise ExecutionError(
@@ -126,35 +194,58 @@ class WorkerPool:
             )
         if self._shutdown:
             raise ExecutionError("worker pool is shut down")
-
-        @dataclass
-        class _Task:
-            function: Callable[[], object]
-            result: object = None
-            error: BaseException | None = None
-
-        tasks = [_Task(function) for function in functions]
+        outcomes = [TaskOutcome() for _ in functions]
+        assignments: list = [None] * self.size
+        for position, function in enumerate(functions):
+            slot = (position + worker_offset) % self.size
+            assignments[slot] = (function, outcomes[position], on_error)
         with self._query_lock:
             with self._task_ready:
-                self._tasks = tasks
+                self._tasks = assignments
                 self._generation += 1
                 self._task_ready.notify_all()
             for _ in range(self.size):
                 self._done.acquire()
-        for task in tasks:
-            if task.error is not None:
-                raise task.error
-        return [task.result for task in tasks]
+        return outcomes
 
-    def shutdown(self) -> None:
-        """Stop the worker threads (idempotent)."""
-        if self._shutdown:
-            return
+    def run_tasks(self, functions: list[Callable[[], object]]) -> list:
+        """Run each function on its own worker; return results in order.
+
+        Raises the first task error after all tasks finished.  The
+        raised exception keeps its original type and worker traceback;
+        a :class:`WorkerCrashError` naming the task and worker is
+        chained on as its ``__cause__``.
+        """
+        outcomes = self.run_task_outcomes(functions)
+        for index, outcome in enumerate(outcomes):
+            if outcome.error is not None:
+                raise outcome.error from WorkerCrashError(
+                    f"task {index} of {len(functions)} crashed on "
+                    f"{outcome.worker or 'an undispatched worker'}"
+                )
+        return [outcome.result for outcome in outcomes]
+
+    def shutdown(self, drain_timeout: float = 5.0) -> bool:
+        """Stop the worker threads; returns True when fully drained.
+
+        Idempotent under concurrent callers: every call observes the
+        same shutdown flag, joins whatever threads remain, and reports
+        drain success.  The join is bounded by *drain_timeout* seconds
+        **total** (not per thread); stragglers are recorded in
+        :attr:`undrained` instead of blocking the caller forever.
+        """
         with self._task_ready:
             self._shutdown = True
             self._task_ready.notify_all()
+        deadline = time.perf_counter() + max(drain_timeout, 0.0)
+        undrained: list[str] = []
         for thread in self._threads:
-            thread.join(timeout=5.0)
+            remaining = deadline - time.perf_counter()
+            thread.join(timeout=max(remaining, 0.0))
+            if thread.is_alive():
+                undrained.append(thread.name)
+        self.undrained = undrained
+        return not undrained
 
 
 @dataclass
@@ -174,6 +265,12 @@ class MorselSource:
     from it until it runs dry.  Work stealing is implicit: whichever
     worker asks next gets the next morsel, so partition skew spreads
     over all workers instead of gating on the largest partition.
+
+    Morsels taken by a pipeline are tracked as *in flight* under that
+    pipeline's owner id until the pipeline either :meth:`settle`\\ s
+    (success: its output batches were collected) or :meth:`requeue`\\ s
+    them (crash: the partial output was discarded, so the morsels go
+    back on the queue for the retry to process exactly once).
     """
 
     def __init__(self, table, morsel_rows: int = MORSEL_ROWS):
@@ -182,6 +279,8 @@ class MorselSource:
         self._morsels = self._split(table, morsel_rows)
         self._cursor = 0
         self.dispensed = 0
+        self.requeued = 0
+        self._inflight: dict[object, list[Morsel]] = {}
 
     @staticmethod
     def _split(table, morsel_rows: int) -> list[Morsel]:
@@ -203,14 +302,35 @@ class MorselSource:
     def __len__(self) -> int:
         return len(self._morsels)
 
-    def next_morsel(self) -> Morsel | None:
+    def next_morsel(self, owner: object | None = None) -> Morsel | None:
         with self._lock:
             if self._cursor >= len(self._morsels):
                 return None
             morsel = self._morsels[self._cursor]
             self._cursor += 1
             self.dispensed += 1
+            if owner is not None:
+                self._inflight.setdefault(owner, []).append(morsel)
             return morsel
+
+    def settle(self, owner: object) -> None:
+        """Forget *owner*'s in-flight morsels (its output was kept)."""
+        with self._lock:
+            self._inflight.pop(owner, None)
+
+    def requeue(self, owner: object) -> int:
+        """Put *owner*'s in-flight morsels back on the queue.
+
+        Called when the owning pipeline crashed and its partial output
+        was discarded; returns how many morsels went back.
+        """
+        with self._lock:
+            morsels = self._inflight.pop(owner, None)
+            if not morsels:
+                return 0
+            self._morsels.extend(morsels)
+            self.requeued += len(morsels)
+            return len(morsels)
 
 
 def _pipeline_operators(plan: PhysicalOperator) -> list[PhysicalOperator]:
@@ -252,15 +372,129 @@ def attach_morsel_sources(
     source = MorselSource(
         partitioned_scans[0][0].table, morsel_rows=morsel_rows
     )
-    for scans in partitioned_scans:
+    for index, scans in enumerate(partitioned_scans):
         scans[0].morsel_source = source
+        scans[0].morsel_owner = index
     return [source]
+
+
+def _rewire_morsel_source(
+    plan: PhysicalOperator, source: MorselSource, owner: int
+) -> None:
+    """Point a freshly built retry plan at the query's shared queue."""
+    from repro.db.operators.scan import TableScan
+
+    for operator in _pipeline_operators(plan):
+        if isinstance(operator, TableScan) and operator.table is source.table:
+            operator.morsel_source = source
+            operator.morsel_owner = owner
+
+
+def _is_retryable(error: BaseException) -> bool:
+    """Crashes are retryable; deadline misses and interrupts are not.
+
+    Re-running a timed-out pipeline can only time out again later, and
+    non-``Exception`` ``BaseException``\\ s (KeyboardInterrupt,
+    SystemExit) must escape immediately.
+    """
+    return isinstance(error, Exception) and not isinstance(
+        error, QueryTimeoutError
+    )
+
+
+def _raise_pipeline_failure(
+    failed: dict[int, TaskOutcome], attempts: int
+) -> None:
+    """Chain and raise the surfaced error of a failed pipeline round."""
+    fatal = [
+        index
+        for index in sorted(failed)
+        if not _is_retryable(failed[index].error)
+    ]
+    index = fatal[0] if fatal else sorted(failed)[0]
+    outcome = failed[index]
+    raise outcome.error from WorkerCrashError(
+        f"pipeline {index} failed on {outcome.worker or 'main'} "
+        f"after {attempts} attempt(s)"
+    )
+
+
+def _abort_shared_builders(shared_state: dict) -> None:
+    """Break every abortable barrier registered in a query's state.
+
+    When a task crashes *before* reaching a shared build barrier (e.g.
+    an injected ``worker.task`` fault), the cooperating pipelines would
+    otherwise wait for a party that never arrives.  Decision payloads
+    that expose ``abort()`` (the ModelJoin's shared
+    :class:`~repro.core.modeljoin.builder.ModelBuilder`) are aborted so
+    the waiters observe a retryable crash instead of deadlocking.
+    """
+    for value in list(shared_state.values()):
+        items = value if isinstance(value, tuple) else (value,)
+        for item in items:
+            abort = getattr(item, "abort", None)
+            if callable(abort):
+                try:
+                    abort()
+                except Exception:
+                    pass
+
+
+def _run_round(
+    pending: list[int],
+    run_one: Callable[[int], object],
+    attempt: int,
+    pool: WorkerPool | None,
+    on_error: Callable[[TaskOutcome], None] | None = None,
+) -> list[TaskOutcome]:
+    """Execute the pending pipelines once, capturing every outcome."""
+    functions = [lambda index=index: run_one(index) for index in pending]
+    if len(functions) == 1:
+        # Serial (or single-pipeline retry) fast path on the caller's
+        # thread — by definition a different "worker" than a crashed
+        # pool task.
+        outcome = TaskOutcome(worker=current_worker_name())
+        try:
+            outcome.result = functions[0]()
+        except BaseException as error:
+            outcome.error = error
+        return [outcome]
+    if pool is not None:
+        return pool.run_task_outcomes(
+            functions, worker_offset=attempt, on_error=on_error
+        )
+    outcomes = [TaskOutcome() for _ in functions]
+
+    def run_at(position: int) -> None:
+        outcome = outcomes[position]
+        outcome.worker = threading.current_thread().name
+        try:
+            outcome.result = functions[position]()
+        except BaseException as error:
+            outcome.error = error
+            if on_error is not None:
+                try:
+                    on_error(outcome)
+                except Exception:
+                    pass
+
+    threads = [
+        threading.Thread(target=run_at, args=(position,))
+        for position in range(len(functions))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
 
 
 def run_plans(
     plans: list[PhysicalOperator],
     pool: WorkerPool | None = None,
     morsel_driven: bool = False,
+    plan_builder: PlanBuilder | None = None,
+    retries: int = 0,
 ) -> tuple[Schema, list[VectorBatch]]:
     """Execute already-built partition pipelines concurrently.
 
@@ -269,53 +503,101 @@ def run_plans(
     With a tracer enabled on the plans' context, every pipeline records
     a ``pipeline`` span on its worker thread, parented under the
     query's span via ``context.trace_parent``.
+
+    With *plan_builder* and *retries* > 0, crashed pipelines are
+    retried with exponential backoff: the crashed pipeline's in-flight
+    morsels are requeued, a fresh plan instance is built for its index
+    (and rewired to the shared morsel queue), and the round re-runs on
+    rotated workers.  ``plans`` is updated in place with the retry
+    instances so post-run stats stay inspectable.  Retry rounds bump
+    the ``query.retries`` / ``worker.crashes`` metrics and emit
+    ``retry``-category marker spans.
     """
     if not plans:
         raise ValueError("need at least one plan")
-    if morsel_driven:
-        attach_morsel_sources(plans)
+    sources = attach_morsel_sources(plans) if morsel_driven else []
+    source = sources[0] if sources else None
+    context = plans[0].context
+    tracer = context.tracer
+    metrics = context.metrics
+    attempt = 0
 
-    def run_one(index: int, plan: PhysicalOperator) -> list[VectorBatch]:
-        tracer = plan.context.tracer
+    def run_one(index: int) -> list[VectorBatch]:
+        plan = plans[index]
         if not tracer.enabled:
             return list(plan.batches())
+        args = {"pipeline": index, "worker": current_worker_name()}
+        if attempt:
+            args["retry"] = attempt
         with tracer.span(
             "pipeline",
             category="parallel",
-            parent_id=plan.context.trace_parent,
-            args={"pipeline": index, "worker": current_worker_name()},
+            parent_id=context.trace_parent,
+            args=args,
         ):
             return list(plan.batches())
 
-    if len(plans) == 1:
-        per_pipeline = [run_one(0, plans[0])]
-    elif pool is not None:
-        per_pipeline = pool.run_tasks(
-            [
-                lambda index=index, plan=plan: run_one(index, plan)
-                for index, plan in enumerate(plans)
-            ]
+    def on_task_error(_outcome: TaskOutcome) -> None:
+        # Flag first, sweep second — see ROUND_ABORTED_KEY.
+        context.shared_state[ROUND_ABORTED_KEY] = True
+        _abort_shared_builders(context.shared_state)
+
+    per_pipeline: list = [None] * len(plans)
+    pending = list(range(len(plans)))
+    while True:
+        outcomes = _run_round(
+            pending, run_one, attempt, pool, on_error=on_task_error
         )
-    else:
-        per_pipeline = [None] * len(plans)
-        errors: list[BaseException] = []
-
-        def run_at(index: int) -> None:
-            try:
-                per_pipeline[index] = run_one(index, plans[index])
-            except BaseException as error:
-                errors.append(error)
-
-        threads = [
-            threading.Thread(target=run_at, args=(index,))
-            for index in range(len(plans))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if errors:
-            raise errors[0]
+        failed: dict[int, TaskOutcome] = {}
+        for index, outcome in zip(pending, outcomes):
+            if outcome.error is None:
+                per_pipeline[index] = outcome.result
+                if source is not None:
+                    source.settle(index)
+            else:
+                failed[index] = outcome
+        if not failed:
+            break
+        crashes = sum(
+            1
+            for outcome in failed.values()
+            if not isinstance(outcome.error, QueryTimeoutError)
+        )
+        if crashes and metrics is not None:
+            metrics.counter("worker.crashes").increment(crashes)
+        can_retry = (
+            plan_builder is not None
+            and attempt < retries
+            and all(_is_retryable(o.error) for o in failed.values())
+        )
+        if not can_retry:
+            _raise_pipeline_failure(failed, attempt + 1)
+        attempt += 1
+        if metrics is not None:
+            metrics.counter("query.retries").increment(len(failed))
+        if tracer.enabled:
+            tracer.instant(
+                "retry",
+                category="retry",
+                parent_id=context.trace_parent,
+                args={
+                    "attempt": attempt,
+                    "pipelines": sorted(failed),
+                    "errors": sorted(
+                        {type(o.error).__name__ for o in failed.values()}
+                    ),
+                },
+            )
+        time.sleep(backoff_seconds(attempt))
+        context.shared_state.pop(ROUND_ABORTED_KEY, None)
+        for index in sorted(failed):
+            if source is not None:
+                source.requeue(index)
+            fresh = plan_builder(index)
+            if source is not None:
+                _rewire_morsel_source(fresh, source, index)
+            plans[index] = fresh
+        pending = sorted(failed)
     schema = plans[0].schema
     batches = [
         batch for pipeline in per_pipeline for batch in pipeline
@@ -329,6 +611,7 @@ def run_partitioned(
     max_workers: int | None = None,
     pool: WorkerPool | None = None,
     morsel_driven: bool = False,
+    retries: int = 0,
 ) -> tuple[Schema, list[VectorBatch]]:
     """Execute one plan instance per partition pipeline.
 
@@ -336,7 +619,9 @@ def run_partitioned(
     otherwise a transient thread-per-partition fallback is used (kept
     for callers without an engine).  With *morsel_driven* the plans are
     built eagerly and, when eligible, rewired to steal scan morsels
-    from a shared queue (see :func:`attach_morsel_sources`).
+    from a shared queue (see :func:`attach_morsel_sources`).  With
+    *retries* > 0 crashed pipelines are rebuilt via *plan_builder* and
+    re-run (see :func:`run_plans`).
 
     Returns the output schema and all result batches, ordered by
     pipeline (batch order within a pipeline is preserved).
@@ -349,7 +634,13 @@ def run_partitioned(
         return plan.schema, list(plan.batches())
 
     plans = [plan_builder(index) for index in range(num_partitions)]
-    return run_plans(plans, pool=pool, morsel_driven=morsel_driven)
+    return run_plans(
+        plans,
+        pool=pool,
+        morsel_driven=morsel_driven,
+        plan_builder=plan_builder,
+        retries=retries,
+    )
 
 
 def make_context(

@@ -1,0 +1,154 @@
+"""Resilience primitives: deadlines, circuit breakers, backoff.
+
+These are the low-level building blocks of the resilient execution
+layer (see ``docs/ROBUSTNESS.md``):
+
+* :class:`CancellationToken` — cooperative per-query deadlines.  The
+  engine attaches a token to the
+  :class:`~repro.db.operators.base.ExecutionContext`; the morsel loop,
+  operator ``next()`` loops and device kernels call :meth:`check`,
+  which raises :class:`~repro.errors.QueryTimeoutError` once the
+  deadline passes.  Cancellation is *cooperative*: a worker notices at
+  its next checkpoint, finishes nothing further, and the pool drains
+  cleanly (no thread is ever killed).
+
+* :class:`CircuitBreaker` — counts consecutive failures of a resource
+  (a device, a fallback target); after *failure_threshold* failures the
+  breaker opens and callers skip the resource for *reset_seconds*, then
+  a trial call is allowed again (half-open behavior collapses into
+  "closed after the cool-down").
+
+* :func:`backoff_seconds` — bounded exponential backoff schedule shared
+  by the worker-pool retry layer and the ODBC client (the client adds
+  deterministic-free jitter on top).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import QueryTimeoutError
+
+
+class CancellationToken:
+    """Cooperative cancellation with an optional wall-clock deadline."""
+
+    __slots__ = ("deadline", "_cancelled", "reason")
+
+    def __init__(self, deadline: float | None = None):
+        #: absolute ``time.perf_counter()`` deadline (``None`` = never)
+        self.deadline = deadline
+        self._cancelled = False
+        self.reason = ""
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancellationToken":
+        """A token that expires *seconds* from now."""
+        return cls(deadline=time.perf_counter() + seconds)
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Cancel explicitly (checked at the same checkpoints)."""
+        self.reason = reason
+        self._cancelled = True
+
+    @property
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return (
+            self.deadline is not None
+            and time.perf_counter() > self.deadline
+        )
+
+    def remaining_seconds(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+    def check(self) -> None:
+        """Raise :class:`QueryTimeoutError` if cancelled or past due."""
+        if self._cancelled:
+            raise QueryTimeoutError(self.reason or "query cancelled")
+        if (
+            self.deadline is not None
+            and time.perf_counter() > self.deadline
+        ):
+            raise QueryTimeoutError(
+                "query exceeded its deadline "
+                f"(over by {-self.remaining_seconds():.3f}s)"
+            )
+
+
+class CircuitBreaker:
+    """Skip a repeatedly-failing resource for a cool-down period."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock=time.monotonic,
+    ):
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.trips = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._consecutive_failures >= self.failure_threshold
+                and self._opened_at is None
+            ):
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    @property
+    def is_open(self) -> bool:
+        """Open = skip the resource.  Auto-closes after the cool-down
+        (the next call is the half-open trial; its failure re-opens)."""
+        with self._lock:
+            if self._opened_at is None:
+                return False
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                # cool-down elapsed: allow a trial call
+                self._opened_at = None
+                self._consecutive_failures = self.failure_threshold - 1
+                return False
+            return True
+
+
+def breaker_for(
+    resource,
+    failure_threshold: int = 3,
+    reset_seconds: float = 30.0,
+) -> CircuitBreaker:
+    """The breaker attached to *resource*, created lazily.
+
+    Stored as an attribute on the resource object itself so every
+    caller sharing a device instance shares its failure history.
+    """
+    breaker = getattr(resource, "_repro_breaker", None)
+    if breaker is None:
+        breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_seconds=reset_seconds,
+        )
+        resource._repro_breaker = breaker
+    return breaker
+
+
+def backoff_seconds(
+    attempt: int, base: float = 0.005, cap: float = 0.25
+) -> float:
+    """Bounded exponential backoff for retry *attempt* (1-based)."""
+    return min(base * (2 ** max(attempt - 1, 0)), cap)

@@ -220,6 +220,25 @@ class Tracer:
              args),
         )
 
+    def instant(
+        self,
+        name: str,
+        category: str = "engine",
+        parent_id: int | None = None,
+        args: dict | None = None,
+    ) -> None:
+        """Record a zero-duration marker event (retry/fallback points)."""
+        if not self.enabled:
+            return
+        self.record(
+            name,
+            category,
+            start_us=self.now_us(),
+            duration_us=0.0,
+            parent_id=parent_id,
+            args=args,
+        )
+
     # ------------------------------------------------------------------
     # inspection / export
     # ------------------------------------------------------------------

@@ -69,6 +69,8 @@ class Device:
         #: optional span producer (see :meth:`set_tracer`); kernels emit
         #: ``kernel``-category spans only while it is enabled
         self._tracer = None
+        #: optional cooperative deadline (see :meth:`set_cancellation`)
+        self._cancellation = None
 
     def set_tracer(self, tracer) -> None:
         """Attach a :class:`repro.db.tracing.Tracer`.
@@ -78,6 +80,16 @@ class Device:
         whenever the tracer is enabled; pass ``None`` to detach.
         """
         self._tracer = tracer
+
+    def set_cancellation(self, token) -> None:
+        """Attach a :class:`repro.db.resilience.CancellationToken`.
+
+        ``gemm`` — the kernel that dominates inference time — then
+        checks the token before computing, so a query deadline fires
+        between kernels even inside a long model forward.  Pass
+        ``None`` to detach.
+        """
+        self._cancellation = token
 
     # ------------------------------------------------------------------
     # memory movement
@@ -113,6 +125,8 @@ class Device:
         must not alias ``a``, ``b`` or *accumulate*); *accumulate* is
         never modified either way.
         """
+        if self._cancellation is not None:
+            self._cancellation.check()
         self._check_float32(a, b)
         if a.shape[1] != b.shape[0]:
             raise DeviceError(

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.db import faults
 from repro.device.base import Device
 
 
@@ -93,6 +94,12 @@ class SimulatedGpu(Device):
     # kernels
     # ------------------------------------------------------------------
     def gemm(self, a, b, accumulate=None, out=None):
+        # Fault point: only the *simulated GPU's* gemm can be faulted,
+        # so the operator's fall-back to the host device escapes the
+        # injected failure (and stays bit-exact — both devices compute
+        # with the same NumPy kernels).
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("device.gemm")
         started = time.perf_counter()
         result = super().gemm(a, b, accumulate, out)
         self.stats.host_kernel_seconds += time.perf_counter() - started

@@ -46,6 +46,56 @@ class TypeMismatchError(DatabaseError):
     """An expression or insert used a value of an incompatible type."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its deadline (or was cancelled cooperatively).
+
+    Raised from :meth:`repro.db.resilience.CancellationToken.check` at
+    the cooperative checkpoints (morsel loop, operator ``next()`` loops,
+    device kernels).  Deliberately *not* retried by the worker-pool
+    retry layer: re-running a timed-out pipeline can only time out
+    again, later.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker's task crashed.
+
+    Used in two roles: as the ``__cause__`` chained onto a propagated
+    task error (so the raised exception keeps its original type and
+    worker traceback while recording *which* task on *which* worker
+    failed), and as the error pipelines blocked on a shared build
+    barrier observe when a cooperating pipeline crashed and aborted
+    the barrier.
+    """
+
+
+class FallbackExhaustedError(ReproError):
+    """Every approach in a resilient fallback chain failed."""
+
+
+class CacheCorruptionError(ReproError):
+    """A cached artifact failed its integrity (checksum) verification.
+
+    The model cache quarantines corrupt entries transparently instead of
+    raising, so this type surfaces only from callers that ask for strict
+    verification.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by :mod:`repro.db.faults`.
+
+    Carries the fault site so tests and retry layers can distinguish
+    injected failures from organic ones.
+    """
+
+    def __init__(self, site: str, message: str | None = None):
+        super().__init__(
+            message or f"injected fault at site {site!r}"
+        )
+        self.site = site
+
+
 class ModelError(ReproError):
     """Base class for errors raised by the neural-network substrate."""
 
