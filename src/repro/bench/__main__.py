@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench serving --check-regression [--json BENCH_pr1.json]
     python -m repro.bench tracing [--check-overhead] [--json BENCH_pr2.json]
     python -m repro.bench chaos   [--smoke] [--seed 7] [--json BENCH_pr3.json]
+    python -m repro.bench plan    [--check] [--json BENCH_pr4.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -29,6 +30,13 @@ retry/fallback trace spans and zero disabled-injector overhead; it
 always exits non-zero on failure.  ``--smoke`` is shorthand for
 ``--preset smoke``; ``--seed`` makes the injected fault schedule
 reproducible.
+
+The ``plan`` experiment measures the optimizer: planning overhead per
+statement (<1 ms), pushdown speedup with bit-exact results on a
+filtered dense-grid cell, and cost-based variant-selection accuracy
+against exhaustive per-cell measurement (>=80%).  ``--check``
+additionally fails when any cell's selected variant measures slower
+than twice the empirically best variant.
 
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
@@ -72,6 +80,7 @@ def main(argv: list[str] | None = None) -> int:
             "serving",
             "tracing",
             "chaos",
+            "plan",
         ],
     )
     parser.add_argument(
@@ -108,9 +117,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing/chaos experiment: where to write the JSON "
-        "evidence (defaults: BENCH_pr1.json / BENCH_pr2.json / "
-        "BENCH_pr3.json)",
+        help="serving/tracing/chaos/plan experiment: where to write the "
+        "JSON evidence (defaults: BENCH_pr1.json / BENCH_pr2.json / "
+        "BENCH_pr3.json / BENCH_pr4.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="plan experiment: fail when any cell's selected variant "
+        "measures slower than twice the best variant",
     )
     parser.add_argument(
         "--smoke",
@@ -210,6 +225,30 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if not report["ok"]:
             print("chaos resilience check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "plan":
+        from repro.bench.plan_bench import (
+            format_plan_report,
+            run_plan_bench,
+            write_report,
+        )
+
+        report = run_plan_bench(config)
+        rendered = format_plan_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr4.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if not report["ok"]:
+            print("plan optimizer check FAILED", file=sys.stderr)
+            return 1
+        if arguments.check and not report["check"]["ok"]:
+            print("variant smoke check FAILED", file=sys.stderr)
             return 1
         return 0
 

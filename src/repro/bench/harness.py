@@ -24,6 +24,7 @@ from repro.bench.variants import (
     make_variant,
 )
 from repro.core.attach import connect
+from repro.core.ml_to_sql.generator import dense_join_work, lstm_join_work
 from repro.errors import ReproError
 from repro.nn.model import Sequential
 from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
@@ -100,19 +101,10 @@ class SweepPoint:
     extra: dict = field(default_factory=dict)
 
 
-def _mltosql_dense_work(rows: int, width: int, depth: int, inputs: int) -> int:
-    """Estimated join-output volume of the generated dense query."""
-    total = rows * inputs  # input function
-    previous = inputs
-    for _ in range(depth):
-        total += rows * previous * width
-        previous = width
-    total += rows * previous * 1
-    return total
-
-
-def _mltosql_lstm_work(rows: int, width: int, steps: int) -> int:
-    return rows * width * width * max(steps - 1, 1) + rows * width
+# Work estimates shared with the optimizer/bench layers live next to
+# the query generator itself.
+_mltosql_dense_work = dense_join_work
+_mltosql_lstm_work = lstm_join_work
 
 
 def _verify(

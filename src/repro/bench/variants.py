@@ -44,6 +44,26 @@ ALL_VARIANT_NAMES = (
     "ML-To-SQL",
 )
 
+#: optimizer variant name (repro.db.plan.physical.ALL_VARIANTS) ->
+#: Figure-8/9 legend name used by this module and the bench output.
+VARIANT_LEGEND = {
+    "native-cpu": "ModelJoin_CPU",
+    "native-gpu": "ModelJoin_GPU",
+    "runtime-api": "TF_CAPI_CPU",
+    "udf": "UDF",
+    "ml-to-sql": "ML-To-SQL",
+    "external": "TF_CPU",
+}
+
+#: legend name -> optimizer variant name (GPU legends collapse onto the
+#: same optimizer variant as their CPU twin where the optimizer does
+#: not distinguish them).
+LEGEND_VARIANT = {
+    **{legend: name for name, legend in VARIANT_LEGEND.items()},
+    "TF_CAPI_GPU": "runtime-api",
+    "TF_GPU": "external",
+}
+
 
 @dataclass
 class RunMeasurement:

@@ -17,9 +17,15 @@ def attach(database: Database) -> Database:
     model re-registration (INSERTs are handled by version-aware cache
     keys).  Returns the database for chaining.
     """
+    from repro.core.cost.selector import CostBasedVariantSelector
     from repro.core.modeljoin.cache import ModelCache
     from repro.core.modeljoin.operator import modeljoin_operator_factory
 
+    if database.variant_selector is None:
+        # Cost-based ModelJoin variant selection: the planner ranks all
+        # execution variants per query (EXPLAIN shows the ranking; the
+        # resilience layer uses it as the fallback chain).
+        database.set_variant_selector(CostBasedVariantSelector())
     if database.model_cache is None:
         cache = ModelCache()
         database.model_cache = cache

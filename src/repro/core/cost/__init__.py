@@ -1,5 +1,14 @@
 """Inference cost model (paper Section 7, future work)."""
 
 from repro.core.cost.model import CostEstimate, InferenceCostModel
+from repro.core.cost.selector import (
+    DEFAULT_COEFFICIENTS,
+    CostBasedVariantSelector,
+)
 
-__all__ = ["CostEstimate", "InferenceCostModel"]
+__all__ = [
+    "DEFAULT_COEFFICIENTS",
+    "CostBasedVariantSelector",
+    "CostEstimate",
+    "InferenceCostModel",
+]

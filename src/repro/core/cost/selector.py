@@ -1,0 +1,105 @@
+"""Cost-based ModelJoin execution-variant selection.
+
+The selector ranks every execution variant the system implements by
+predicted runtime, using one calibrated :class:`InferenceCostModel`
+per variant (``seconds = a * tuples * flops + b * tuples + c``) — the
+coefficients differ by orders of magnitude between variants, which is
+the paper's central measurement.  ``repro.core.attach`` installs a
+selector on every connected database; the planner consults it per
+query with the optimizer's input-cardinality estimate, EXPLAIN prints
+the full ranking, and the resilience layer executes the ranking as its
+fallback chain.
+
+``DEFAULT_COEFFICIENTS`` were fitted offline with
+``python -m repro.bench plan`` (least squares over measured dense-grid
+cells on the reference container); recalibrate per deployment with
+:meth:`CostBasedVariantSelector.calibrate`.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost.model import (
+    InferenceCostModel,
+    flops_per_tuple_of_metadata,
+)
+from repro.db.catalog import ModelMetadata
+from repro.db.plan.physical import (
+    ALL_VARIANTS,
+    IN_PLAN_VARIANTS,
+    VariantEstimate,
+)
+
+#: per-variant (a, b, c) of ``seconds = a*tuples*flops + b*tuples + c``,
+#: fitted from measured dense-grid cells (see module docstring); the
+#: orders-of-magnitude spread between the in-engine operator and the
+#: ML-To-SQL / external paths mirrors the paper's Figure 8.
+DEFAULT_COEFFICIENTS: dict[str, tuple[float, float, float]] = {
+    "native-cpu": (1.06e-11, 1.17e-7, 2.1e-4),
+    "native-gpu": (3.6e-13, 1.46e-7, 2.4e-4),
+    "runtime-api": (1.12e-11, 1.40e-7, 1.2e-4),
+    "udf": (9.3e-12, 1.66e-6, 3.2e-4),
+    "ml-to-sql": (2.15e-7, 1.0e-6, 4.0e-3),
+    "external": (1.2e-11, 2.5e-6, 1.2e-2),
+}
+
+
+class CostBasedVariantSelector:
+    """Ranks ModelJoin execution variants by predicted runtime."""
+
+    def __init__(
+        self,
+        coefficients: dict[str, tuple[float, float, float]] | None = None,
+    ):
+        self.models: dict[str, InferenceCostModel] = {}
+        table = dict(DEFAULT_COEFFICIENTS)
+        if coefficients:
+            table.update(coefficients)
+        import numpy as np
+
+        for variant, (a, b, c) in table.items():
+            model = InferenceCostModel()
+            model.coefficients = np.array([a, b, c], dtype=np.float64)
+            self.models[variant] = model
+
+    # -- planner protocol ------------------------------------------------
+    def flops_per_tuple(self, metadata: ModelMetadata) -> float:
+        return flops_per_tuple_of_metadata(metadata)
+
+    def rank(
+        self, metadata: ModelMetadata, tuples: int
+    ) -> list[VariantEstimate]:
+        """All variants, cheapest predicted runtime first."""
+        estimates = [
+            VariantEstimate(
+                variant=variant,
+                predicted_seconds=float(
+                    self.models[variant]
+                    .estimate(metadata, tuples)
+                    .predicted_seconds
+                ),
+                in_plan=variant in IN_PLAN_VARIANTS,
+            )
+            for variant in ALL_VARIANTS
+            if variant in self.models
+        ]
+        estimates.sort(key=lambda e: e.predicted_seconds)
+        return estimates
+
+    def predict(
+        self, variant: str, metadata: ModelMetadata, tuples: int
+    ) -> float:
+        return float(
+            self.models[variant]
+            .estimate(metadata, tuples)
+            .predicted_seconds
+        )
+
+    # -- calibration -----------------------------------------------------
+    def calibrate(
+        self,
+        variant: str,
+        observations: list[tuple[int, float, float]],
+    ) -> None:
+        """Refit one variant from (tuples, flops_per_tuple, seconds)."""
+        model = self.models.setdefault(variant, InferenceCostModel())
+        model.calibrate(observations)

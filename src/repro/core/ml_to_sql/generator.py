@@ -25,6 +25,28 @@ from repro.errors import UnsupportedModelError
 from repro.nn.model import Sequential
 
 
+def dense_join_work(rows: int, width: int, depth: int, inputs: int) -> int:
+    """Join-output volume of the generated dense inference query.
+
+    Each layer materializes ``rows * fan_in * fan_out`` intermediate
+    tuples; this is the dominant cost of the ML-To-SQL approach and
+    what the bench harness uses to skip cells that would exceed its
+    work budget.
+    """
+    total = rows * inputs  # input function
+    previous = inputs
+    for _ in range(depth):
+        total += rows * previous * width
+        previous = width
+    total += rows * previous * 1
+    return total
+
+
+def lstm_join_work(rows: int, width: int, steps: int) -> int:
+    """Join-output volume of the generated LSTM inference query."""
+    return rows * width * width * max(steps - 1, 1) + rows * width
+
+
 class SqlGenerator:
     """Generates the inference SQL for one (model, fact table) pair."""
 

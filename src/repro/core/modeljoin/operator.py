@@ -462,8 +462,18 @@ def modeljoin_operator_factory(
     partition_index: int | None = None,
     device: Device | None = None,
     model_cache: ModelCache | None = None,
+    variant: str | None = None,
 ) -> ModelJoinOperator:
-    """Factory the planner calls for ``MODEL JOIN`` FROM items."""
+    """Factory the planner calls for ``MODEL JOIN`` FROM items.
+
+    *variant* is the optimizer's in-plan variant decision
+    ("native-cpu" / "native-gpu"); it picks the execution device when
+    the caller did not pass one explicitly.
+    """
+    if device is None and variant == "native-gpu":
+        from repro.device.gpu import SimulatedGpu
+
+        device = SimulatedGpu()
     return ModelJoinOperator(
         context,
         child,

@@ -35,11 +35,33 @@ class NativeModelJoin:
     ):
         self.database = database
         self.metadata: ModelMetadata = database.catalog.model(model_name)
+        #: with no explicit device the cost-based variant selector picks
+        #: between the in-plan native variants per executed workload
+        self._auto_device = device is None
         self.device = device or HostDevice()
         self.replicate_bias = replicate_bias
         self.last_profile: QueryProfile | None = None
         self.last_seconds: float = 0.0
         self.last_plans: list[ModelJoinOperator] = []
+
+    def _device_from_selector(self, tuples: int) -> Device | None:
+        """With no explicit device, let the database's cost-based
+        variant selector pick between the in-plan native variants."""
+        selector = getattr(self.database, "variant_selector", None)
+        if selector is None:
+            return None
+        try:
+            estimates = selector.rank(self.metadata, max(tuples, 1))
+        except Exception:
+            return None
+        for estimate in estimates:
+            if estimate.variant == "native-cpu":
+                return HostDevice()
+            if estimate.variant == "native-gpu":
+                from repro.device.gpu import SimulatedGpu
+
+                return SimulatedGpu()
+        return None
 
     def execute(
         self,
@@ -51,6 +73,10 @@ class NativeModelJoin:
         """Run the ModelJoin; returns output batches and the context."""
         table = self.database.table(fact_table)
         model_table = self.database.table(self.metadata.table_name)
+        if self._auto_device:
+            chosen = self._device_from_selector(table.row_count)
+            if chosen is not None:
+                self.device = chosen
         parallelism = (
             self.database.parallelism
             if parallel and self.database.parallelism > 1

@@ -7,14 +7,15 @@ be *substituted* instead of failing the query — the robustness
 counterpart of the paper's performance comparison.
 
 :class:`ResilientModelJoin` runs the preferred variant and degrades
-along a fixed chain when it fails:
+along the optimizer's ranked variant list when it fails:
 
 1. native ModelJoin on the preferred device (skipped up front when the
    device's circuit breaker is open from earlier failures);
-2. native ModelJoin on the host CPU (when the preferred device is a
-   GPU) — bit-exact with the GPU variant, which computes with the same
-   NumPy kernels;
-3. ML-To-SQL — pure SQL, no operator machinery at all.
+2. the remaining usable variants — native host CPU (when the preferred
+   device is a GPU; bit-exact, same NumPy kernels), runtime API and
+   ML-To-SQL — ordered cheapest-first by the database's cost-based
+   variant selector (see :mod:`repro.core.cost.selector`); without a
+   selector the legacy fixed order applies.
 
 Query deadlines are honored across the chain: a
 :class:`~repro.errors.QueryTimeoutError` aborts immediately (trying a
@@ -53,6 +54,7 @@ class ResilientModelJoin:
         model: Sequential | None = None,
         device: Device | None = None,
         enable_mltosql: bool = True,
+        enable_runtime_api: bool = True,
         replicate_bias: bool = True,
     ):
         self.database = database
@@ -60,6 +62,7 @@ class ResilientModelJoin:
         self.model = model
         self.device = device or HostDevice()
         self.enable_mltosql = enable_mltosql
+        self.enable_runtime_api = enable_runtime_api
         self.replicate_bias = replicate_bias
         self.engaged: list[str] = []
         self._mltosql = None
@@ -67,8 +70,14 @@ class ResilientModelJoin:
     # ------------------------------------------------------------------
     # chain construction
     # ------------------------------------------------------------------
-    def _variants(self):
-        """(name, runner) pairs in degradation order for this call."""
+    def _variants(self, tuples: int | None = None):
+        """(name, runner) pairs in degradation order for this call.
+
+        The preferred device stays first (it is what the caller asked
+        for); every *fallback* leg behind it is ordered by the
+        database's cost-based variant selector — the optimizer's
+        ranked variant list doubles as the degradation chain.
+        """
         chain = []
         breaker = breaker_for(self.device)
         if not (self.device.is_gpu and breaker.is_open):
@@ -78,11 +87,36 @@ class ResilientModelJoin:
                 "circuit-breaker",
                 f"skipping {self.device.name}: breaker open",
             )
+        fallbacks: dict[str, tuple[str, object]] = {}
         if self.device.is_gpu:
-            chain.append(("native-cpu", HostDevice()))
+            fallbacks["native-cpu"] = ("native-cpu", HostDevice())
+        if self.enable_runtime_api and self.model is not None:
+            fallbacks["runtime-api"] = ("runtime-api", "runtime-api")
         if self.enable_mltosql and self.model is not None:
-            chain.append(("ml-to-sql", None))
+            fallbacks["ml-to-sql"] = ("ml-to-sql", None)
+        chain.extend(
+            fallbacks[name]
+            for name in self._fallback_order(list(fallbacks), tuples)
+        )
         return chain
+
+    def _fallback_order(
+        self, names: list[str], tuples: int | None
+    ) -> list[str]:
+        selector = getattr(self.database, "variant_selector", None)
+        if selector is None or not names:
+            return names
+        try:
+            metadata = self.database.catalog.model(self.model_name)
+            ranked = [
+                estimate.variant
+                for estimate in selector.rank(metadata, tuples or 1)
+            ]
+        except Exception:
+            return names
+        ordered = [name for name in ranked if name in names]
+        ordered.extend(name for name in names if name not in ordered)
+        return ordered
 
     def _mltosql_runner(self):
         if self._mltosql is None:
@@ -119,7 +153,11 @@ class ResilientModelJoin:
     ) -> np.ndarray:
         """Predictions ordered by ID, surviving variant failures."""
         self.engaged = []
-        chain = self._variants()
+        try:
+            tuples = self.database.table(fact_table).row_count
+        except Exception:
+            tuples = None
+        chain = self._variants(tuples)
         if not chain:
             raise FallbackExhaustedError(
                 f"no usable inference variant for model "
@@ -136,6 +174,21 @@ class ResilientModelJoin:
                         input_columns,
                         parallel=parallel,
                     )
+                elif device == "runtime-api":
+                    from repro.core.runtime_api.runner import (
+                        RuntimeApiModelJoin,
+                    )
+
+                    runner = RuntimeApiModelJoin(
+                        self.database, self.model
+                    )
+                    result = runner.predict(
+                        fact_table,
+                        id_column,
+                        input_columns=input_columns,
+                        parallel=parallel,
+                        timeout_seconds=timeout_seconds,
+                    )
                 else:
                     runner = NativeModelJoin(
                         self.database,
@@ -150,7 +203,7 @@ class ResilientModelJoin:
                         parallel=parallel,
                         timeout_seconds=timeout_seconds,
                     )
-                if device is not None and device.is_gpu:
+                if isinstance(device, Device) and device.is_gpu:
                     breaker_for(device).record_success()
                 return result
             except QueryTimeoutError:
@@ -158,7 +211,7 @@ class ResilientModelJoin:
                 raise
             except Exception as error:
                 last_error = error
-                if device is not None and device.is_gpu:
+                if isinstance(device, Device) and device.is_gpu:
                     breaker_for(device).record_failure()
                 if position + 1 < len(chain):
                     next_name = chain[position + 1][0]

@@ -9,6 +9,7 @@ from repro.db.engine import Database
 from repro.db.operators import ExecutionContext, TableScan
 from repro.db.parallel import run_plans
 from repro.db.profiler import QueryProfile, finalize_profile
+from repro.db.resilience import CancellationToken
 from repro.db.vector import VectorBatch
 from repro.device.base import Device, DeviceWindow
 from repro.device.host import HostDevice
@@ -42,6 +43,7 @@ class RuntimeApiModelJoin:
         fact_table: str,
         input_columns: list[str],
         parallel: bool = False,
+        timeout_seconds: float | None = None,
     ) -> tuple[list[VectorBatch], ExecutionContext]:
         table = self.database.table(fact_table)
         parallelism = (
@@ -52,6 +54,10 @@ class RuntimeApiModelJoin:
         context: ExecutionContext = self.database._context(
             parallelism=parallelism
         )
+        if timeout_seconds is not None:
+            context.cancellation = CancellationToken.with_timeout(
+                timeout_seconds
+            )
         tracer = context.tracer
 
         def build(partition_index: int) -> RuntimeApiOperator:
@@ -108,9 +114,13 @@ class RuntimeApiModelJoin:
         id_column: str,
         input_columns: list[str],
         parallel: bool = False,
+        timeout_seconds: float | None = None,
     ) -> np.ndarray:
         batches, _ = self.execute(
-            fact_table, input_columns, parallel=parallel
+            fact_table,
+            input_columns,
+            parallel=parallel,
+            timeout_seconds=timeout_seconds,
         )
         ids = np.concatenate([batch.column(id_column) for batch in batches])
         order = np.argsort(ids, kind="stable")

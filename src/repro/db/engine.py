@@ -149,6 +149,10 @@ class Database:
         self.task_retries = task_retries
         self.planner_options = planner_options or PlannerOptions()
         self._modeljoin_factory: ModelJoinFactory | None = None
+        #: cost-based ModelJoin variant selector, installed by
+        #: repro.core.attach (opaque at this layer; see
+        #: repro.core.cost.selector)
+        self.variant_selector = None
         self.last_profile: QueryProfile | None = None
         self._worker_pool: WorkerPool | None = None
         #: cross-query model build cache, installed by repro.core.attach
@@ -259,11 +263,19 @@ class Database:
         """Install the MODEL JOIN operator factory (done by repro.core)."""
         self._modeljoin_factory = factory
 
+    def set_variant_selector(self, selector) -> None:
+        """Install the cost-based ModelJoin variant selector (done by
+        repro.core.attach); the planner consults it per query."""
+        self.variant_selector = selector
+
     def _planner(self) -> Planner:
         return Planner(
             self.catalog,
             options=self.planner_options,
             modeljoin_factory=self._modeljoin_factory,
+            variant_selector=self.variant_selector,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -324,8 +336,7 @@ class Database:
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN supports only SELECT statements")
         context = ExecutionContext(vector_size=self.vector_size)
-        plan = self._planner().plan_select(statement, context)
-        return plan.explain()
+        return self._planner().explain(statement, context)
 
     def explain_analyze(
         self, sql: str, parallel: bool = False
@@ -417,8 +428,7 @@ class Database:
         if not isinstance(inner, SelectStatement):
             raise PlanError("EXPLAIN supports only SELECT statements")
         context = ExecutionContext(vector_size=self.vector_size)
-        plan = self._planner().plan_select(inner, context)
-        lines = plan.explain().splitlines()
+        lines = self._planner().explain(inner, context).splitlines()
         schema = Schema((Column("plan", SqlType.VARCHAR),))
         batch = VectorBatch(schema, [np.array(lines, dtype=object)])
         return Result(schema, [batch], QueryProfile())
@@ -561,8 +571,11 @@ class Database:
             statement, order_by=(), limit=None, offset=0
         )
         planner = self._planner()
+        # Bind + optimize once; every partition pipeline is lowered from
+        # the same prepared plan (one variant decision per statement).
+        prepared = planner.prepare(core)
         plans = [
-            planner.plan_select(core, context, partition_index=index)
+            planner.lower(prepared, context, partition_index=index)
             for index in range(self.parallelism)
         ]
         if collect is not None:
@@ -571,8 +584,8 @@ class Database:
             plans,
             pool=self.worker_pool,
             morsel_driven=True,
-            plan_builder=lambda index: planner.plan_select(
-                core, context, partition_index=index
+            plan_builder=lambda index: planner.lower(
+                prepared, context, partition_index=index
             ),
             retries=self.task_retries,
         )

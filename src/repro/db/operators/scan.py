@@ -1,12 +1,13 @@
-"""Table scan with SMA block pruning."""
+"""Table scan with SMA block pruning and column projection."""
 
 from __future__ import annotations
 
 import time
 from collections.abc import Iterator
 
-from repro.db.column import ColumnRange
+from repro.db.column import Block, ColumnRange
 from repro.db.operators.base import ExecutionContext, PhysicalOperator
+from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.db.vector import VectorBatch
 
@@ -19,6 +20,12 @@ class TableScan(PhysicalOperator):
     the paper uses to prune the model table to the layer being joined
     (Section 4.4).  Pruned predicates are *hints*: rows of surviving
     blocks are still filtered exactly by a FilterOperator above.
+
+    With *columns* set (the optimizer's projection-pushdown rule) only
+    those columns are materialized into batches; SMA pruning still
+    evaluates against the full table schema, whose positions index the
+    per-block statistics.  The ``scan.columns_fetched`` profile counter
+    records how many columns each scan actually read.
     """
 
     morsel_streaming = True
@@ -29,11 +36,26 @@ class TableScan(PhysicalOperator):
         table: Table,
         ranges: list[ColumnRange] | None = None,
         partition_index: int | None = None,
+        columns: list[str] | None = None,
     ):
-        super().__init__(context, table.schema)
+        if columns is None:
+            positions = list(range(len(table.schema)))
+            schema = table.schema
+        else:
+            positions = [
+                table.schema.position_of(name) for name in columns
+            ]
+            schema = Schema(
+                tuple(table.schema.columns[p] for p in positions)
+            )
+        super().__init__(context, schema)
         self.table = table
         self.ranges = ranges or []
         self.partition_index = partition_index
+        self._positions = positions
+        self._projected = columns is not None and len(positions) < len(
+            table.schema
+        )
         #: shared queue of scan morsels; when set (by the parallel
         #: executor, see repro.db.parallel.attach_morsel_sources) the
         #: scan steals work from it instead of scanning its partition
@@ -49,8 +71,33 @@ class TableScan(PhysicalOperator):
         # A declared sort key holds within each partition; a serial scan
         # of a multi-partition table interleaves partitions and loses it.
         if self.partition_index is not None or self.table.num_partitions == 1:
-            return self.table.sort_key
-        return ()
+            key = self.table.sort_key
+        else:
+            return ()
+        if not self._projected:
+            return key
+        # Ordering on a dropped column cannot be claimed; keep the
+        # longest prefix of the sort key that was actually fetched.
+        fetched = {name.lower() for name in self.schema.names}
+        prefix: list[str] = []
+        for name in key:
+            if name.lower() not in fetched:
+                break
+            prefix.append(name)
+        return tuple(prefix)
+
+    def open(self) -> None:
+        super().open()
+        self.context.counters.increment(
+            "scan.columns_fetched", len(self.schema)
+        )
+
+    def _block_batch(self, block: Block) -> VectorBatch:
+        if not self._projected:
+            return block.to_batch(self.schema)
+        return VectorBatch(
+            self.schema, [block.arrays[p] for p in self._positions]
+        )
 
     def _produce(self) -> Iterator[VectorBatch]:
         if self.morsel_source is not None:
@@ -63,12 +110,12 @@ class TableScan(PhysicalOperator):
         for partition in partitions:
             for block in partition.blocks():
                 if self.ranges and not block.may_match(
-                    self.schema, self.ranges
+                    self.table.schema, self.ranges
                 ):
                     self.blocks_pruned += 1
                     continue
                 self.blocks_scanned += 1
-                batch = block.to_batch(self.schema)
+                batch = self._block_batch(block)
                 for start in range(0, len(batch), self.context.vector_size):
                     yield batch.slice(start, start + self.context.vector_size)
 
@@ -113,7 +160,9 @@ class TableScan(PhysicalOperator):
             counters.increment("morsels")
             counters.increment(f"morsels.{worker}")
             block = morsel.block
-            if self.ranges and not block.may_match(self.schema, self.ranges):
+            if self.ranges and not block.may_match(
+                self.table.schema, self.ranges
+            ):
                 self.blocks_pruned += 1
                 continue
             self.blocks_scanned += 1
@@ -133,7 +182,7 @@ class TableScan(PhysicalOperator):
                 yield from self._emit_morsel(morsel)
 
     def _emit_morsel(self, morsel) -> Iterator[VectorBatch]:
-        batch = morsel.block.to_batch(self.schema).slice(
+        batch = self._block_batch(morsel.block).slice(
             morsel.row_start, morsel.row_stop
         )
         for start in range(0, len(batch), self.context.vector_size):
@@ -148,6 +197,8 @@ class TableScan(PhysicalOperator):
         parts = [f"TableScan({self.table.name}"]
         if self.partition_index is not None:
             parts.append(f", partition={self.partition_index}")
+        if self._projected:
+            parts.append(f", cols=[{', '.join(self.schema.names)}]")
         if self.ranges:
             rendered = ", ".join(
                 f"{r.column} in [{r.low}, {r.high}]" for r in self.ranges

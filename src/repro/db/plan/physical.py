@@ -1,0 +1,424 @@
+"""Lowering: logical plan -> physical operators, with cost-based
+selection of the ModelJoin execution variant.
+
+The variant decision happens once per statement (in
+``select_variants``), *before* per-partition lowering, so all
+partition pipelines of a parallel query execute the same variant.  A
+pluggable selector (installed by ``repro.core.attach``; see
+``repro.core.cost.selector``) ranks all execution variants the system
+implements — native CPU/GPU, ML-To-SQL, runtime API, UDF, external —
+by predicted runtime from the calibrated inference cost model and the
+optimizer's input-cardinality estimate.  Only the native variants can
+run *inside* a query plan; the full ranking is still recorded on the
+plan because EXPLAIN prints it and the resilience layer executes it as
+its fallback chain.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.db.expressions import ColumnRef
+from repro.db.operators import (
+    CrossJoin,
+    ExecutionContext,
+    FilterOperator,
+    HashAggregate,
+    HashJoin,
+    LimitOperator,
+    OrderedAggregate,
+    PhysicalOperator,
+    ProjectOperator,
+    SortOperator,
+    TableScan,
+)
+from repro.db.operators.aggregate import SegmentedAggregate
+from repro.db.operators.misc import RenameOperator
+from repro.db.plan.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalModelJoin,
+    LogicalNode,
+    LogicalOrderBy,
+    LogicalProject,
+    LogicalScan,
+    LogicalSubquery,
+    conjoin,
+    walk,
+)
+from repro.errors import PlanError
+
+#: variants that can execute inside a physical query plan; the others
+#: (ml-to-sql, runtime-api, udf, external) run through their dedicated
+#: runners outside the Volcano pipeline
+IN_PLAN_VARIANTS = ("native-cpu", "native-gpu")
+
+#: every execution variant the system implements, canonical order
+ALL_VARIANTS = (
+    "native-cpu",
+    "native-gpu",
+    "ml-to-sql",
+    "runtime-api",
+    "udf",
+    "external",
+)
+
+
+@dataclass(frozen=True)
+class VariantEstimate:
+    """Predicted cost of one ModelJoin execution variant."""
+
+    variant: str
+    predicted_seconds: float
+    in_plan: bool
+
+
+@dataclass(frozen=True)
+class VariantSelection:
+    """The optimizer's per-query ModelJoin variant decision."""
+
+    model_name: str
+    tuples: int
+    flops_per_tuple: float
+    estimates: tuple[VariantEstimate, ...]
+    chosen: str
+    reason: str
+
+    def ranked(self) -> tuple[VariantEstimate, ...]:
+        return tuple(
+            sorted(self.estimates, key=lambda e: e.predicted_seconds)
+        )
+
+
+def select_variants(root: LogicalNode, selector, metrics=None):
+    """Pick the execution variant for every ModelJoin in the plan.
+
+    Mutates each :class:`LogicalModelJoin` node's ``selection`` and
+    returns the list of selections.  *selector* is duck-typed (see
+    ``repro.core.cost.selector.CostBasedVariantSelector``) or None,
+    in which case the native CPU operator is used unconditionally.
+    """
+    selections: list[VariantSelection] = []
+    for node in walk(root):
+        if not isinstance(node, LogicalModelJoin):
+            continue
+        tuples = max(int(round(node.child.estimated_rows)), 1)
+        estimates: tuple[VariantEstimate, ...] = ()
+        flops = 0.0
+        if selector is not None:
+            estimates = tuple(selector.rank(node.metadata, tuples))
+            flops = selector.flops_per_tuple(node.metadata)
+        if node.variant_override is not None:
+            chosen = node.variant_override
+            if chosen not in IN_PLAN_VARIANTS:
+                raise PlanError(
+                    f"variant {chosen!r} cannot run inside a query plan; "
+                    f"in-plan variants are {list(IN_PLAN_VARIANTS)}"
+                )
+            reason = "explicit override (VARIANT clause)"
+        elif estimates:
+            in_plan = [e for e in estimates if e.in_plan]
+            best = min(in_plan, key=lambda e: e.predicted_seconds)
+            chosen = best.variant
+            reason = (
+                f"lowest predicted cost among in-plan variants "
+                f"({best.predicted_seconds * 1e3:.3f} ms for "
+                f"~{tuples} tuples)"
+            )
+        else:
+            chosen = "native-cpu"
+            reason = "default (no cost selector installed)"
+        selection = VariantSelection(
+            model_name=node.metadata.model_name,
+            tuples=tuples,
+            flops_per_tuple=flops,
+            estimates=estimates,
+            chosen=chosen,
+            reason=reason,
+        )
+        node.selection = selection
+        selections.append(selection)
+        if metrics is not None:
+            metrics.counter("planner.variant_selected").increment()
+            metrics.counter(
+                f"planner.variant_selected.{chosen}"
+            ).increment()
+    return selections
+
+
+class Lowering:
+    """Lowers one bound+optimized logical tree to physical operators."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        options,
+        modeljoin_factory,
+        partition_index: int | None = None,
+    ):
+        self.context = context
+        self.options = options
+        self.modeljoin_factory = modeljoin_factory
+        self.partition_index = partition_index
+        self._factory_takes_variant = (
+            modeljoin_factory is not None
+            and _accepts_keyword(modeljoin_factory, "variant")
+        )
+
+    def lower(self, node: LogicalNode) -> PhysicalOperator:
+        if isinstance(node, LogicalScan):
+            return self._lower_scan(node)
+        if isinstance(node, LogicalSubquery):
+            inner = self.lower(node.inner)
+            names = [
+                f"{node.binding}.{name}" for name in inner.schema.names
+            ]
+            return RenameOperator(self.context, inner, names)
+        if isinstance(node, LogicalFilter):
+            child = self.lower(node.child)
+            return FilterOperator(
+                self.context, child, conjoin(node.conjuncts)
+            )
+        if isinstance(node, LogicalJoin):
+            return self._lower_join(node)
+        if isinstance(node, LogicalModelJoin):
+            return self._lower_model_join(node)
+        if isinstance(node, LogicalProject):
+            child = self.lower(node.child)
+            return ProjectOperator(
+                self.context, child, node.expressions, node.names
+            )
+        if isinstance(node, LogicalAggregate):
+            return self._lower_aggregate(node)
+        if isinstance(node, LogicalDistinct):
+            child = self.lower(node.child)
+            return HashAggregate(
+                self.context,
+                child,
+                [ColumnRef(name) for name in child.schema.names],
+                list(child.schema.names),
+                [],
+            )
+        if isinstance(node, LogicalOrderBy):
+            return self._lower_order_by(node)
+        if isinstance(node, LogicalLimit):
+            child = self.lower(node.child)
+            return LimitOperator(
+                self.context, child, node.limit, node.offset
+            )
+        raise PlanError(
+            f"cannot lower logical node {type(node).__name__}"
+        )  # pragma: no cover - all node types are handled above
+
+    # ------------------------------------------------------------------
+    def _lower_scan(self, node: LogicalScan) -> PhysicalOperator:
+        scan_partition = self.partition_index
+        if (
+            self.partition_index is not None
+            and node.table.num_partitions == 1
+        ):
+            scan_partition = None  # broadcast unpartitioned tables
+        columns = (
+            node.columns
+            if len(node.columns) < len(node.table.schema)
+            else None
+        )
+        scan = TableScan(
+            self.context,
+            node.table,
+            ranges=node.ranges or None,
+            partition_index=scan_partition,
+            columns=columns,
+        )
+        names = [f"{node.binding}.{name}" for name in node.columns]
+        return RenameOperator(self.context, scan, names)
+
+    def _lower_join(self, node: LogicalJoin) -> PhysicalOperator:
+        left = self.lower(node.left)
+        right = self.lower(node.right)
+        if node.left_keys:
+            residual = conjoin(node.residual) if node.residual else None
+            return HashJoin(
+                self.context,
+                left,
+                right,
+                node.left_keys,
+                node.right_keys,
+                residual,
+            )
+        # No extracted keys: either a true cross join or unclassified
+        # conjuncts (rule engine disabled) applied as a residual filter.
+        residual_conjuncts = node.residual + node.conjuncts
+        joined: PhysicalOperator = CrossJoin(self.context, left, right)
+        if residual_conjuncts:
+            joined = FilterOperator(
+                self.context, joined, conjoin(residual_conjuncts)
+            )
+        return joined
+
+    def _lower_model_join(
+        self, node: LogicalModelJoin
+    ) -> PhysicalOperator:
+        if self.modeljoin_factory is None:
+            raise PlanError(
+                "MODEL JOIN is not available: no ModelJoin operator factory "
+                "is registered (import repro.core or use Database from "
+                "repro, not repro.db)"
+            )
+        child = self.lower(node.child)
+        kwargs = dict(
+            context=self.context,
+            child=child,
+            metadata=node.metadata,
+            model_table=node.model_table,
+            input_columns=node.input_columns,
+            output_prefix=f"{node.binding}.{node.output_prefix}",
+            partition_index=self.partition_index,
+        )
+        if self._factory_takes_variant and node.selection is not None:
+            kwargs["variant"] = node.selection.chosen
+        return self.modeljoin_factory(**kwargs)
+
+    def _lower_aggregate(
+        self, node: LogicalAggregate
+    ) -> PhysicalOperator:
+        child = self.lower(node.child)
+        if getattr(self.options, "use_ordered_aggregation", True) and all(
+            isinstance(expression, ColumnRef)
+            for expression in node.group_exprs
+        ):
+            keys = {
+                expression.name.lower()
+                for expression in node.group_exprs
+            }
+            prefix = {
+                name.lower() for name in child.ordering[: len(keys)]
+            }
+            if prefix == keys:
+                return OrderedAggregate(
+                    self.context,
+                    child,
+                    node.group_exprs,
+                    node.group_names,
+                    node.aggregates,
+                )
+        if getattr(self.options, "use_segmented_aggregation", False):
+            segmented = self._try_segmented_aggregate(child, node)
+            if segmented is not None:
+                return segmented
+        return HashAggregate(
+            self.context,
+            child,
+            node.group_exprs,
+            node.group_names,
+            node.aggregates,
+        )
+
+    def _try_segmented_aggregate(
+        self, child: PhysicalOperator, node: LogicalAggregate
+    ) -> PhysicalOperator | None:
+        """Use SegmentedAggregate when the input ordering covers a
+        proper, non-empty prefix of the group keys (paper §4.4)."""
+        bare = {}
+        for index, expression in enumerate(node.group_exprs):
+            if isinstance(expression, ColumnRef):
+                bare.setdefault(expression.name.lower(), index)
+        prefix_indices: list[int] = []
+        seen: set[int] = set()
+        for name in child.ordering:
+            index = bare.get(name.lower())
+            if index is None or index in seen:
+                break
+            prefix_indices.append(index)
+            seen.add(index)
+        if not prefix_indices or len(prefix_indices) >= len(
+            node.group_exprs
+        ):
+            return None
+        order = prefix_indices + [
+            index
+            for index in range(len(node.group_exprs))
+            if index not in seen
+        ]
+        return SegmentedAggregate(
+            self.context,
+            child,
+            [node.group_exprs[index] for index in order],
+            [node.group_names[index] for index in order],
+            node.aggregates,
+            prefix_length=len(prefix_indices),
+        )
+
+    def _lower_order_by(self, node: LogicalOrderBy) -> PhysicalOperator:
+        child = self.lower(node.child)
+        keys = [ColumnRef(name) for name in node.keys]
+        for key in keys:
+            child.schema.position_of(key.name)  # validate
+        # Skip the sort if the required order is already guaranteed.
+        wanted = tuple(key.name.lower() for key in keys)
+        have = tuple(name.lower() for name in child.ordering)
+        if all(node.ascending) and have[: len(wanted)] == wanted:
+            return child
+        return SortOperator(self.context, child, keys, node.ascending)
+
+
+def _accepts_keyword(callable_, name: str) -> bool:
+    try:
+        signature = inspect.signature(callable_)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering
+# ----------------------------------------------------------------------
+def render_explain(prepared, physical: PhysicalOperator) -> str:
+    """The multi-section EXPLAIN: logical plan, fired rewrite rules,
+    ModelJoin variant selection, physical plan."""
+    sections = [
+        "== Logical Plan ==",
+        prepared.logical.render(),
+        "",
+        "== Rewrite Rules ==",
+    ]
+    if prepared.firings:
+        sections.extend(
+            f"{firing.rule}: {firing.detail}"
+            for firing in prepared.firings
+        )
+    else:
+        sections.append("(none fired)")
+    for selection in prepared.selections:
+        sections.append("")
+        sections.append("== ModelJoin Variant Selection ==")
+        sections.append(
+            f"model {selection.model_name}: ~{selection.tuples} input "
+            f"tuples, {selection.flops_per_tuple:.0f} flops/tuple"
+        )
+        for estimate in selection.ranked():
+            marker = "  <- chosen" if (
+                estimate.variant == selection.chosen
+            ) else ""
+            plan_note = "in-plan" if estimate.in_plan else "runner"
+            sections.append(
+                f"  {estimate.variant:<11} "
+                f"{estimate.predicted_seconds * 1e3:10.3f} ms "
+                f"({plan_note}){marker}"
+            )
+        if not selection.estimates:
+            sections.append(f"  {selection.chosen}  <- chosen")
+        sections.append(f"  reason: {selection.reason}")
+    sections.append("")
+    sections.append("== Physical Plan ==")
+    sections.append(physical.explain())
+    return "\n".join(sections)

@@ -1,72 +1,41 @@
-"""Query planner: AST -> physical operator tree.
+"""Query planner façade: AST -> logical plan -> rules -> physical plan.
 
-Planning follows the classic heuristic pipeline of a vectorized engine:
+Planning is a three-stage pipeline (see :mod:`repro.db.plan`):
 
-1. FROM items are planned bottom-up; every item's columns are qualified
-   as ``binding.column`` so joined relations keep unique names.
-2. WHERE conjuncts are classified: single-relation conjuncts are pushed
-   below the joins (and turned into SMA pruning ranges on base-table
-   scans, paper Section 4.4); two-sided equality conjuncts become hash
-   join keys; everything else is applied as a residual filter.
-3. Joins are built left-deep in FROM order with the *right* input as
-   the build side — in ModelJoin queries the model table is therefore
-   built and the fact table streams (paper Section 5.1).
-4. Aggregation picks the order-based strategy whenever the input's
-   ordering property covers the group keys, otherwise hash aggregation.
-5. A final projection computes the SELECT list.
+1. **bind** — :class:`~repro.db.plan.logical.LogicalBinder` resolves
+   the parsed statement into a typed logical-operator tree whose column
+   references are fully qualified and whose nodes carry output names
+   and estimated cardinalities.
+2. **rewrite** — :class:`~repro.db.plan.rules.RuleEngine` applies the
+   ordered rewrite rules (constant folding, predicate pushdown through
+   joins and ModelJoin, join-key extraction, SMA range derivation,
+   projection pushdown); every firing is recorded for EXPLAIN.
+3. **lower** — :mod:`repro.db.plan.physical` turns the optimized tree
+   into physical operators, picking the ModelJoin execution variant
+   with the calibrated cost model (once per statement, before
+   per-partition lowering).
 
-The ``MODEL JOIN`` FROM extension is planned through a pluggable
-factory so the core package can register the native operator without a
-circular dependency.
+``plan_select`` keeps the legacy one-shot signature; parallel
+execution prepares once and lowers per partition.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.db.catalog import Catalog
-from repro.db.column import ColumnRange
-from repro.db.expressions import (
-    BinaryOp,
-    CaseWhen,
-    Cast,
-    ColumnRef,
-    Expression,
-    FunctionCall,
-    Literal,
-    UnaryOp,
+from repro.db.operators import ExecutionContext, PhysicalOperator
+from repro.db.plan.logical import LogicalBinder, LogicalNode
+from repro.db.plan.physical import (
+    Lowering,
+    VariantSelection,
+    render_explain,
+    select_variants,
 )
-from repro.db.functions import has_function
-from repro.db.operators import (
-    AggregateSpec,
-    CrossJoin,
-    ExecutionContext,
-    FilterOperator,
-    HashAggregate,
-    HashJoin,
-    LimitOperator,
-    OrderedAggregate,
-    PhysicalOperator,
-    ProjectOperator,
-    SortOperator,
-    TableScan,
-)
-from repro.db.operators.aggregate import SegmentedAggregate
-from repro.db.operators.misc import RenameOperator
-from repro.db.sql.ast import (
-    FromItem,
-    JoinRef,
-    ModelJoinRef,
-    OrderItem,
-    SelectItem,
-    SelectStatement,
-    Star,
-    SubqueryRef,
-    TableRef,
-)
-from repro.db.sql.parser import is_aggregate_call
-from repro.errors import BindError, PlanError
+from repro.db.plan.rules import RuleEngine, RuleFiring
+from repro.db.sql.ast import SelectStatement
+from repro.db.tracing import NULL_TRACER, MetricsRegistry, Tracer
 
 #: signature of the MODEL JOIN operator factory registered by repro.core
 ModelJoinFactory = Callable[..., PhysicalOperator]
@@ -84,32 +53,22 @@ class PlannerOptions:
     use_segmented_aggregation: bool = False
     #: extract SMA pruning ranges from pushed-down predicates
     use_block_pruning: bool = True
+    #: run the logical rewrite rules (off = bind-then-lower verbatim,
+    #: the baseline the optimizer benchmarks compare against)
+    use_optimizer_rules: bool = True
 
 
 @dataclass
-class _Scope:
-    """Name-resolution scope over the qualified columns of a relation."""
+class PreparedPlan:
+    """A bound + optimized statement, ready to lower per partition."""
 
-    qualified: dict[str, str] = field(default_factory=dict)
-    by_bare_name: dict[str, list[str]] = field(default_factory=dict)
+    statement: SelectStatement
+    logical: LogicalNode
+    firings: list[RuleFiring]
+    selections: list[VariantSelection]
 
-    def add(self, binding: str, column: str) -> None:
-        qualified = f"{binding}.{column}"
-        self.qualified[qualified.lower()] = qualified
-        self.by_bare_name.setdefault(column.lower(), []).append(qualified)
-
-    def resolve(self, name: str) -> str:
-        key = name.lower()
-        if key in self.qualified:
-            return self.qualified[key]
-        candidates = self.by_bare_name.get(key, [])
-        if len(candidates) == 1:
-            return candidates[0]
-        if not candidates:
-            raise BindError(f"column {name!r} not found")
-        raise BindError(
-            f"column {name!r} is ambiguous: {sorted(candidates)}"
-        )
+    def explain_logical(self) -> str:
+        return self.logical.render()
 
 
 class Planner:
@@ -120,13 +79,58 @@ class Planner:
         catalog: Catalog,
         options: PlannerOptions | None = None,
         modeljoin_factory: ModelJoinFactory | None = None,
+        variant_selector=None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.options = options or PlannerOptions()
         self.modeljoin_factory = modeljoin_factory
+        #: duck-typed cost-based variant selector (installed through
+        #: Database.set_variant_selector by repro.core.attach)
+        self.variant_selector = variant_selector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
-    # entry point
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def prepare(self, statement: SelectStatement) -> PreparedPlan:
+        """Bind and optimize *statement* (partition-independent work)."""
+        with self.tracer.span("optimizer.bind", category="planner"):
+            binder = LogicalBinder(
+                self.catalog,
+                has_modeljoin_factory=self.modeljoin_factory is not None,
+            )
+            logical = binder.bind(statement)
+        with self.tracer.span("optimizer.rewrite", category="planner"):
+            logical, firings = RuleEngine(self.options).run(logical)
+        with self.tracer.span(
+            "optimizer.select_variant", category="planner"
+        ):
+            selections = select_variants(
+                logical, self.variant_selector, metrics=self.metrics
+            )
+        return PreparedPlan(statement, logical, firings, selections)
+
+    def lower(
+        self,
+        prepared: PreparedPlan,
+        context: ExecutionContext,
+        partition_index: int | None = None,
+    ) -> PhysicalOperator:
+        """Lower a prepared plan for one partition (or serially)."""
+        with self.tracer.span("optimizer.lower", category="planner"):
+            lowering = Lowering(
+                context,
+                self.options,
+                self.modeljoin_factory,
+                partition_index=partition_index,
+            )
+            return lowering.lower(prepared.logical)
+
+    # ------------------------------------------------------------------
+    # legacy one-shot entry point
     # ------------------------------------------------------------------
     def plan_select(
         self,
@@ -137,679 +141,14 @@ class Planner:
         """Plan *statement*; with *partition_index* set, partitioned base
         tables are restricted to that partition (unpartitioned tables —
         e.g. the model table — are scanned fully, i.e. broadcast)."""
-        conjuncts = (
-            _split_conjuncts(statement.where) if statement.where else []
-        )
-        plan, scope, scans, pushed = self._plan_from(
-            statement.from_items, conjuncts, context, partition_index
-        )
-        resolved_conjuncts = [
-            _resolve_expression(conjunct, scope) for conjunct in conjuncts
-        ]
-        # Pruning ranges are derived only now, against the *complete*
-        # scope, so unqualified names cannot mis-resolve to the wrong
-        # table while later FROM items are still unbound.  Conjuncts
-        # already pushed below a MODEL JOIN still contribute ranges.
-        if self.options.use_block_pruning:
-            for binding, scan in scans.items():
-                scan.ranges = _extract_ranges(
-                    resolved_conjuncts, binding, scan.table.schema
-                )
-        remaining_conjuncts = [
-            conjunct
-            for index, conjunct in enumerate(resolved_conjuncts)
-            if index not in pushed
-        ]
-        plan, leftover = self._apply_joins_filters(
-            plan, scope, remaining_conjuncts, context
-        )
-        if leftover:
-            plan = FilterOperator(context, plan, _conjoin(leftover))
+        prepared = self.prepare(statement)
+        return self.lower(prepared, context, partition_index)
 
-        group_exprs = [
-            _resolve_expression(expression, scope)
-            for expression in statement.group_by
-        ]
-        select_exprs, select_names = self._resolve_select_list(
-            statement.select_items, scope, plan
-        )
-        having = (
-            _resolve_expression(statement.having, scope)
-            if statement.having is not None
-            else None
-        )
-        has_aggregates = any(
-            _contains_aggregate(expression) for expression in select_exprs
-        ) or (having is not None and _contains_aggregate(having))
-        if group_exprs or has_aggregates:
-            plan = self._plan_aggregation(
-                plan, group_exprs, select_exprs, select_names, having, context
-            )
-        else:
-            plan = ProjectOperator(context, plan, select_exprs, select_names)
-
-        if statement.distinct:
-            plan = HashAggregate(
-                context,
-                plan,
-                [ColumnRef(name) for name in plan.schema.names],
-                list(plan.schema.names),
-                [],
-            )
-        if statement.order_by:
-            plan = self._plan_order_by(plan, statement.order_by, context)
-        if statement.limit is not None:
-            plan = LimitOperator(
-                context, plan, statement.limit, statement.offset
-            )
-        return plan
-
-    # ------------------------------------------------------------------
-    # FROM clause
-    # ------------------------------------------------------------------
-    def _plan_from(
-        self,
-        from_items: tuple[FromItem, ...],
-        conjuncts: list[Expression],
-        context: ExecutionContext,
-        partition_index: int | None,
-    ) -> tuple[
-        list[tuple[PhysicalOperator, set[str]]],
-        _Scope,
-        dict[str, TableScan],
-        set[int],
-    ]:
-        """Plan each FROM item into a qualified operator.
-
-        Returns the list of (operator, bindings) pairs still to be
-        joined, the complete scope, the base-table scans by binding
-        name (so pruning ranges can be attached afterwards), and the
-        indices of WHERE conjuncts that were already pushed below a
-        MODEL JOIN (the Raven-style early-pruning cross optimization).
-        """
-        scope = _Scope()
-        scans: dict[str, TableScan] = {}
-        pushed: set[int] = set()
-        planned: list[tuple[PhysicalOperator, set[str]]] = []
-        for item in from_items:
-            operator, bindings = self._plan_from_item(
-                item, scope, conjuncts, context, partition_index, scans,
-                pushed,
-            )
-            planned.append((operator, bindings))
-        return planned, scope, scans, pushed
-
-    def _plan_from_item(
-        self,
-        item: FromItem,
-        scope: _Scope,
-        conjuncts: list[Expression],
-        context: ExecutionContext,
-        partition_index: int | None,
-        scans: dict[str, TableScan],
-        pushed: set[int],
-    ) -> tuple[PhysicalOperator, set[str]]:
-        if isinstance(item, TableRef):
-            return self._plan_table_ref(
-                item, scope, context, partition_index, scans
-            )
-        if isinstance(item, SubqueryRef):
-            inner = self.plan_select(item.query, context, partition_index)
-            binding = item.alias.lower()
-            names = [f"{binding}.{name}" for name in inner.schema.names]
-            for name in inner.schema.names:
-                scope.add(binding, name)
-            return RenameOperator(context, inner, names), {binding}
-        if isinstance(item, JoinRef):
-            left, left_bindings = self._plan_from_item(
-                item.left, scope, conjuncts, context, partition_index,
-                scans, pushed,
-            )
-            right, right_bindings = self._plan_from_item(
-                item.right, scope, conjuncts, context, partition_index,
-                scans, pushed,
-            )
-            condition = _resolve_expression(item.condition, scope)
-            joined = self._join_pair(
-                left, left_bindings, right, right_bindings, [condition], context
-            )
-            return joined, left_bindings | right_bindings
-        if isinstance(item, ModelJoinRef):
-            return self._plan_model_join(
-                item, scope, conjuncts, context, partition_index, scans,
-                pushed,
-            )
-        raise PlanError(f"unsupported FROM item {type(item).__name__}")
-
-    def _plan_table_ref(
-        self,
-        item: TableRef,
-        scope: _Scope,
-        context: ExecutionContext,
-        partition_index: int | None,
-        scans: dict[str, TableScan],
-    ) -> tuple[PhysicalOperator, set[str]]:
-        table = self.catalog.table(item.table_name)
-        binding = item.binding_name.lower()
-        scan_partition = partition_index
-        if partition_index is not None and table.num_partitions == 1:
-            scan_partition = None  # broadcast unpartitioned tables
-        scan = TableScan(context, table, partition_index=scan_partition)
-        scans[binding] = scan
-        names = [f"{binding}.{name}" for name in table.schema.names]
-        for name in table.schema.names:
-            scope.add(binding, name)
-        return RenameOperator(context, scan, names), {binding}
-
-    def _plan_model_join(
-        self,
-        item: ModelJoinRef,
-        scope: _Scope,
-        conjuncts: list[Expression],
-        context: ExecutionContext,
-        partition_index: int | None,
-        scans: dict[str, TableScan],
-        pushed: set[int],
-    ) -> tuple[PhysicalOperator, set[str]]:
-        if self.modeljoin_factory is None:
-            raise PlanError(
-                "MODEL JOIN is not available: no ModelJoin operator factory "
-                "is registered (import repro.core or use Database from "
-                "repro, not repro.db)"
-            )
-        left, left_bindings = self._plan_from_item(
-            item.left, scope, conjuncts, context, partition_index, scans,
-            pushed,
-        )
-        # Raven-style cross optimization (paper §3, "early pruning"):
-        # predicates that only touch the input flow run *before* the
-        # inference, so filtered-out tuples are never scored.  Only
-        # conjuncts whose references are all explicitly qualified with
-        # the left side's bindings are pushed — unqualified names could
-        # still belong to a FROM item that is not bound yet.
-        pushable: list[int] = []
-        for index, conjunct in enumerate(conjuncts):
-            if index in pushed:
-                continue
-            references = conjunct.referenced_columns()
-            if references and all(
-                "." in name
-                and name.split(".", 1)[0].lower() in left_bindings
-                for name in references
-            ):
-                pushable.append(index)
-        if pushable:
-            predicate = _conjoin(
-                [
-                    _resolve_expression(conjuncts[index], scope)
-                    for index in pushable
-                ]
-            )
-            left = FilterOperator(context, left, predicate)
-            pushed.update(pushable)
-        metadata = self.catalog.model(item.model_name)
-        model_table = self.catalog.table(metadata.table_name)
-        input_columns = [
-            scope.resolve(name) for name in item.input_columns
-        ] or None
-        operator = self.modeljoin_factory(
-            context=context,
-            child=left,
-            metadata=metadata,
-            model_table=model_table,
-            input_columns=input_columns,
-            output_prefix=f"{item.model_name.lower()}.{item.output_prefix}",
-            partition_index=partition_index,
-        )
-        binding = item.model_name.lower()
-        for name in operator.schema.names:
-            if name.lower().startswith(binding + "."):
-                scope.add(binding, name.split(".", 1)[1])
-        return operator, left_bindings | {binding}
-
-    # ------------------------------------------------------------------
-    # joins and filters
-    # ------------------------------------------------------------------
-    def _apply_joins_filters(
-        self,
-        planned: list[tuple[PhysicalOperator, set[str]]],
-        scope: _Scope,
-        conjuncts: list[Expression],
-        context: ExecutionContext,
-    ) -> tuple[PhysicalOperator, list[Expression]]:
-        remaining = list(conjuncts)
-        # Push single-relation predicates down to their item.
-        for index, (operator, bindings) in enumerate(planned):
-            mine = [
-                conjunct
-                for conjunct in remaining
-                if _bindings_of(conjunct) and _bindings_of(conjunct) <= bindings
-            ]
-            if mine:
-                planned[index] = (
-                    FilterOperator(context, operator, _conjoin(mine)),
-                    bindings,
-                )
-                remaining = [c for c in remaining if c not in mine]
-        current, current_bindings = planned[0]
-        for operator, bindings in planned[1:]:
-            usable = [
-                conjunct
-                for conjunct in remaining
-                if _bindings_of(conjunct)
-                <= (current_bindings | bindings)
-            ]
-            current = self._join_pair(
-                current, current_bindings, operator, bindings, usable, context
-            )
-            remaining = [c for c in remaining if c not in usable]
-            current_bindings = current_bindings | bindings
-        return current, remaining
-
-    def _join_pair(
-        self,
-        left: PhysicalOperator,
-        left_bindings: set[str],
-        right: PhysicalOperator,
-        right_bindings: set[str],
-        conjuncts: list[Expression],
-        context: ExecutionContext,
-    ) -> PhysicalOperator:
-        left_keys: list[Expression] = []
-        right_keys: list[Expression] = []
-        residual: list[Expression] = []
-        for conjunct in conjuncts:
-            pair = _equi_key_pair(conjunct, left_bindings, right_bindings)
-            if pair is not None:
-                left_keys.append(pair[0])
-                right_keys.append(pair[1])
-            else:
-                residual.append(conjunct)
-        residual_expr = _conjoin(residual) if residual else None
-        if left_keys:
-            return HashJoin(
-                context, left, right, left_keys, right_keys, residual_expr
-            )
-        joined: PhysicalOperator = CrossJoin(context, left, right)
-        if residual_expr is not None:
-            joined = FilterOperator(context, joined, residual_expr)
-        return joined
-
-    # ------------------------------------------------------------------
-    # SELECT list / aggregation
-    # ------------------------------------------------------------------
-    def _resolve_select_list(
-        self,
-        items: tuple[SelectItem, ...],
-        scope: _Scope,
-        plan: PhysicalOperator,
-    ) -> tuple[list[Expression], list[str]]:
-        expressions: list[Expression] = []
-        names: list[str] = []
-        for item in items:
-            if isinstance(item.expression, Star):
-                qualifier = (
-                    item.expression.qualifier.lower()
-                    if item.expression.qualifier
-                    else None
-                )
-                star_names = self._expand_star(plan, qualifier)
-                for qualified in star_names:
-                    expressions.append(ColumnRef(qualified))
-                    names.append(_bare_name(qualified, names))
-                continue
-            expression = _resolve_expression(item.expression, scope)
-            expressions.append(expression)
-            if item.alias:
-                names.append(item.alias)
-            elif isinstance(expression, ColumnRef):
-                names.append(_bare_name(expression.name, names))
-            else:
-                names.append(f"col{len(names)}")
-        lowered = [name.lower() for name in names]
-        if len(set(lowered)) != len(lowered):
-            raise PlanError(f"duplicate output column names: {names}")
-        return expressions, names
-
-    def _expand_star(
-        self, plan: PhysicalOperator, qualifier: str | None
-    ) -> list[str]:
-        names = []
-        for name in plan.schema.names:
-            binding = name.split(".", 1)[0].lower() if "." in name else ""
-            if qualifier is None or binding == qualifier:
-                names.append(name)
-        if not names:
-            raise BindError(f"no columns match {qualifier}.*")
-        return names
-
-    def _plan_aggregation(
-        self,
-        plan: PhysicalOperator,
-        group_exprs: list[Expression],
-        select_exprs: list[Expression],
-        select_names: list[str],
-        having: Expression | None,
-        context: ExecutionContext,
-    ) -> PhysicalOperator:
-        if not group_exprs:
-            raise PlanError(
-                "global aggregation (no GROUP BY) is not supported; "
-                "add a constant group key"
-            )
-        group_names = [f"__g{i}" for i in range(len(group_exprs))]
-        aggregates: list[AggregateSpec] = []
-
-        def rewrite(expression: Expression) -> Expression:
-            for slot, group_expr in enumerate(group_exprs):
-                if expression == group_expr:
-                    return ColumnRef(group_names[slot])
-            if is_aggregate_call(expression):
-                argument = None
-                if expression.arguments:
-                    if len(expression.arguments) != 1:
-                        raise PlanError(
-                            f"{expression.name} takes exactly one argument"
-                        )
-                    argument = expression.arguments[0]
-                    if _contains_aggregate(argument):
-                        raise PlanError("nested aggregates are not allowed")
-                name = f"__a{len(aggregates)}"
-                aggregates.append(
-                    AggregateSpec(expression.name, argument, name)
-                )
-                return ColumnRef(name)
-            return _rebuild(expression, rewrite)
-
-        rewritten_select = [rewrite(expression) for expression in select_exprs]
-        rewritten_having = rewrite(having) if having is not None else None
-        generated = set(group_names) | {spec.name for spec in aggregates}
-        for expression, name in zip(rewritten_select, select_names):
-            stray = expression.referenced_columns() - generated
-            if stray:
-                raise PlanError(
-                    f"column(s) {sorted(stray)} in select item {name!r} "
-                    "appear neither in GROUP BY nor inside an aggregate"
-                )
-        aggregate_operator = self._choose_aggregate(
-            plan, group_exprs, group_names, aggregates, context
-        )
-        result: PhysicalOperator = aggregate_operator
-        if rewritten_having is not None:
-            result = FilterOperator(context, result, rewritten_having)
-        return ProjectOperator(context, result, rewritten_select, select_names)
-
-    def _choose_aggregate(
-        self,
-        plan: PhysicalOperator,
-        group_exprs: list[Expression],
-        group_names: list[str],
-        aggregates: list[AggregateSpec],
-        context: ExecutionContext,
-    ) -> PhysicalOperator:
-        if self.options.use_ordered_aggregation and all(
-            isinstance(expression, ColumnRef) for expression in group_exprs
-        ):
-            keys = {
-                expression.name.lower() for expression in group_exprs
-            }
-            prefix = {
-                name.lower() for name in plan.ordering[: len(keys)]
-            }
-            if prefix == keys:
-                return OrderedAggregate(
-                    context, plan, group_exprs, group_names, aggregates
-                )
-        if self.options.use_segmented_aggregation:
-            segmented = self._try_segmented_aggregate(
-                plan, group_exprs, group_names, aggregates, context
-            )
-            if segmented is not None:
-                return segmented
-        return HashAggregate(
-            context, plan, group_exprs, group_names, aggregates
-        )
-
-    def _try_segmented_aggregate(
-        self,
-        plan: PhysicalOperator,
-        group_exprs: list[Expression],
-        group_names: list[str],
-        aggregates: list[AggregateSpec],
-        context: ExecutionContext,
-    ) -> PhysicalOperator | None:
-        """Use SegmentedAggregate when the input ordering covers a
-        proper, non-empty prefix of the group keys (paper §4.4)."""
-        bare = {}
-        for index, expression in enumerate(group_exprs):
-            if isinstance(expression, ColumnRef):
-                bare.setdefault(expression.name.lower(), index)
-        prefix_indices: list[int] = []
-        seen: set[int] = set()
-        for name in plan.ordering:
-            index = bare.get(name.lower())
-            if index is None or index in seen:
-                break
-            prefix_indices.append(index)
-            seen.add(index)
-        if not prefix_indices or len(prefix_indices) >= len(group_exprs):
-            return None
-        order = prefix_indices + [
-            index
-            for index in range(len(group_exprs))
-            if index not in seen
-        ]
-        return SegmentedAggregate(
-            context,
-            plan,
-            [group_exprs[index] for index in order],
-            [group_names[index] for index in order],
-            aggregates,
-            prefix_length=len(prefix_indices),
-        )
-
-    def _plan_order_by(
-        self,
-        plan: PhysicalOperator,
-        order_by: tuple[OrderItem, ...],
-        context: ExecutionContext,
-    ) -> PhysicalOperator:
-        keys: list[ColumnRef] = []
-        ascending: list[bool] = []
-        for item in order_by:
-            if not isinstance(item.expression, ColumnRef):
-                raise PlanError(
-                    "ORDER BY supports only output column references"
-                )
-            name = item.expression.name
-            plan.schema.position_of(name)  # validate
-            keys.append(ColumnRef(name))
-            ascending.append(item.ascending)
-        # Skip the sort if the required order is already guaranteed.
-        wanted = tuple(key.name.lower() for key in keys)
-        have = tuple(name.lower() for name in plan.ordering)
-        if all(ascending) and have[: len(wanted)] == wanted:
-            return plan
-        return SortOperator(context, plan, keys, ascending)
-
-
-# ----------------------------------------------------------------------
-# expression utilities
-# ----------------------------------------------------------------------
-def _split_conjuncts(expression: Expression) -> list[Expression]:
-    if isinstance(expression, BinaryOp) and expression.operator == "AND":
-        return _split_conjuncts(expression.left) + _split_conjuncts(
-            expression.right
-        )
-    return [expression]
-
-
-def _conjoin(conjuncts: list[Expression]) -> Expression:
-    result = conjuncts[0]
-    for conjunct in conjuncts[1:]:
-        result = BinaryOp("AND", result, conjunct)
-    return result
-
-
-def _rebuild(
-    expression: Expression, transform: Callable[[Expression], Expression]
-) -> Expression:
-    """Rebuild *expression* with *transform* applied to its children."""
-    if isinstance(expression, BinaryOp):
-        return BinaryOp(
-            expression.operator,
-            transform(expression.left),
-            transform(expression.right),
-        )
-    if isinstance(expression, UnaryOp):
-        return UnaryOp(expression.operator, transform(expression.operand))
-    if isinstance(expression, FunctionCall):
-        return FunctionCall(
-            expression.name,
-            tuple(transform(argument) for argument in expression.arguments),
-        )
-    if isinstance(expression, CaseWhen):
-        return CaseWhen(
-            tuple(
-                (transform(condition), transform(value))
-                for condition, value in expression.branches
-            ),
-            transform(expression.otherwise)
-            if expression.otherwise is not None
-            else None,
-        )
-    if isinstance(expression, Cast):
-        return Cast(transform(expression.operand), expression.target)
-    return expression
-
-
-def _resolve_expression(expression: Expression, scope: _Scope) -> Expression:
-    """Resolve all column references in *expression* against *scope*."""
-
-    def transform(node: Expression) -> Expression:
-        if isinstance(node, ColumnRef):
-            return ColumnRef(scope.resolve(node.name))
-        if isinstance(node, FunctionCall) and not has_function(node.name):
-            if node.name not in ("SUM", "COUNT", "MIN", "MAX", "AVG"):
-                raise BindError(f"unknown function {node.name!r}")
-        return _rebuild(node, transform)
-
-    return transform(expression)
-
-
-def _bindings_of(expression: Expression) -> set[str]:
-    """Binding names referenced by a fully resolved expression."""
-    return {
-        name.split(".", 1)[0]
-        for name in expression.referenced_columns()
-        if "." in name
-    }
-
-
-def _contains_aggregate(expression: Expression) -> bool:
-    if is_aggregate_call(expression):
-        return True
-    found = False
-
-    def transform(node: Expression) -> Expression:
-        nonlocal found
-        if is_aggregate_call(node):
-            found = True
-            return node
-        return _rebuild(node, transform)
-
-    _rebuild(expression, transform)
-    return found
-
-
-def _equi_key_pair(
-    conjunct: Expression, left_bindings: set[str], right_bindings: set[str]
-) -> tuple[Expression, Expression] | None:
-    """If *conjunct* is ``left_expr = right_expr`` across the two sides,
-    return the (left, right) key expressions, else None."""
-    if not isinstance(conjunct, BinaryOp) or conjunct.operator != "=":
-        return None
-    first = _bindings_of(conjunct.left)
-    second = _bindings_of(conjunct.right)
-    if not first or not second:
-        return None
-    if first <= left_bindings and second <= right_bindings:
-        return conjunct.left, conjunct.right
-    if first <= right_bindings and second <= left_bindings:
-        return conjunct.right, conjunct.left
-    return None
-
-
-def _extract_ranges(
-    conjuncts: list[Expression],
-    binding: str,
-    table_schema,
-) -> list[ColumnRange]:
-    """Turn pushable comparisons with literals into SMA pruning ranges.
-
-    Works on fully *resolved* conjuncts, whose column references are
-    all qualified — a reference belongs to this scan iff its qualifier
-    is *binding*.
-    """
-    ranges: dict[str, ColumnRange] = {}
-    for conjunct in conjuncts:
-        extracted = _range_of_conjunct(conjunct, binding)
-        if extracted is None:
-            continue
-        if not table_schema.has_column(extracted.column):
-            continue
-        key = extracted.column.lower()
-        if key in ranges:
-            ranges[key] = ranges[key].intersect(extracted)
-        else:
-            ranges[key] = extracted
-    return list(ranges.values())
-
-
-def _range_of_conjunct(
-    conjunct: Expression, binding: str
-) -> ColumnRange | None:
-    if not isinstance(conjunct, BinaryOp):
-        return None
-    operator = conjunct.operator
-    left, right = conjunct.left, conjunct.right
-    if isinstance(left, Literal) and isinstance(right, ColumnRef):
-        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
-        operator = flipped.get(operator, operator)
-        left, right = right, left
-    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
-        return None
-    if not isinstance(right.value, (int, float)) or isinstance(
-        right.value, bool
-    ):
-        return None
-    item_binding, _, column = left.name.partition(".")
-    if not column or item_binding.lower() != binding:
-        return None
-    value = float(right.value)
-    if operator == "=":
-        return ColumnRange(column, value, value)
-    if operator == "<":
-        return ColumnRange(column, None, value)
-    if operator == "<=":
-        return ColumnRange(column, None, value)
-    if operator == ">":
-        return ColumnRange(column, value, None)
-    if operator == ">=":
-        return ColumnRange(column, value, None)
-    return None
-
-
-def _bare_name(qualified: str, taken: list[str]) -> str:
-    bare = qualified.split(".", 1)[1] if "." in qualified else qualified
-    lowered = [name.lower() for name in taken]
-    if bare.lower() not in lowered:
-        return bare
-    # Collision (e.g. SELECT * over a join with same-named columns):
-    # fall back to a disambiguated name.
-    candidate = qualified.replace(".", "_")
-    suffix = 0
-    while candidate.lower() in lowered:
-        suffix += 1
-        candidate = f"{qualified.replace('.', '_')}_{suffix}"
-    return candidate
+    def explain(
+        self, statement: SelectStatement, context: ExecutionContext
+    ) -> str:
+        """The multi-section EXPLAIN (logical plan, fired rules,
+        variant selection, physical plan)."""
+        prepared = self.prepare(statement)
+        physical = self.lower(prepared, context)
+        return render_explain(prepared, physical)

@@ -71,13 +71,16 @@ class ModelJoinRef(FromItem):
     ``input_columns`` optionally restricts which columns feed the model
     (``USING (c1, c2)``); the rest are passed through as payload —
     exactly the native operator's prediction-column behaviour
-    (Section 5.3).
+    (Section 5.3).  ``variant`` is the optional explicit execution
+    variant (``VARIANT 'native-gpu'``), overriding the optimizer's
+    cost-based choice.
     """
 
     left: FromItem
     model_name: str
     input_columns: tuple[str, ...] = ()
     output_prefix: str = "prediction"
+    variant: str | None = None
 
 
 @dataclass(frozen=True)

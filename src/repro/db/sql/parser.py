@@ -375,7 +375,17 @@ class _Parser:
                         if not self.accept_operator(","):
                             break
                     self.expect_operator(")")
-                item = ModelJoinRef(item, model_name, tuple(input_columns))
+                variant: str | None = None
+                if self.accept_keyword("VARIANT"):
+                    token = self.peek()
+                    if token.kind is TokenKind.STRING:
+                        self.advance()
+                        variant = token.text
+                    else:
+                        variant = self.expect_identifier()
+                item = ModelJoinRef(
+                    item, model_name, tuple(input_columns), variant=variant
+                )
             else:
                 return item
 

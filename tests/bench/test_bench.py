@@ -14,7 +14,6 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     format_bytes,
     format_counter_summary,
-    format_memory_table,
     format_qualitative_table,
     format_runtime_series,
     format_seconds,

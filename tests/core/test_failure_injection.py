@@ -12,7 +12,7 @@ import pytest
 import repro
 from repro.core.modeljoin.builder import ModelBuilder
 from repro.core.modeljoin.runner import NativeModelJoin
-from repro.core.registry import model_metadata, publish_model
+from repro.core.registry import publish_model
 from repro.core.validation import verify_model_table
 from repro.db.catalog import LayerMetadata
 from repro.db.vector import VectorBatch

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.ml_to_sql.loader import load_model_table
 from repro.core.modeljoin.builder import (
-    BuiltModel,
     DenseLayerWeights,
     LstmLayerWeights,
     ModelBuilder,

@@ -1,6 +1,5 @@
 """Model-table sanity checks (paper Section 5.5)."""
 
-import numpy as np
 import pytest
 
 import repro

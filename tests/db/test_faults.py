@@ -473,7 +473,11 @@ class TestVariantFallback:
         model = make_dense_model(4, 2, seed=11)
         publish_model(db, "xclf", model)
         resilient = ResilientModelJoin(
-            db, "xclf", model=model, enable_mltosql=False
+            db,
+            "xclf",
+            model=model,
+            enable_mltosql=False,
+            enable_runtime_api=False,
         )
         with faults.active(FaultInjector(seed=12)) as injector:
             injector.raise_with_probability("modeljoin.build", 1.0)

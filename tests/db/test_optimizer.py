@@ -1,0 +1,298 @@
+"""Golden plans for the logical optimizer and its rewrite rules.
+
+Each golden test pins the rendered logical plan, the recorded rule
+firings and the selected ModelJoin variant for one query shape; the
+property test at the end re-runs every query with the rewrite rules
+disabled and requires bit-exact results.
+"""
+
+from textwrap import dedent
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.registry import publish_model
+from repro.db.planner import PlannerOptions
+from repro.db.sql.parser import parse_statement
+from repro.workloads.iris import load_iris_table
+from repro.workloads.models import make_dense_model, make_lstm_model
+from repro.workloads.timeseries import load_windowed_series_table
+
+USING = "sepal_length, sepal_width, petal_length, petal_width"
+
+QUERIES = {
+    "dense": f"SELECT * FROM iris MODEL JOIN clf USING ({USING})",
+    "lstm": (
+        "SELECT id, prediction_0 FROM sinus_windows "
+        "MODEL JOIN seq USING (x1, x2, x3)"
+    ),
+    "filtered": (
+        f"SELECT id, prediction_0 FROM iris MODEL JOIN clf "
+        f"USING ({USING}) WHERE id < 100"
+    ),
+    "projected": (
+        f"SELECT id, prediction_0 FROM iris MODEL JOIN clf USING ({USING})"
+    ),
+    "joined": (
+        f"SELECT i.id, d.grp, prediction_0 FROM iris i MODEL JOIN clf "
+        f"USING ({USING}) JOIN dims d ON i.id = d.id"
+    ),
+    "override": (
+        f"SELECT id, prediction_0 FROM iris MODEL JOIN clf "
+        f"USING ({USING}) VARIANT 'native-gpu'"
+    ),
+    "scan_filter": (
+        "SELECT id, sepal_length FROM iris WHERE id >= 20 AND id < 40"
+    ),
+    "aggregate": (
+        "SELECT species, COUNT(*), AVG(sepal_length) FROM iris "
+        "GROUP BY species"
+    ),
+    "orderby": "SELECT id FROM iris ORDER BY id LIMIT 7",
+    "folded": "SELECT id FROM iris WHERE id < 10 + 5",
+}
+
+
+def build_database():
+    database = repro.connect()
+    load_iris_table(database, 200)
+    publish_model(database, "clf", make_dense_model(8, 2, seed=3))
+    load_windowed_series_table(database, 100, time_steps=3)
+    publish_model(database, "seq", make_lstm_model(8, time_steps=3, seed=4))
+    database.execute(
+        "CREATE TABLE dims (id INTEGER, grp INTEGER) SORTED BY (id)"
+    )
+    ids = np.arange(200, dtype=np.int64)
+    database.table("dims").append_columns(
+        id=ids, grp=(ids % 4).astype(np.int64)
+    )
+    return database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database()
+
+
+def prepare(db, name):
+    return db._planner().prepare(parse_statement(QUERIES[name]))
+
+
+def firings_of(prepared) -> list[str]:
+    return [f"{f.rule}: {f.detail}" for f in prepared.firings]
+
+
+def golden(text: str) -> str:
+    return dedent(text).strip("\n")
+
+
+class TestGoldenPlans:
+    def test_dense_grid_model_join(self, db):
+        prepared = prepare(db, "dense")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, sepal_length, sepal_width, petal_length, petal_width, species, prediction_0)  [~200 rows]
+              ModelJoin(model=clf, inputs=[iris.sepal_length, iris.sepal_width, iris.petal_length, iris.petal_width], variant=native-cpu)  [~200 rows]
+                Scan(iris)  [~200 rows]
+            """
+        )
+        assert firings_of(prepared) == []
+        (selection,) = prepared.selections
+        assert selection.chosen == "native-cpu"
+        assert "lowest predicted cost" in selection.reason
+        # every implemented variant is scored
+        assert len(selection.estimates) == 6
+
+    def test_lstm_model_join(self, db):
+        prepared = prepare(db, "lstm")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, prediction_0)  [~100 rows]
+              ModelJoin(model=seq, inputs=[sinus_windows.x1, sinus_windows.x2, sinus_windows.x3], variant=native-cpu)  [~100 rows]
+                Scan(sinus_windows)  [~100 rows]
+            """
+        )
+        (selection,) = prepared.selections
+        assert selection.chosen == "native-cpu"
+        assert selection.tuples == 100
+
+    def test_filtered_model_join_pushes_predicate(self, db):
+        prepared = prepare(db, "filtered")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, prediction_0)  [~30 rows]
+              ModelJoin(model=clf, inputs=[iris.sepal_length, iris.sepal_width, iris.petal_length, iris.petal_width], variant=native-cpu)  [~30 rows]
+                Filter((iris.id < 100))  [~30 rows]
+                  Scan(iris, cols=[id, sepal_length, sepal_width, petal_length, petal_width], prune: id in [None, 100.0])  [~100 rows]
+            """
+        )
+        assert firings_of(prepared) == [
+            "predicate-pushdown: pushed (iris.id < 100) below "
+            "ModelJoin(clf)",
+            "sma-range-derivation: scan iris: id in [None, 100.0]",
+            "projection-pushdown: scan iris: fetch 5/6 columns",
+        ]
+
+    def test_projection_pushdown_into_scan(self, db):
+        prepared = prepare(db, "projected")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, prediction_0)  [~200 rows]
+              ModelJoin(model=clf, inputs=[iris.sepal_length, iris.sepal_width, iris.petal_length, iris.petal_width], variant=native-cpu)  [~200 rows]
+                Scan(iris, cols=[id, sepal_length, sepal_width, petal_length, petal_width])  [~200 rows]
+            """
+        )
+        assert firings_of(prepared) == [
+            "projection-pushdown: scan iris: fetch 5/6 columns"
+        ]
+
+    def test_joined_model_join_extracts_hash_keys(self, db):
+        prepared = prepare(db, "joined")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, grp, prediction_0)  [~200 rows]
+              Join(keys: i.id = d.id)  [~200 rows]
+                ModelJoin(model=clf, inputs=[i.sepal_length, i.sepal_width, i.petal_length, i.petal_width], variant=native-cpu)  [~200 rows]
+                  Scan(iris, cols=[id, sepal_length, sepal_width, petal_length, petal_width])  [~200 rows]
+                Scan(dims)  [~200 rows]
+            """
+        )
+        assert firings_of(prepared) == [
+            "join-key-extraction: hash key i.id = d.id",
+            "projection-pushdown: scan i: fetch 5/6 columns",
+        ]
+
+    def test_explicit_variant_override(self, db):
+        prepared = prepare(db, "override")
+        (selection,) = prepared.selections
+        assert selection.chosen == "native-gpu"
+        assert selection.reason == "explicit override (VARIANT clause)"
+        assert "variant=native-gpu" in prepared.explain_logical()
+
+    def test_scan_filter_range_and_projection(self, db):
+        prepared = prepare(db, "scan_filter")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(id, sepal_length)  [~9 rows]
+              Filter((iris.id >= 20) AND (iris.id < 40))  [~9 rows]
+                Scan(iris, cols=[id, sepal_length], prune: id in [20.0, 40.0])  [~100 rows]
+            """
+        )
+        assert firings_of(prepared) == [
+            "sma-range-derivation: scan iris: id in [20.0, 40.0]",
+            "projection-pushdown: scan iris: fetch 2/6 columns",
+        ]
+
+    def test_aggregate_projects_only_referenced_columns(self, db):
+        prepared = prepare(db, "aggregate")
+        assert prepared.explain_logical() == golden(
+            """
+            Project(species, col1, col2)  [~20 rows]
+              Aggregate(group=[iris.species], aggs=[COUNT(*), AVG(iris.sepal_length)])  [~20 rows]
+                Scan(iris, cols=[sepal_length, species])  [~200 rows]
+            """
+        )
+        assert firings_of(prepared) == [
+            "projection-pushdown: scan iris: fetch 2/6 columns"
+        ]
+
+    def test_order_by_limit(self, db):
+        prepared = prepare(db, "orderby")
+        assert prepared.explain_logical() == golden(
+            """
+            Limit(7, offset=0)  [~7 rows]
+              OrderBy(id asc)  [~200 rows]
+                Project(id)  [~200 rows]
+                  Scan(iris, cols=[id])  [~200 rows]
+            """
+        )
+
+    def test_constant_folding(self, db):
+        prepared = prepare(db, "folded")
+        assert firings_of(prepared) == [
+            "constant-folding: (10 + 5) -> 15",
+            "sma-range-derivation: scan iris: id in [None, 15.0]",
+            "projection-pushdown: scan iris: fetch 1/6 columns",
+        ]
+        assert "Filter((iris.id < 15))" in prepared.explain_logical()
+
+
+class TestExplainSections:
+    def test_model_join_explain_has_all_four_sections(self, db):
+        plan = db.explain(QUERIES["filtered"])
+        logical = plan.index("== Logical Plan ==")
+        rules = plan.index("== Rewrite Rules ==")
+        variants = plan.index("== ModelJoin Variant Selection ==")
+        physical = plan.index("== Physical Plan ==")
+        assert logical < rules < variants < physical
+        assert "predicate-pushdown" in plan
+        assert "<- chosen" in plan
+        # every variant appears with a predicted cost in the table
+        for variant in (
+            "native-cpu",
+            "native-gpu",
+            "ml-to-sql",
+            "runtime-api",
+            "udf",
+            "external",
+        ):
+            assert variant in plan
+
+    def test_variant_selected_metric(self, db):
+        before = db.metrics.counter("planner.variant_selected").value
+        db.execute(QUERIES["projected"])
+        after = db.metrics.counter("planner.variant_selected").value
+        assert after == before + 1
+        assert (
+            db.metrics.counter(
+                "planner.variant_selected.native-cpu"
+            ).value
+            > 0
+        )
+
+
+class TestPushdownCounters:
+    def test_projected_scan_fetches_fewer_columns(self, db):
+        result = db.execute(QUERIES["projected"])
+        assert result.row_count == 200
+        counters = db.last_profile.counters
+        # id + the four model inputs; `species` is never fetched
+        assert counters.get("scan.columns_fetched") == 5
+        full = db.execute(QUERIES["dense"])
+        assert full.row_count == 200
+        assert db.last_profile.counters.get("scan.columns_fetched") == 6
+
+    def test_pushed_filter_scores_fewer_tuples(self, db):
+        db.execute(QUERIES["filtered"])
+        (selection,) = db._planner().prepare(
+            parse_statement(QUERIES["filtered"])
+        ).selections
+        # the optimizer costs the ModelJoin on the filtered cardinality
+        assert selection.tuples == 30
+
+
+class TestBitExactness:
+    """Every optimized query returns exactly the unoptimized result."""
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_optimized_matches_unoptimized(self, name):
+        optimized_db = build_database()
+        baseline_db = build_database()
+        baseline_db.planner_options = PlannerOptions(
+            use_optimizer_rules=False
+        )
+        sql = QUERIES[name]
+        optimized = optimized_db.execute(sql)
+        baseline = baseline_db.execute(sql)
+        assert optimized.schema.names == baseline.schema.names
+        assert optimized.row_count == baseline.row_count
+        for column in optimized.schema.names:
+            np.testing.assert_array_equal(
+                optimized.column(column),
+                baseline.column(column),
+                err_msg=f"{name}: column {column} diverged",
+            )
+        assert not baseline_db._planner().prepare(
+            parse_statement(sql)
+        ).firings

@@ -215,18 +215,20 @@ class TestModelJoinPushdown:
         )
         assert filter_line < modeljoin_line  # above the operator
 
-    def test_unqualified_predicate_not_pushed(self):
+    def test_unqualified_predicate_pushed(self):
         db = self._prepared()
         plan, result = db.explain_analyze(
             "SELECT f.id, prediction_0 FROM f MODEL JOIN clf "
             "USING (a, b) WHERE id < 10"
         )
-        # Conservative: ambiguity-safe, applied above the operator.
+        # The binder resolves unqualified names against the complete
+        # scope before the rewrite rules run, so `id` is known to be
+        # `f.id` and the predicate filters *before* the inference.
         assert result.row_count == 10
         modeljoin_line = next(
             line for line in plan.splitlines() if "ModelJoin" in line
         )
-        assert "[rows: 50]" in modeljoin_line
+        assert "[rows: 10]" in modeljoin_line
 
     def test_results_unchanged_by_pushdown(self):
         db = self._prepared()

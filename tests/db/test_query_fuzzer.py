@@ -10,7 +10,6 @@ targeted operator tests with breadth.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
