@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench tracing [--check-overhead] [--json BENCH_pr2.json]
     python -m repro.bench chaos   [--smoke] [--seed 7] [--json BENCH_pr3.json]
     python -m repro.bench plan    [--check] [--json BENCH_pr4.json]
+    python -m repro.bench storage [--check] [--json BENCH_pr5.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -24,7 +25,8 @@ into the exit code.
 
 The ``chaos`` experiment runs every fault-injection scenario (worker
 and morsel crashes, GPU kernel faults, build failures, flaky ODBC
-transfers, cache corruption) and gates on 100% query completion,
+transfers, cache corruption, 10% disk block-read faults against a
+persistent database) and gates on 100% query completion,
 bit-exact results, bounded p95 latency, visible resilience metrics,
 retry/fallback trace spans and zero disabled-injector overhead; it
 always exits non-zero on failure.  ``--smoke`` is shorthand for
@@ -37,6 +39,13 @@ filtered dense-grid cell, and cost-based variant-selection accuracy
 against exhaustive per-cell measurement (>=80%).  ``--check``
 additionally fails when any cell's selected variant measures slower
 than twice the empirically best variant.
+
+The ``storage`` experiment measures the persistent storage engine
+(docs/STORAGE.md): cold disk scans vs in-memory scans (<=3x,
+bit-exact), zone-map block skipping on a filtered cell (>2x), and a
+full scan under a buffer-pool byte cap far below the table size
+(completes with evictions).  ``--check`` turns the verdict into the
+exit code.
 
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
@@ -81,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
             "tracing",
             "chaos",
             "plan",
+            "storage",
         ],
     )
     parser.add_argument(
@@ -117,15 +127,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing/chaos/plan experiment: where to write the "
-        "JSON evidence (defaults: BENCH_pr1.json / BENCH_pr2.json / "
-        "BENCH_pr3.json / BENCH_pr4.json)",
+        help="serving/tracing/chaos/plan/storage experiment: where to "
+        "write the JSON evidence (defaults: BENCH_pr1.json / "
+        "BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json / "
+        "BENCH_pr5.json)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="plan experiment: fail when any cell's selected variant "
-        "measures slower than twice the best variant",
+        "measures slower than twice the best variant; storage "
+        "experiment: fail unless every storage gate passes",
     )
     parser.add_argument(
         "--smoke",
@@ -249,6 +261,27 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if arguments.check and not report["check"]["ok"]:
             print("variant smoke check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "storage":
+        from repro.bench.storage_bench import (
+            format_storage_report,
+            run_storage_bench,
+            write_report,
+        )
+
+        report = run_storage_bench(config)
+        rendered = format_storage_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr5.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("storage check FAILED", file=sys.stderr)
             return 1
         return 0
 

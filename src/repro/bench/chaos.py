@@ -1,7 +1,9 @@
 """Chaos benchmark: resilient execution under injected faults.
 
-Runs the engine's fault sites (see :mod:`repro.db.faults`) through six
-failure scenarios and gates on the robustness contract:
+Runs the engine's fault sites (see :mod:`repro.db.faults`) through
+seven failure scenarios — including 10% disk block-read faults against
+a persistent database (``io.block_read``) — and gates on the
+robustness contract:
 
 * **100% completion** — every query under fault injection completes
   (through retries and fallbacks), none errors out;
@@ -27,7 +29,10 @@ is the CI smoke entry point; the full preset sizes everything up.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -50,6 +55,9 @@ LATENCY_SLACK_SECONDS = 1.0
 
 #: per-dispatch crash probability of the sustained-fault scenario
 TASK_FAULT_PROBABILITY = 0.12
+
+#: per-block-read failure probability of the disk-fault scenario
+DISK_FAULT_PROBABILITY = 0.10
 
 SQL = "SELECT sepal_length + sepal_width AS s FROM iris"
 
@@ -299,6 +307,83 @@ def _cache_scenario(
         db.close()
 
 
+def _disk_scenario(
+    queries: int,
+    rows: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> dict:
+    """Disk block reads failing 10% of the time: reader-level retries
+    must deliver every query bit-exact (see docs/STORAGE.md)."""
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-disk-"))
+    sql = "SELECT id, f0 FROM fact"
+    try:
+        database = connect(
+            path=str(workdir / "db"), tracer=tracer, metrics=metrics
+        )
+        database.execute(
+            "CREATE TABLE fact (id BIGINT, f0 FLOAT) PARTITIONS 2"
+        )
+        rng = np.random.default_rng(seed)
+        database.table("fact").append_columns(
+            id=np.arange(rows, dtype=np.int64),
+            f0=rng.random(rows, dtype=np.float32),
+        )
+        database.close()  # checkpoint to disk
+        database = connect(
+            path=str(workdir / "db"), tracer=tracer, metrics=metrics
+        )
+        pool = database.storage.buffer_pool
+
+        def run():
+            pool.clear()  # every query re-reads every block
+            started = time.perf_counter()
+            result = database.execute(sql)
+            return result, time.perf_counter() - started
+
+        reference, _ = run()
+        ref_bytes = tuple(
+            np.asarray(reference.column(name)).tobytes()
+            for name in ("id", "f0")
+        )
+        clean = [run()[1] for _ in range(queries)]
+        injector = FaultInjector(seed=seed)
+        injector.raise_with_probability(
+            "io.block_read", DISK_FAULT_PROBABILITY
+        )
+        completed = 0
+        bit_exact = True
+        faulted: list[float] = []
+        with faults.active(injector):
+            for _ in range(queries):
+                result, seconds = run()
+                faulted.append(seconds)
+                completed += 1
+                if (
+                    tuple(
+                        np.asarray(result.column(name)).tobytes()
+                        for name in ("id", "f0")
+                    )
+                    != ref_bytes
+                ):
+                    bit_exact = False
+        retries = database.metrics.counter("storage.read_retries").value
+        database.close()
+        return _scenario_result(
+            "disk-read-fault",
+            queries,
+            completed,
+            bit_exact,
+            _p95(clean),
+            _p95(faulted),
+            injector,
+            extra={"read_retries": retries},
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 # ----------------------------------------------------------------------
 # disabled-overhead gate
 # ----------------------------------------------------------------------
@@ -415,6 +500,7 @@ def run_chaos_bench(
     if config.preset == "smoke":
         sql_queries, sql_rows = 10, 1_500
         mj_rows, mj_width, mj_depth = 1_500, 8, 2
+        disk_queries, disk_rows = 6, 20_000
         # The overhead comparison needs a workload long enough that
         # timer noise stays well under the 5% threshold, even in smoke.
         overhead_rows, overhead_width, overhead_depth, repeats = (
@@ -426,6 +512,7 @@ def run_chaos_bench(
     else:
         sql_queries, sql_rows = 40, 6_000
         mj_rows, mj_width, mj_depth = 6_000, 64, 4
+        disk_queries, disk_rows = 12, 50_000
         overhead_rows, overhead_width, overhead_depth, repeats = (
             10_000,
             64,
@@ -489,6 +576,7 @@ def run_chaos_bench(
         ),
         _transfer_scenario(sql_rows, seed, tracer, metrics),
         _cache_scenario(sql_rows, seed, tracer, metrics),
+        _disk_scenario(disk_queries, disk_rows, seed, tracer, metrics),
     ]
 
     trace = _check_trace(trace_path, tracer)
@@ -504,11 +592,15 @@ def run_chaos_bench(
         "worker.crashes": metric_values.get("worker.crashes", 0),
         "fallback.engaged": metric_values.get("fallback.engaged", 0),
         "cache.corruption": metric_values.get("cache.corruption", 0),
+        "storage.read_retries": metric_values.get(
+            "storage.read_retries", 0
+        ),
     }
     metrics_ok = (
         metrics_visible["query.retries"] > 0
         and metrics_visible["fallback.engaged"] > 0
         and metrics_visible["cache.corruption"] > 0
+        and metrics_visible["storage.read_retries"] > 0
     )
     total_queries = sum(s["queries"] for s in scenarios)
     total_completed = sum(s["completed"] for s in scenarios)

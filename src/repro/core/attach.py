@@ -33,6 +33,21 @@ def attach(database: Database) -> Database:
     if getattr(database.model_cache, "metrics", None) is None:
         # Integrity quarantines report through the engine's registry.
         database.model_cache.metrics = database.metrics
+    if (
+        database.storage is not None
+        and database.model_cache_persistence is None
+    ):
+        # Persistent database: restore the warm model cache saved by
+        # the last checkpoint (restored table uids/versions make the
+        # persisted keys match), and register the save hook that
+        # Database.checkpoint() calls after the catalog manifest.
+        from repro.core.modeljoin.persistence import ModelCachePersistence
+
+        persistence = ModelCachePersistence(
+            database.model_cache, database.storage.models_dir
+        )
+        persistence.load()
+        database.model_cache_persistence = persistence
 
     def factory(**kwargs):
         kwargs.setdefault("model_cache", database.model_cache)
@@ -48,6 +63,8 @@ def connect(
     tracer=None,
     metrics=None,
     task_retries: int = 2,
+    path: str | None = None,
+    buffer_pool_bytes: int | None = None,
 ) -> Database:
     """Create a new database with the full repro feature set attached.
 
@@ -57,6 +74,11 @@ def connect(
     lands in a single exported trace.  *task_retries* bounds how often
     a crashed partition pipeline is retried before the query fails
     (see :doc:`docs/ROBUSTNESS`).
+
+    *path* opens a persistent database (see docs/STORAGE.md): tables,
+    registered models and the warm model cache restore from the
+    directory, and ``close()`` checkpoints back to it atomically.
+    *buffer_pool_bytes* caps the disk scans' decoded-block cache.
     """
     return attach(
         Database(
@@ -65,5 +87,7 @@ def connect(
             tracer=tracer,
             metrics=metrics,
             task_retries=task_retries,
+            path=path,
+            buffer_pool_bytes=buffer_pool_bytes,
         )
     )

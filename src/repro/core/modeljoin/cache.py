@@ -201,6 +201,17 @@ class ModelCache:
                 )
                 self.evictions += 1
 
+    def entries(self) -> list[tuple[CacheKey, BuiltModel]]:
+        """Snapshot of (key, build) pairs, LRU first.
+
+        Used by the storage layer's checkpoint to persist host-resident
+        builds (see repro.core.modeljoin.persistence); iteration order
+        preserves recency so a capped reload warms the hottest entries
+        last (i.e. most-recently-used wins LRU eviction again).
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def invalidate_table(self, table_name: str) -> int:
         """Drop every entry built from *table_name* (DROP/re-register).
 

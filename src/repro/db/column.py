@@ -58,6 +58,27 @@ class ColumnRange:
         return ColumnRange(self.column, low, high)
 
 
+def stats_may_match(
+    stats: list[MinMax | None],
+    schema: Schema,
+    ranges: list[ColumnRange],
+) -> bool:
+    """SMA check shared by in-memory and disk blocks.
+
+    *stats* is positionally aligned with *schema*; a ``None`` statistic
+    (non-numeric column, or unknown) never prunes.
+    """
+    for predicate in ranges:
+        if not schema.has_column(predicate.column):
+            continue
+        stat = stats[schema.position_of(predicate.column)]
+        if stat is None:
+            continue
+        if not stat.may_contain_range(predicate.low, predicate.high):
+            return False
+    return True
+
+
 class Block:
     """An immutable horizontal slice of a partition with SMA stats."""
 
@@ -86,15 +107,11 @@ class Block:
 
     def may_match(self, schema: Schema, ranges: list[ColumnRange]) -> bool:
         """SMA check: can any row of this block satisfy all *ranges*?"""
-        for predicate in ranges:
-            if not schema.has_column(predicate.column):
-                continue
-            stat = self.stats[schema.position_of(predicate.column)]
-            if stat is None:
-                continue
-            if not stat.may_contain_range(predicate.low, predicate.high):
-                return False
-        return True
+        return stats_may_match(self.stats, schema, ranges)
+
+    def column_array(self, position: int) -> np.ndarray:
+        """The array of one column (the disk block protocol)."""
+        return self.arrays[position]
 
     def to_batch(self, schema: Schema) -> VectorBatch:
         return VectorBatch(schema, self.arrays)

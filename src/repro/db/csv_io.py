@@ -47,6 +47,13 @@ def load_csv(
     With a header, columns are matched by name (any order); without,
     the file must list the columns in schema order.  Returns the number
     of rows loaded.
+
+    The loader is columnar end to end: parsed values accumulate in one
+    list per column and every *chunk_rows* rows are flushed as typed
+    arrays straight into the table's block builders — no row tuples are
+    materialized.  On a persistent table the chunks land in the append
+    overlay and the next checkpoint streams them through the block
+    writer (see docs/STORAGE.md).
     """
     table: Table = database.table(table_name)
     schema: Schema = table.schema
@@ -64,26 +71,40 @@ def load_csv(
                     f"CSV header {header} does not cover the schema "
                     f"{list(schema.names)}"
                 )
-        chunk: list[tuple] = []
+        types = [column.sql_type for column in schema.columns]
+        columns: list[list] = [[] for _ in types]
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending, loaded
+            table.append_columns(
+                **{
+                    column.name: np.array(
+                        values, dtype=column.sql_type.numpy_dtype
+                    )
+                    for column, values in zip(schema.columns, columns)
+                }
+            )
+            loaded += pending
+            pending = 0
+            for values in columns:
+                values.clear()
+
         for row in reader:
             if len(row) != len(positions):
                 raise TypeMismatchError(
                     f"CSV row has {len(row)} fields, expected "
                     f"{len(positions)}"
                 )
-            ordered: list = [None] * len(schema)
             for field_text, position in zip(row, positions):
-                ordered[position] = _parse_value(
-                    field_text, schema.columns[position].sql_type
+                columns[position].append(
+                    _parse_value(field_text, types[position])
                 )
-            chunk.append(tuple(ordered))
-            if len(chunk) >= chunk_rows:
-                table.append_rows(chunk)
-                loaded += len(chunk)
-                chunk = []
-        if chunk:
-            table.append_rows(chunk)
-            loaded += len(chunk)
+            pending += 1
+            if pending >= chunk_rows:
+                flush()
+        if pending:
+            flush()
     return loaded
 
 

@@ -136,6 +136,8 @@ class Database:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         task_retries: int = 2,
+        path: str | None = None,
+        buffer_pool_bytes: int | None = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -165,6 +167,25 @@ class Database:
         #: engine-lifetime metrics registry (latency percentiles, cache
         #: hit ratios, ... aggregated across queries)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: persistent storage engine; None for an in-memory database.
+        #: With *path* set, tables restore from disk on open and
+        #: :meth:`checkpoint` / :meth:`close` persist the catalog
+        #: atomically (see docs/STORAGE.md).
+        self.storage = None
+        #: optional hook installed by repro.core.attach that saves and
+        #: restores the model cache alongside checkpoints (opaque at
+        #: this layer; see repro.core.modeljoin.persistence)
+        self.model_cache_persistence = None
+        if path is not None:
+            from repro.db.storage import StorageEngine
+
+            self.storage = StorageEngine(
+                path,
+                buffer_pool_bytes=buffer_pool_bytes,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            self.storage.open_into(self.catalog)
 
     # ------------------------------------------------------------------
     # engine-lifetime resources
@@ -180,8 +201,32 @@ class Database:
             self._worker_pool = WorkerPool(self.parallelism)
         return self._worker_pool
 
+    def checkpoint(self) -> dict:
+        """Persist tables, models and the warm model cache to disk.
+
+        Only valid for a database opened with ``path=``.  Data files
+        are written first; the catalog manifest is swapped atomically
+        last, so a crash mid-checkpoint leaves the previous consistent
+        state (see docs/STORAGE.md).  Returns the committed manifest.
+        """
+        if self.storage is None:
+            raise ExecutionError(
+                "checkpoint() requires a database opened with path="
+            )
+        manifest = self.storage.checkpoint(self.catalog)
+        if self.model_cache_persistence is not None:
+            self.model_cache_persistence.save()
+        return manifest
+
     def close(self) -> None:
-        """Release engine-lifetime resources (worker threads, caches)."""
+        """Release engine-lifetime resources (worker threads, caches).
+
+        A persistent database checkpoints first, so plain
+        ``close()`` / ``with Database(path=...)`` is durable by
+        default.
+        """
+        if self.storage is not None:
+            self.checkpoint()
         if self._worker_pool is not None:
             self._worker_pool.shutdown()
             self._worker_pool = None

@@ -20,6 +20,11 @@ site                      fires in
                           before checksum verification)
 ``modeljoin.build``       the native ModelJoin's shared model build
                           (cache-miss path, before the model table scan)
+``io.block_read``         :class:`repro.db.storage.blockio.ColumnFileReader`
+                          block reads (disk-resident scans); the reader
+                          itself retries with bounded backoff, so scans
+                          survive transient disk faults without help from
+                          the pipeline retry layer
 ========================  ====================================================
 
 Policies: :meth:`FaultInjector.raise_once` (raise the first *count*
@@ -71,6 +76,7 @@ KNOWN_SITES = (
     "odbc.fetch",
     "cache.load",
     "modeljoin.build",
+    "io.block_read",
 )
 
 RAISE_ONCE = "once"

@@ -25,7 +25,15 @@ class TableScan(PhysicalOperator):
     those columns are materialized into batches; SMA pruning still
     evaluates against the full table schema, whose positions index the
     per-block statistics.  The ``scan.columns_fetched`` profile counter
-    records how many columns each scan actually read.
+    records how many columns each scan actually read — for a
+    disk-resident table it counts the distinct column *files* opened,
+    so projection pushdown is observable as fewer file opens and a
+    fully pruned scan as zero.
+
+    Disk-resident tables (see :mod:`repro.db.storage`) stream blocks
+    through the engine's buffer pool: pruning uses the zone maps
+    persisted in the column-file footers (no I/O), and only the
+    projected columns' files are ever read.
     """
 
     morsel_streaming = True
@@ -65,6 +73,8 @@ class TableScan(PhysicalOperator):
         self.morsel_owner = None
         self.blocks_scanned = 0
         self.blocks_pruned = 0
+        #: distinct column files opened (disk-resident tables only)
+        self._opened_files: set = set()
 
     @property
     def ordering(self) -> tuple[str, ...]:
@@ -88,16 +98,42 @@ class TableScan(PhysicalOperator):
 
     def open(self) -> None:
         super().open()
-        self.context.counters.increment(
-            "scan.columns_fetched", len(self.schema)
-        )
+        if not self.table.disk_resident:
+            # Memory-resident columns are "fetched" by definition; a
+            # disk scan instead counts files as they are first opened
+            # (see _count_file_open), so a fully pruned scan reads 0.
+            self.context.counters.increment(
+                "scan.columns_fetched", len(self.schema)
+            )
+
+    def _count_file_open(self, file_key) -> None:
+        if file_key not in self._opened_files:
+            self._opened_files.add(file_key)
+            self.context.counters.increment("scan.columns_fetched")
 
     def _block_batch(self, block: Block) -> VectorBatch:
+        read_columns = getattr(block, "read_columns", None)
+        if read_columns is not None:
+            # Disk block: fetch only the projected columns' files
+            # through the buffer pool, pinned while assembling.
+            return VectorBatch(
+                self.schema,
+                read_columns(
+                    self._positions, on_open=self._count_file_open
+                ),
+            )
         if not self._projected:
             return block.to_batch(self.schema)
         return VectorBatch(
             self.schema, [block.arrays[p] for p in self._positions]
         )
+
+    def _prune_block(self, block) -> None:
+        self.blocks_pruned += 1
+        if getattr(block, "is_disk", False):
+            metrics = self.context.metrics
+            if metrics is not None:
+                metrics.counter("storage.blocks_skipped").increment()
 
     def _produce(self) -> Iterator[VectorBatch]:
         if self.morsel_source is not None:
@@ -112,7 +148,7 @@ class TableScan(PhysicalOperator):
                 if self.ranges and not block.may_match(
                     self.table.schema, self.ranges
                 ):
-                    self.blocks_pruned += 1
+                    self._prune_block(block)
                     continue
                 self.blocks_scanned += 1
                 batch = self._block_batch(block)
@@ -163,7 +199,7 @@ class TableScan(PhysicalOperator):
             if self.ranges and not block.may_match(
                 self.table.schema, self.ranges
             ):
-                self.blocks_pruned += 1
+                self._prune_block(block)
                 continue
             self.blocks_scanned += 1
             if traced:
@@ -195,6 +231,11 @@ class TableScan(PhysicalOperator):
 
     def describe(self) -> str:
         parts = [f"TableScan({self.table.name}"]
+        if self.table.disk_resident:
+            marker = ", disk"
+            if self.ranges:
+                marker += "+zone-map skip"
+            parts.append(marker)
         if self.partition_index is not None:
             parts.append(f", partition={self.partition_index}")
         if self._projected:

@@ -89,6 +89,27 @@ class LogicalNode:
         return "\n".join(rendered)
 
 
+def _zone_map_row_estimate(table, ranges) -> int | None:
+    """Rows surviving block pruning, or None for memory tables.
+
+    Disk-resident tables persist per-block zone maps in their column
+    file footers, so counting the rows of the blocks that survive the
+    derived SMA ranges is exact block-granular cardinality — and free:
+    footers are metadata, no block payload is read.  Memory tables
+    keep the generic selectivity guess (their stats exist too, but the
+    cheap heuristic has the right fidelity for data that was never
+    sized for I/O).
+    """
+    if not getattr(table, "disk_resident", False):
+        return None
+    surviving = 0
+    for partition in table.partitions:
+        for block in partition.blocks():
+            if block.may_match(table.schema, ranges):
+                surviving += block.length
+    return surviving
+
+
 class LogicalScan(LogicalNode):
     """Base-table scan; *columns* are the fetched bare column names."""
 
@@ -104,6 +125,10 @@ class LogicalScan(LogicalNode):
 
     def estimate(self) -> float:
         rows = float(self.table.row_count)
+        if self.ranges:
+            surviving = _zone_map_row_estimate(self.table, self.ranges)
+            if surviving is not None:
+                return float(surviving)
         for _ in self.ranges:
             rows *= 0.5
         return rows

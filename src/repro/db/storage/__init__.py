@@ -1,0 +1,46 @@
+"""Persistent block-based columnar storage (see docs/STORAGE.md).
+
+Public surface:
+
+* :class:`StorageEngine` — maps a directory to the durable state of a
+  database (``Database(path=...)`` owns one);
+* :class:`BufferPool` — byte-capped LRU cache of decoded blocks;
+* :mod:`~repro.db.storage.codecs` — per-block compression codecs;
+* :class:`ColumnFileWriter` / :class:`ColumnFileReader` — the on-disk
+  column-file format.
+"""
+
+from repro.db.storage.blockio import ColumnFileReader, ColumnFileWriter
+from repro.db.storage.bufferpool import (
+    DEFAULT_CAPACITY_BYTES,
+    BufferPool,
+)
+from repro.db.storage.checkpoint import (
+    MANIFEST_NAME,
+    atomic_write_json,
+    load_manifest,
+    save_manifest,
+)
+from repro.db.storage.store import (
+    DiskBlock,
+    DiskPartition,
+    DiskTable,
+    StorageEngine,
+    write_partition,
+)
+
+__all__ = [
+    "BufferPool",
+    "ColumnFileReader",
+    "ColumnFileWriter",
+    "DEFAULT_CAPACITY_BYTES",
+    "DiskBlock",
+    "DiskPartition",
+    "DiskTable",
+    "MANIFEST_NAME",
+    "StorageEngine",
+    "atomic_write_json",
+    "load_manifest",
+    "save_manifest",
+    "write_partition",
+]

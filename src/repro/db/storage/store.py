@@ -1,0 +1,533 @@
+"""Disk-resident tables and the storage engine that owns them.
+
+A :class:`DiskPartition` duck-types the in-memory
+:class:`~repro.db.table.Partition`: it yields :class:`DiskBlock`
+objects from ``blocks()`` exactly where a memory partition yields
+:class:`~repro.db.column.Block`.  A disk block knows its row count and
+zone maps from the column-file footers alone — pruning a block costs
+zero I/O — and fetches individual columns through the shared
+:class:`~repro.db.storage.bufferpool.BufferPool` only when a scan
+actually materializes them.  Appends to a disk table land in a
+per-partition in-memory *overlay* (a plain block builder) that the next
+checkpoint merges into a fresh on-disk generation.
+
+The :class:`StorageEngine` maps a directory to a catalog: ``open_into``
+restores tables and model registrations from the manifest, and
+``checkpoint`` writes dirty tables into new generation directories
+before atomically swapping the manifest (see
+:mod:`repro.db.storage.checkpoint` for the crash-safety argument).
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections.abc import Iterator
+from contextlib import nullcontext
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.catalog import Catalog, LayerMetadata, ModelMetadata
+from repro.db.column import (
+    BLOCK_SIZE,
+    BlockBuilder,
+    ColumnRange,
+    MinMax,
+    stats_may_match,
+)
+from repro.db.schema import Column, Schema
+from repro.db.storage.blockio import ColumnFileReader, ColumnFileWriter
+from repro.db.storage.bufferpool import (
+    DEFAULT_CAPACITY_BYTES,
+    BufferPool,
+)
+from repro.db.storage.checkpoint import (
+    FORMAT_VERSION,
+    load_manifest,
+    save_manifest,
+)
+from repro.db.table import Table, ensure_uid_floor
+from repro.db.types import SqlType
+from repro.db.vector import VECTOR_SIZE, VectorBatch
+from repro.errors import ExecutionError
+
+TABLES_DIR = "tables"
+MODELS_DIR = "models"
+
+
+def _column_file_name(position: int, name: str) -> str:
+    return f"c{position}_{name.lower()}.col"
+
+
+class DiskBlock:
+    """One row-block of a disk partition (duck-types ``Block``).
+
+    Carries only footer-derived metadata; column arrays are fetched
+    lazily, per column, through the buffer pool.
+    """
+
+    __slots__ = ("partition", "index", "length", "stats")
+
+    #: lets scans distinguish file-backed blocks without imports
+    is_disk = True
+
+    def __init__(
+        self,
+        partition: "DiskPartition",
+        index: int,
+        length: int,
+        stats: list[MinMax | None],
+    ):
+        self.partition = partition
+        self.index = index
+        self.length = length
+        self.stats = stats
+
+    def may_match(
+        self, schema: Schema, ranges: list[ColumnRange]
+    ) -> bool:
+        return stats_may_match(self.stats, schema, ranges)
+
+    def column_array(self, position: int) -> np.ndarray:
+        return self.partition.column_array(self.index, position)
+
+    def read_columns(
+        self, positions: list[int], on_open=None
+    ) -> list[np.ndarray]:
+        """Fetch several columns of this block, pinned as a set.
+
+        Every frame stays pinned until the whole set is assembled, so
+        a concurrent scan cannot evict column 0 while column 5 is
+        still being decoded.  *on_open* (if given) is called with each
+        column file's key — scans use it to count distinct files
+        actually opened (the ``scan.columns_fetched`` accounting).
+        """
+        return self.partition.read_block_columns(
+            self.index, positions, on_open=on_open
+        )
+
+    def to_batch(self, schema: Schema) -> VectorBatch:
+        return VectorBatch(
+            schema, self.read_columns(list(range(len(schema))))
+        )
+
+    def nominal_bytes(self) -> int:
+        return self.partition.block_nominal_bytes(self.index)
+
+
+class DiskPartition:
+    """One partition of a disk-resident table.
+
+    Sealed data lives in column files under *directory*; fresh appends
+    accumulate in an in-memory overlay builder and are merged to disk
+    at the next checkpoint.  Footers (offsets + zone maps) are loaded
+    once, lazily; block payloads only ever move through the pool.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        directory: str | Path,
+        pool: BufferPool,
+        metrics=None,
+        tracer=None,
+        block_size: int = BLOCK_SIZE,
+    ):
+        self.schema = schema
+        self.directory = Path(directory)
+        self.pool = pool
+        self.metrics = metrics
+        self.tracer = tracer
+        self._overlay = BlockBuilder(schema, block_size)
+        self._readers: list[ColumnFileReader] | None = None
+        self._disk_blocks: list[DiskBlock] | None = None
+        self._disk_rows = 0
+
+    # -- footer metadata ------------------------------------------------
+    def _ensure_meta(self) -> None:
+        if self._readers is not None:
+            return
+        readers = [
+            ColumnFileReader(
+                self.directory
+                / _column_file_name(position, column.name),
+                column.sql_type,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            for position, column in enumerate(self.schema)
+        ]
+        counts = {reader.num_blocks for reader in readers}
+        if len(counts) > 1:
+            raise ExecutionError(
+                f"{self.directory}: column files disagree on block "
+                f"count ({sorted(counts)})"
+            )
+        blocks: list[DiskBlock] = []
+        rows_total = 0
+        for index in range(counts.pop() if counts else 0):
+            stats: list[MinMax | None] = []
+            rows = None
+            for reader, column in zip(readers, self.schema):
+                entry = reader.blocks[index]
+                if rows is None:
+                    rows = entry["rows"]
+                elif rows != entry["rows"]:
+                    raise ExecutionError(
+                        f"{self.directory}: ragged block {index}"
+                    )
+                if (
+                    column.sql_type.is_numeric
+                    and entry["min"] is not None
+                ):
+                    stats.append(
+                        MinMax(float(entry["min"]), float(entry["max"]))
+                    )
+                else:
+                    stats.append(None)
+            blocks.append(DiskBlock(self, index, int(rows or 0), stats))
+            rows_total += int(rows or 0)
+        self._readers = readers
+        self._disk_blocks = blocks
+        self._disk_rows = rows_total
+
+    # -- Partition protocol ---------------------------------------------
+    @property
+    def row_count(self) -> int:
+        self._ensure_meta()
+        return self._disk_rows + self._overlay.row_count
+
+    def append(self, batch: VectorBatch) -> None:
+        self._overlay.append(batch)
+
+    def blocks(self) -> list:
+        self._ensure_meta()
+        return list(self._disk_blocks) + self._overlay.all_blocks()
+
+    def nominal_bytes(self) -> int:
+        self._ensure_meta()
+        disk = sum(
+            entry["raw_nbytes"]
+            for reader in self._readers
+            for entry in reader.blocks
+        )
+        return disk + self._overlay.nominal_bytes()
+
+    def scan(
+        self,
+        ranges: list[ColumnRange] | None = None,
+        vector_size: int = VECTOR_SIZE,
+    ) -> Iterator[VectorBatch]:
+        ranges = ranges or []
+        for block in self.blocks():
+            if ranges and not block.may_match(self.schema, ranges):
+                continue
+            batch = block.to_batch(self.schema)
+            for start in range(0, len(batch), vector_size):
+                yield batch.slice(start, start + vector_size)
+
+    # -- block data access ----------------------------------------------
+    def _frame_key(self, index: int, position: int) -> tuple:
+        return (str(self.directory), position, index)
+
+    def file_key(self, position: int) -> tuple:
+        """Identity of one column file (for file-open accounting)."""
+        return (str(self.directory), position)
+
+    def column_array(self, block_index: int, position: int) -> np.ndarray:
+        self._ensure_meta()
+        reader = self._readers[position]
+        return self.pool.get(
+            self._frame_key(block_index, position),
+            lambda: reader.read_block(block_index),
+        )
+
+    def read_block_columns(
+        self, block_index: int, positions: list[int], on_open=None
+    ) -> list[np.ndarray]:
+        self._ensure_meta()
+        keys = [
+            self._frame_key(block_index, position) for position in positions
+        ]
+        arrays: list[np.ndarray] = []
+        pinned: list[tuple] = []
+        try:
+            for key, position in zip(keys, positions):
+                if on_open is not None:
+                    on_open(self.file_key(position))
+                reader = self._readers[position]
+                arrays.append(
+                    self.pool.get(
+                        key,
+                        lambda r=reader: r.read_block(block_index),
+                        pin=True,
+                    )
+                )
+                pinned.append(key)
+        finally:
+            for key in pinned:
+                self.pool.unpin(key)
+        return arrays
+
+    def block_nominal_bytes(self, block_index: int) -> int:
+        self._ensure_meta()
+        return sum(
+            reader.blocks[block_index]["raw_nbytes"]
+            for reader in self._readers
+        )
+
+    def close(self) -> None:
+        if self._readers is not None:
+            for reader in self._readers:
+                reader.close()
+
+
+class DiskTable(Table):
+    """A table whose partitions read from column files."""
+
+    disk_resident = True
+
+
+def write_partition(
+    directory: str | Path, schema: Schema, blocks: list
+) -> int:
+    """Write *blocks* (memory or disk) as column files; returns rows."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    writers = [
+        ColumnFileWriter(
+            directory / _column_file_name(position, column.name),
+            column.sql_type,
+        )
+        for position, column in enumerate(schema)
+    ]
+    rows = 0
+    try:
+        for block in blocks:
+            rows += block.length
+            for position, writer in enumerate(writers):
+                writer.append_block(block.column_array(position))
+    finally:
+        for writer in writers:
+            writer.close()
+    return rows
+
+
+class StorageEngine:
+    """Maps a directory to the durable state of one database."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        buffer_pool_bytes: int | None = None,
+        metrics=None,
+        tracer=None,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / TABLES_DIR).mkdir(exist_ok=True)
+        (self.root / MODELS_DIR).mkdir(exist_ok=True)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.buffer_pool = BufferPool(
+            capacity_bytes=(
+                buffer_pool_bytes
+                if buffer_pool_bytes is not None
+                else DEFAULT_CAPACITY_BYTES
+            ),
+            metrics=metrics,
+        )
+        self._generation = 0
+        #: manifest entries currently backed by on-disk data, by
+        #: lower-cased table name (used to skip rewriting clean tables)
+        self._persisted: dict[str, dict] = {}
+
+    @property
+    def models_dir(self) -> Path:
+        return self.root / MODELS_DIR
+
+    # ------------------------------------------------------------------
+    # open
+    # ------------------------------------------------------------------
+    def open_into(self, catalog: Catalog) -> int:
+        """Restore tables and model registrations; returns table count."""
+        manifest = load_manifest(self.root)
+        if manifest is None:
+            return 0
+        with self._span("storage.open"):
+            self._generation = int(manifest.get("generation", 0))
+            highest_uid = -1
+            for entry in manifest["tables"]:
+                table = self._load_table(entry)
+                catalog.create_table(table)
+                highest_uid = max(highest_uid, table.uid)
+                self._persisted[table.name.lower()] = dict(entry)
+            ensure_uid_floor(highest_uid + 1)
+            for model in manifest.get("models", []):
+                catalog.register_model(
+                    ModelMetadata(
+                        model_name=model["model_name"],
+                        table_name=model["table_name"],
+                        input_width=int(model["input_width"]),
+                        layers=tuple(
+                            LayerMetadata(
+                                layer_type=layer["layer_type"],
+                                units=int(layer["units"]),
+                                activation=layer["activation"],
+                                time_steps=int(layer.get("time_steps", 1)),
+                            )
+                            for layer in model["layers"]
+                        ),
+                    )
+                )
+        return len(manifest["tables"])
+
+    def _load_table(self, entry: dict) -> DiskTable:
+        schema = Schema(
+            tuple(
+                Column(name, SqlType(type_name))
+                for name, type_name in entry["schema"]
+            )
+        )
+        table = DiskTable(
+            entry["name"],
+            schema,
+            num_partitions=int(entry["num_partitions"]),
+            partition_key=entry.get("partition_key"),
+            sort_key=tuple(entry.get("sort_key", ())),
+        )
+        table.uid = int(entry["uid"])
+        table.version = int(entry["version"])
+        data_dir = self.root / entry["data_dir"]
+        table.partitions = [
+            DiskPartition(
+                schema,
+                data_dir / f"p{index}",
+                self.buffer_pool,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            for index in range(table.num_partitions)
+        ]
+        for partition in table.partitions:
+            # Load the column-file footers now so the first query after a
+            # restart pays no metadata I/O (the catalog opens warm).
+            partition._ensure_meta()
+        return table
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, catalog: Catalog) -> dict:
+        """Persist the catalog; returns the committed manifest."""
+        with self._span("storage.checkpoint"):
+            tables = [
+                self._persist_table(table)
+                for table in catalog.tables.values()
+            ]
+            models = [
+                {
+                    "model_name": metadata.model_name,
+                    "table_name": metadata.table_name,
+                    "input_width": metadata.input_width,
+                    "layers": [
+                        {
+                            "layer_type": layer.layer_type,
+                            "units": layer.units,
+                            "activation": layer.activation,
+                            "time_steps": layer.time_steps,
+                        }
+                        for layer in metadata.layers
+                    ],
+                }
+                for metadata in catalog.models.values()
+            ]
+            manifest = {
+                "format_version": FORMAT_VERSION,
+                "generation": self._generation,
+                "tables": tables,
+                "models": models,
+            }
+            save_manifest(self.root, manifest)
+            self._persisted = {
+                entry["name"].lower(): dict(entry) for entry in tables
+            }
+            self._cleanup_stale_generations(manifest)
+        if self.metrics is not None:
+            self.metrics.counter("storage.checkpoints").increment()
+        return manifest
+
+    def _persist_table(self, table: Table) -> dict:
+        previous = self._persisted.get(table.name.lower())
+        if (
+            previous is not None
+            and previous["uid"] == table.uid
+            and previous["version"] == table.version
+        ):
+            return dict(previous)  # data on disk is current
+        self._generation += 1
+        relative = (
+            Path(TABLES_DIR)
+            / table.name.lower()
+            / f"gen{self._generation:06d}"
+        )
+        data_dir = self.root / relative
+        row_count = 0
+        for index, partition in enumerate(table.partitions):
+            row_count += write_partition(
+                data_dir / f"p{index}", table.schema, partition.blocks()
+            )
+        entry = {
+            "name": table.name,
+            "uid": table.uid,
+            "version": table.version,
+            "num_partitions": table.num_partitions,
+            "partition_key": table.partition_key,
+            "sort_key": list(table.sort_key),
+            "schema": [
+                [column.name, column.sql_type.value]
+                for column in table.schema
+            ],
+            "data_dir": str(relative),
+            "row_count": row_count,
+        }
+        if table.disk_resident:
+            # Point the live table at the merged generation so the
+            # overlay does not keep growing (and drop stale frames).
+            for partition in table.partitions:
+                self.buffer_pool.invalidate_prefix(str(partition.directory))
+                partition.close()
+            table.partitions = [
+                DiskPartition(
+                    table.schema,
+                    data_dir / f"p{index}",
+                    self.buffer_pool,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
+                for index in range(table.num_partitions)
+            ]
+        return entry
+
+    def _cleanup_stale_generations(self, manifest: dict) -> None:
+        referenced = {
+            (self.root / entry["data_dir"]).resolve()
+            for entry in manifest["tables"]
+        }
+        tables_root = self.root / TABLES_DIR
+        for table_dir in tables_root.iterdir():
+            if not table_dir.is_dir():
+                continue
+            for generation_dir in table_dir.iterdir():
+                if generation_dir.resolve() not in referenced:
+                    shutil.rmtree(generation_dir, ignore_errors=True)
+            if not any(table_dir.iterdir()):
+                table_dir.rmdir()
+
+    def _span(self, name: str):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, category="storage")
+
+    def close(self) -> None:
+        self.buffer_pool.clear()

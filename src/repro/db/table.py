@@ -13,7 +13,7 @@ order-based aggregation downstream.
 
 from __future__ import annotations
 
-import itertools
+import threading
 from collections.abc import Iterator
 
 import numpy as np
@@ -61,11 +61,37 @@ class Partition:
 
 #: process-wide unique table identities (survives DROP + re-CREATE of
 #: the same name, so caches keyed by identity can never alias tables)
-_table_uids = itertools.count()
+_next_table_uid = 0
+_uid_lock = threading.Lock()
+
+
+def _allocate_uid() -> int:
+    global _next_table_uid
+    with _uid_lock:
+        uid = _next_table_uid
+        _next_table_uid += 1
+        return uid
+
+
+def ensure_uid_floor(minimum: int) -> None:
+    """Never hand out a uid below *minimum* again.
+
+    Reopening a persistent database restores tables with their saved
+    uids (version-keyed caches, e.g. the model cache, persist entries
+    under them); raising the floor keeps later CREATEs from aliasing a
+    restored identity.
+    """
+    global _next_table_uid
+    with _uid_lock:
+        _next_table_uid = max(_next_table_uid, minimum)
 
 
 class Table:
     """A named, partitioned, columnar base table."""
+
+    #: whether the table's partitions read their blocks from column
+    #: files (see repro.db.storage); scans account file opens when set
+    disk_resident = False
 
     def __init__(
         self,
@@ -91,7 +117,7 @@ class Table:
         ]
         #: identity that distinguishes this table object from any other
         #: ever created (even under the same name)
-        self.uid = next(_table_uids)
+        self.uid = _allocate_uid()
         #: data version, bumped on every append — caches derived from
         #: the table's contents key on (uid, version)
         self.version = 0
