@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench chaos   [--smoke] [--seed 7] [--json BENCH_pr3.json]
     python -m repro.bench plan    [--check] [--json BENCH_pr4.json]
     python -m repro.bench storage [--check] [--json BENCH_pr5.json]
+    python -m repro.bench compile [--check] [--json BENCH_pr6.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -46,6 +47,13 @@ bit-exact), zone-map block skipping on a filtered cell (>2x), and a
 full scan under a buffer-pool byte cap far below the table size
 (completes with evictions).  ``--check`` turns the verdict into the
 exit code.
+
+The ``compile`` experiment measures the pipeline-fusing query compiler
+(docs/COMPILE.md): an expression-heavy polynomial query compiled vs
+interpreted (>=2x, bit-exact), ModelJoin epilogue fusion vs the
+interpreted epilogue (>1x, bit-exact), and cold compile overhead
+(<1 ms/query, with warm repeats served from the kernel cache).
+``--check`` turns the verdict into the exit code.
 
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
@@ -91,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos",
             "plan",
             "storage",
+            "compile",
         ],
     )
     parser.add_argument(
@@ -127,17 +136,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing/chaos/plan/storage experiment: where to "
-        "write the JSON evidence (defaults: BENCH_pr1.json / "
+        help="serving/tracing/chaos/plan/storage/compile experiment: "
+        "where to write the JSON evidence (defaults: BENCH_pr1.json / "
         "BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json / "
-        "BENCH_pr5.json)",
+        "BENCH_pr5.json / BENCH_pr6.json)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="plan experiment: fail when any cell's selected variant "
-        "measures slower than twice the best variant; storage "
-        "experiment: fail unless every storage gate passes",
+        "measures slower than twice the best variant; storage/compile "
+        "experiments: fail unless every gate passes",
     )
     parser.add_argument(
         "--smoke",
@@ -282,6 +291,27 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if arguments.check and not report["ok"]:
             print("storage check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "compile":
+        from repro.bench.compile_bench import (
+            format_compile_report,
+            run_compile_bench,
+            write_report,
+        )
+
+        report = run_compile_bench(config)
+        rendered = format_compile_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr6.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("compile check FAILED", file=sys.stderr)
             return 1
         return 0
 

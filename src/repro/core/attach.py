@@ -60,6 +60,7 @@ def attach(database: Database) -> Database:
 def connect(
     parallelism: int = 1,
     vector_size: int = 1024,
+    planner_options=None,
     tracer=None,
     metrics=None,
     task_retries: int = 2,
@@ -79,11 +80,15 @@ def connect(
     registered models and the warm model cache restore from the
     directory, and ``close()`` checkpoints back to it atomically.
     *buffer_pool_bytes* caps the disk scans' decoded-block cache.
+    *planner_options* (a :class:`~repro.db.planner.PlannerOptions`)
+    tunes planning — e.g. ``use_compiled_kernels=False`` for the
+    interpreted baseline (docs/COMPILE.md).
     """
     return attach(
         Database(
             parallelism=parallelism,
             vector_size=vector_size,
+            planner_options=planner_options,
             tracer=tracer,
             metrics=metrics,
             task_retries=task_retries,

@@ -69,6 +69,19 @@ def unpack_columns(matrix: np.ndarray) -> list[np.ndarray]:
     return [matrix[:, index].copy() for index in range(matrix.shape[1])]
 
 
+def unpack_views(matrix: np.ndarray) -> list[np.ndarray]:
+    """Strided column views into *matrix* — no copies (epilogue fusion).
+
+    Counterpart of :func:`unpack_columns` used when a compiled consumer
+    kernel is fused onto the ModelJoin's output: the kernel reads (and,
+    for pass-through outputs, copies) the prediction columns before the
+    next inference call reuses the arena buffer, so the intermediate
+    per-column materialization disappears.  Callers must not hold these
+    views across batches.
+    """
+    return [matrix[:, index] for index in range(matrix.shape[1])]
+
+
 class BufferArena:
     """Named, preallocated float32 workspaces for one pipeline.
 

@@ -24,6 +24,7 @@ from repro.core.modeljoin.inference import (
     VectorizedInference,
     pack_columns,
     unpack_columns,
+    unpack_views,
 )
 from repro.db import faults
 from repro.db.catalog import ModelMetadata
@@ -58,6 +59,11 @@ class ModelJoinOperator(UnaryOperator):
     # the input flow may come from a shared morsel queue
     morsel_streaming = True
 
+    #: duck-typing hook for the lowering (repro.db.compile): a direct
+    #: consumer kernel may ask this operator to emit prediction columns
+    #: as views into the inference result matrix (epilogue fusion)
+    supports_emit_views = True
+
     def __init__(
         self,
         context: ExecutionContext,
@@ -88,6 +94,13 @@ class ModelJoinOperator(UnaryOperator):
         schema = Schema(child.schema.columns + prediction_columns)
         super().__init__(context, schema, child)
         self._accounted_bytes = 0
+        #: epilogue fusion: when True (set only by the lowering, after
+        #: it compiled the direct consumer's kernel), prediction columns
+        #: are strided views into the BLAS output matrix — a reused
+        #: arena buffer — instead of per-column copies.  The consumer
+        #: kernel copies any pass-through of these transient columns
+        #: before the next inference call overwrites the buffer.
+        self.emit_views = False
         #: fallback notes ('gpu-sim->cpu', ...) rendered by describe()
         #: (and so by EXPLAIN ANALYZE) once a fallback engaged
         self.fallbacks: list[str] = []
@@ -95,6 +108,15 @@ class ModelJoinOperator(UnaryOperator):
         #: fallback inference without re-running the build)
         self._built_model: BuiltModel | None = None
         self._inference: VectorizedInference | None = None
+
+    @property
+    def prediction_column_names(self) -> tuple[str, ...]:
+        """Names of the appended prediction columns (transient under
+        epilogue fusion — the lowering marks them in the kernel spec)."""
+        return tuple(
+            column.name
+            for column in self.schema.columns[len(self.child.schema):]
+        )
 
     @staticmethod
     def _resolve_input_columns(
@@ -372,9 +394,8 @@ class ModelJoinOperator(UnaryOperator):
                     result = fallback.infer(matrix)
             finally:
                 self.context.memory.release(transient, "modeljoin-vector")
-            predictions = VectorBatch(
-                prediction_schema, unpack_columns(result)
-            )
+            unpack = unpack_views if self.emit_views else unpack_columns
+            predictions = VectorBatch(prediction_schema, unpack(result))
         return batch.concat_columns(predictions)
 
     def _host_fallback_inference(
@@ -447,6 +468,8 @@ class ModelJoinOperator(UnaryOperator):
             f"device={self.device.name}, "
             f"inputs=[{', '.join(self.input_columns)}])"
         )
+        if self.emit_views:
+            base += " [epilogue: fused]"
         if self.fallbacks:
             base += f" [fallback: {', '.join(self.fallbacks)}]"
         return base

@@ -45,6 +45,14 @@ class ResilientModelJoin:
     ML-To-SQL leg of the chain, which regenerates its model table from
     the network itself.  ``engaged`` records the fallback steps of the
     last :meth:`predict` call.
+
+    Compiled-kernel failures are handled one layer below this chain:
+    when a generated pipeline kernel raises, the engine catches
+    :class:`~repro.errors.CompiledKernelError`, records a failure on
+    its compile circuit breaker, and transparently re-executes the
+    statement interpreted (``use_compiled_kernels=False``) — so the
+    legs here never see a compiled-path error, only genuine variant
+    failures.
     """
 
     def __init__(

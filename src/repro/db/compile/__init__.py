@@ -1,0 +1,52 @@
+"""Pipeline-fusing query compilation (PR6, ROADMAP item 3).
+
+Turns bound expression trees and adjacent filter→project→aggregate
+operator chains into generated, cached NumPy kernels:
+
+* :class:`~repro.db.compile.kernels.CompiledExpr` — one scalar or
+  predicate expression compiled to a single vectorized callable.
+* :class:`~repro.db.compile.fuse.FusedPipeline` — a filter→project
+  chain fused into one kernel with short-circuit mask narrowing; the
+  same kernels feed the aggregate operators as *input kernels*.
+* :class:`~repro.db.compile.kernels.CompiledKernelCache` — engine-
+  lifetime LRU keyed on the generated source text (which embeds every
+  constant and, for ModelJoin epilogue fusion, the model table's
+  uid/version, making text equality the invalidation rule).
+
+The lowering (:mod:`repro.db.plan.physical`) drives compilation; the
+engine owns the cache and a compile circuit breaker, and reverts a
+query to the interpreted path (``use_compiled_kernels=False``) on the
+first :class:`~repro.errors.CompiledKernelError`.
+"""
+
+from repro.db.compile.codegen import (
+    NonCompilable,
+    compile_range_checker,
+)
+from repro.db.compile.fuse import FusedPipeline
+from repro.db.compile.kernels import (
+    CompiledExpr,
+    CompiledKernelCache,
+    FusedKernel,
+    KernelCompiler,
+    KernelOutput,
+    KernelSpec,
+    generate_expression_source,
+    generate_kernel_source,
+    project_outputs,
+)
+
+__all__ = [
+    "CompiledExpr",
+    "CompiledKernelCache",
+    "FusedKernel",
+    "FusedPipeline",
+    "KernelCompiler",
+    "KernelOutput",
+    "KernelSpec",
+    "NonCompilable",
+    "compile_range_checker",
+    "generate_expression_source",
+    "generate_kernel_source",
+    "project_outputs",
+]

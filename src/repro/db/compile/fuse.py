@@ -1,0 +1,93 @@
+"""The fused pipeline operator executing one compiled kernel per batch.
+
+A :class:`FusedPipeline` replaces an adjacent filter→project chain (or
+a bare filter, whose outputs are then the pass-through of the child
+schema) with a single operator that calls one generated kernel per
+input batch.  The kernel applies all filter conjuncts with mask
+narrowing and computes all outputs in one pass, so per-batch Python
+interpretation of the expression trees disappears from the hot loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.db.compile.kernels import FusedKernel, KernelSpec
+from repro.db.expressions import ColumnRef
+from repro.db.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    UnaryOperator,
+)
+from repro.db.schema import Column, Schema
+from repro.db.vector import VectorBatch
+
+
+class FusedPipeline(UnaryOperator):
+    """Filter + projection fused into one compiled kernel call."""
+
+    morsel_streaming = True
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        kernel: FusedKernel,
+        spec: KernelSpec,
+    ):
+        columns = tuple(
+            Column(output.name, output.expression.output_type(child.schema))
+            for output in spec.outputs
+        )
+        super().__init__(context, Schema(columns), child)
+        self.kernel = kernel
+        self.spec = spec
+
+    @property
+    def compiled_source(self) -> str:
+        """Generated kernel source (rendered by EXPLAIN)."""
+        return self.kernel.source
+
+    @property
+    def ordering(self) -> tuple[str, ...]:
+        # Same rule as ProjectOperator: ordering survives for leading
+        # ordering columns that pass through as bare references (the
+        # fused filter preserves relative row order).
+        passthrough: dict[str, str] = {}
+        for output in self.spec.outputs:
+            if isinstance(output.expression, ColumnRef):
+                passthrough.setdefault(
+                    output.expression.name.lower(), output.name
+                )
+        preserved: list[str] = []
+        for key in self.child.ordering:
+            new_name = passthrough.get(key.lower())
+            if new_name is None:
+                break
+            preserved.append(new_name)
+        return tuple(preserved)
+
+    def _produce(self) -> Iterator[VectorBatch]:
+        kernel = self.kernel
+        cancellation = self.context.cancellation
+        for batch in self.child.next_batches():
+            if len(batch) == 0:
+                continue
+            arrays = kernel(batch.arrays, len(batch), cancellation)
+            if arrays is None:
+                continue
+            yield VectorBatch(self.schema, arrays)
+
+    def describe(self) -> str:
+        parts = []
+        if self.spec.predicates:
+            rendered = " AND ".join(
+                str(predicate) for predicate in self.spec.predicates
+            )
+            parts.append(f"filter: {rendered}")
+        rendered = ", ".join(
+            f"{output.expression} AS {output.name}"
+            for output in self.spec.outputs
+        )
+        parts.append(f"project: {rendered}")
+        return f"FusedPipeline({' | '.join(parts)}) [compiled]"

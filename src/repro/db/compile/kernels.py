@@ -1,0 +1,429 @@
+"""Compiled kernels: specs, the LRU cache, and the compiler front-end.
+
+A :class:`KernelSpec` describes one fused pipeline segment — optional
+filter conjuncts plus a list of outputs over one input schema.  The
+compiler renders it to Python source (:func:`generate_kernel_source`),
+``exec``'s it once, and wraps the resulting function in a
+:class:`FusedKernel` whose call path adds the ``compile.kernel`` fault
+site and converts unexpected errors into
+:class:`~repro.errors.KernelExecutionError` so the engine's one-shot
+fallback can revert the query to the interpreted path.
+
+Kernels are cached engine-lifetime in a :class:`CompiledKernelCache`
+keyed on the generated source text.  Because every constant (and, for
+ModelJoin epilogue fusion, the model table's ``uid``/``version``
+header) is embedded in the source, the text is a complete plan
+signature: a model republish or version bump changes the header and
+misses the cache, exactly like the PR1 ModelCache keying.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db import faults
+from repro.db.compile.codegen import (
+    NonCompilable,
+    SourceBuilder,
+    aliasing_column,
+    emit,
+    emit_output,
+)
+from repro.db.expressions import Expression, Literal
+from repro.db.schema import Schema
+from repro.db.tracing import NULL_TRACER
+from repro.db.types import SqlType
+from repro.errors import (
+    KernelCompileError,
+    KernelExecutionError,
+    QueryTimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class KernelOutput:
+    """One output position of a fused kernel.
+
+    ``expression is None`` is the COUNT sentinel: the kernel emits a
+    ones vector (the aggregate argument the interpreted path produces
+    for ``COUNT``).  ``dtype`` is the coercion target for projection
+    outputs; ``None`` keeps the raw evaluation result (filter
+    pass-through and aggregate inputs, which the consuming operator
+    coerces after reduction, exactly like the interpreted path).
+    """
+
+    name: str
+    expression: Expression | None
+    dtype: np.dtype | None = None
+
+
+@dataclass
+class KernelSpec:
+    """A fused filter→project (or aggregate-input) pipeline segment."""
+
+    schema: Schema
+    predicates: tuple[Expression, ...] = ()
+    outputs: tuple[KernelOutput, ...] = ()
+    #: lowercase names of input columns backed by reused buffers (the
+    #: ModelJoin arena views); pass-through outputs of these are copied
+    transient: frozenset = frozenset()
+    #: extra comment lines baked into the source (cache-key salt, e.g.
+    #: the fused ModelJoin's model-table identity)
+    header: tuple[str, ...] = ()
+    label: str = "pipeline"
+
+
+def project_outputs(
+    expressions, names, schema: Schema
+) -> tuple[KernelOutput, ...]:
+    """Projection outputs with the interpreted coercion behavior.
+
+    Mirrors :class:`~repro.db.operators.project.ProjectOperator`: each
+    value is cast to its output column's storage dtype, except VARCHAR
+    results, which stay object arrays untouched.
+    """
+    outputs = []
+    for expression, name in zip(expressions, names):
+        output_type = expression.output_type(schema)
+        dtype = (
+            None
+            if output_type is SqlType.VARCHAR
+            else output_type.numpy_dtype
+        )
+        outputs.append(KernelOutput(name, expression, dtype))
+    return tuple(outputs)
+
+
+def generate_kernel_source(spec: KernelSpec) -> tuple[str, dict]:
+    """Render *spec* to module source plus its ``exec`` bindings.
+
+    Raises :class:`~repro.db.compile.codegen.NonCompilable` when any
+    piece of the spec has no exact compiled form.
+    """
+    schema = spec.schema
+    builder = SourceBuilder(schema)
+
+    predicate_texts: list[str] = []
+    predicate_refs: list[set[int]] = []
+    for predicate in spec.predicates:
+        if predicate.output_type(schema) is not SqlType.BOOLEAN:
+            # interpreted FilterOperator raises; keep it interpreted
+            raise NonCompilable(f"predicate is not boolean: {predicate}")
+        text = emit(predicate, builder)
+        references = predicate.referenced_columns()
+        if not references:
+            # constant predicate: the (1,) const must become a (n,) mask
+            text = f"np.broadcast_to({text}, n)"
+        predicate_texts.append(text)
+        predicate_refs.append(
+            {schema.position_of(name) for name in references}
+        )
+
+    output_texts: list[str] = []
+    output_refs: set[int] = set()
+    guarded: list[bool] = []
+    for output in spec.outputs:
+        if output.expression is None:
+            output_texts.append("np.ones(n, dtype=np.int64)")
+            guarded.append(False)
+            continue
+        text = emit_output(output.expression, builder)
+        if output.dtype is not None:
+            text = (
+                f"({text}).astype(np.dtype({output.dtype.name!r}), "
+                "copy=False)"
+            )
+        if not output.expression.referenced_columns() and not isinstance(
+            output.expression, Literal
+        ):
+            # constant-folded expression: (1,) result -> writable (n,)
+            text = f"np.broadcast_to({text}, n).copy()"
+        output_texts.append(text)
+        output_refs |= {
+            schema.position_of(name)
+            for name in output.expression.referenced_columns()
+        }
+        alias = aliasing_column(output.expression)
+        guarded.append(alias is not None and alias in spec.transient)
+
+    track_narrowing = any(guarded) and bool(spec.predicates)
+
+    lines = [f"# kernel: {spec.label}"]
+    lines.extend(spec.header)
+    lines.extend(builder.const_lines)
+    lines.append("")
+    lines.append("def kernel(arrays, n, cancel):")
+    lines.append("    if cancel is not None:")
+    lines.append("        cancel.check()")
+    for position in sorted(builder.used_positions):
+        lines.append(f"    c{position} = arrays[{position}]")
+    if track_narrowing:
+        lines.append("    narrowed = False")
+    if len(predicate_texts) > 1:
+        lines.append("    pending = None")
+    for index, text in enumerate(predicate_texts):
+        last = index + 1 == len(predicate_texts)
+        surviving = output_refs.union(*predicate_refs[index + 1:], set())
+        narrow = sorted(surviving & builder.used_positions)
+        lines.append(
+            f"    # filter {index + 1}/{len(predicate_texts)}: "
+            f"{spec.predicates[index]}"
+        )
+        lines.append(f"    m = {text}")
+        if index > 0:
+            lines.append("    if pending is not None:")
+            lines.append("        m = m & pending")
+            lines.append("        pending = None")
+        lines.append("    if not m.all():")
+        lines.append("        kept = np.count_nonzero(m)")
+        lines.append("        if kept == 0:")
+        lines.append("            return None")
+        # Adaptive narrowing: gather only a selective mask; defer an
+        # unselective one into the next conjunct's `&` instead.  The
+        # last conjunct always gathers — outputs need narrowed columns.
+        indent = "        "
+        if not last:
+            lines.append("        if 2 * kept <= n:")
+            indent = "            "
+        if track_narrowing:
+            lines.append(indent + "narrowed = True")
+        lines.append(indent + "sel = np.flatnonzero(m)")
+        lines.append(indent + "n = kept")
+        for position in narrow:
+            lines.append(indent + f"c{position} = c{position}[sel]")
+        if not last:
+            lines.append("        else:")
+            lines.append("            pending = m")
+    for index, output in enumerate(spec.outputs):
+        described = (
+            "COUNT" if output.expression is None else str(output.expression)
+        )
+        lines.append(f"    # output {output.name}: {described}")
+        lines.append(f"    o{index} = {output_texts[index]}")
+        if guarded[index]:
+            # pass-through of a reused-buffer view: detach unless the
+            # gather above already materialized a fresh array
+            if track_narrowing:
+                lines.append("    if not narrowed:")
+                lines.append(f"        o{index} = o{index}.copy()")
+            else:
+                lines.append(f"    o{index} = o{index}.copy()")
+    returns = ", ".join(f"o{index}" for index in range(len(spec.outputs)))
+    lines.append(f"    return [{returns}]")
+    return "\n".join(lines) + "\n", builder.bindings
+
+
+def generate_expression_source(
+    expression: Expression, schema: Schema
+) -> tuple[str, dict]:
+    """Source of a single compiled expression (``CompiledExpr``)."""
+    builder = SourceBuilder(schema)
+    text = emit_output(expression, builder)
+    if not expression.referenced_columns() and not isinstance(
+        expression, Literal
+    ):
+        # constant-folded expression: (1,) result -> writable (n,)
+        text = f"np.broadcast_to({text}, n).copy()"
+    lines = [f"# expr: {expression}"]
+    lines.extend(builder.const_lines)
+    lines.append("")
+    lines.append("def expr(arrays, n):")
+    for position in sorted(builder.used_positions):
+        lines.append(f"    c{position} = arrays[{position}]")
+    lines.append(f"    return {text}")
+    return "\n".join(lines) + "\n", builder.bindings
+
+
+class FusedKernel:
+    """A compiled pipeline kernel: ``(arrays, n, cancel) -> list | None``.
+
+    ``None`` means every row of the batch was filtered out.  The call
+    path fires the ``compile.kernel`` fault site and wraps unexpected
+    errors as :class:`~repro.errors.KernelExecutionError`; cooperative
+    cancellation passes through untouched.
+    """
+
+    __slots__ = ("source", "function", "label")
+
+    def __init__(self, source: str, function, label: str = "kernel"):
+        self.source = source
+        self.function = function
+        self.label = label
+
+    def __call__(self, arrays, n, cancel=None):
+        try:
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("compile.kernel")
+            return self.function(arrays, n, cancel)
+        except QueryTimeoutError:
+            raise
+        except Exception as error:
+            raise KernelExecutionError(
+                f"compiled kernel {self.label!r} failed: {error}"
+            ) from error
+
+
+class CompiledExpr:
+    """One scalar/predicate expression compiled to a vectorized callable."""
+
+    __slots__ = ("source", "function", "label")
+
+    def __init__(self, source: str, function, label: str = "expr"):
+        self.source = source
+        self.function = function
+        self.label = label
+
+    def evaluate(self, batch) -> np.ndarray:
+        try:
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("compile.kernel")
+            return self.function(batch.arrays, len(batch))
+        except QueryTimeoutError:
+            raise
+        except Exception as error:
+            raise KernelExecutionError(
+                f"compiled expression {self.label!r} failed: {error}"
+            ) from error
+
+
+class CompiledKernelCache:
+    """Engine-lifetime LRU of compiled kernels keyed by source text.
+
+    The source embeds every constant and the fused model table's
+    ``uid``/``version`` header, so plain text equality is the correct
+    invalidation rule — bump a model table and its epilogue kernels
+    miss, just as the ModelCache misses on a model version bump.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, source: str):
+        with self._lock:
+            entry = self._entries.get(source)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(source)
+            self.hits += 1
+            return entry
+
+    def put(self, source: str, kernel) -> None:
+        with self._lock:
+            self._entries[source] = kernel
+            self._entries.move_to_end(source)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+@dataclass
+class KernelCompiler:
+    """Front-end the lowering uses to build kernels.
+
+    Returns ``None`` (keep the interpreted operator) for anything
+    :class:`NonCompilable`; source that fails to ``exec`` records a
+    failure on the compile circuit breaker and also falls back, so a
+    code-generator bug degrades to interpreted execution instead of
+    failing queries.
+    """
+
+    cache: CompiledKernelCache | None = None
+    metrics: object | None = None
+    tracer: object = NULL_TRACER
+    breaker: object | None = None
+    compiled_count: int = field(default=0, init=False)
+
+    def compile_kernel(self, spec: KernelSpec) -> FusedKernel | None:
+        try:
+            source, bindings = generate_kernel_source(spec)
+        except NonCompilable:
+            return None
+        except Exception:
+            return None
+        try:
+            return self._build(
+                source, bindings, "kernel",
+                lambda src, fn: FusedKernel(src, fn, label=spec.label),
+            )
+        except KernelCompileError:
+            return None
+
+    def compile_expression(
+        self, expression: Expression, schema: Schema
+    ) -> CompiledExpr | None:
+        try:
+            source, bindings = generate_expression_source(expression, schema)
+        except NonCompilable:
+            return None
+        except Exception:
+            return None
+        try:
+            return self._build(
+                source, bindings, "expr",
+                lambda src, fn: CompiledExpr(src, fn, label=str(expression)),
+            )
+        except KernelCompileError:
+            return None
+
+    def _build(self, source: str, bindings: dict, entry: str, wrap):
+        if self.metrics is not None:
+            self.metrics.counter("compile.requests").increment()
+        if self.cache is not None:
+            cached = self.cache.get(source)
+            if cached is not None:
+                if self.metrics is not None:
+                    self.metrics.counter("compile.cache_hit").increment()
+                return cached
+        started = time.perf_counter()
+        try:
+            with self.tracer.span(
+                f"compile.{entry}", category="compile",
+                args={"chars": len(source)},
+            ):
+                namespace = dict(bindings)
+                code = compile(source, "<repro.db.compile>", "exec")
+                exec(code, namespace)  # noqa: S102 - engine-generated source
+                kernel = wrap(source, namespace[entry])
+        except Exception as error:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if self.metrics is not None:
+                self.metrics.counter("compile.errors").increment()
+            raise KernelCompileError(
+                f"generated kernel failed to compile: {error}"
+            ) from error
+        elapsed = time.perf_counter() - started
+        self.compiled_count += 1
+        if self.metrics is not None:
+            self.metrics.histogram("compile.time").observe(elapsed)
+        if self.cache is not None:
+            self.cache.put(source, kernel)
+        return kernel

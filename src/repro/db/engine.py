@@ -14,13 +14,14 @@ import time
 import numpy as np
 
 from repro.db.catalog import Catalog, ModelMetadata
+from repro.db.compile import CompiledKernelCache
 from repro.db.operators import ExecutionContext, LimitOperator, SortOperator
 from repro.db.operators.base import PhysicalOperator
 from repro.db.expressions import ColumnRef
 from repro.db.parallel import WorkerPool, run_plans
 from repro.db.planner import ModelJoinFactory, Planner, PlannerOptions
 from repro.db.profiler import QueryProfile, finalize_profile
-from repro.db.resilience import CancellationToken
+from repro.db.resilience import CancellationToken, CircuitBreaker
 from repro.db.schema import Column, Schema
 from repro.db.sql.ast import (
     CreateTable,
@@ -38,6 +39,7 @@ from repro.db.types import SqlType, parse_type_name
 from repro.db.udf import PythonUdf, register_udf
 from repro.db.vector import VECTOR_SIZE, VectorBatch, concat_batches
 from repro.errors import (
+    CompiledKernelError,
     ExecutionError,
     PlanError,
     QueryTimeoutError,
@@ -167,6 +169,16 @@ class Database:
         #: engine-lifetime metrics registry (latency percentiles, cache
         #: hit ratios, ... aggregated across queries)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: engine-lifetime cache of generated kernels, keyed by source
+        #: text (the plan signature); shared across queries so repeated
+        #: statements skip codegen entirely
+        self.kernel_cache = CompiledKernelCache()
+        #: circuit breaker for the compiled path: after repeated
+        #: compile/runtime kernel failures the planner lowers fully
+        #: interpreted for the cool-down period
+        self.compile_breaker = CircuitBreaker(
+            failure_threshold=3, reset_seconds=30.0
+        )
         #: persistent storage engine; None for an in-memory database.
         #: With *path* set, tables restore from disk on open and
         #: :meth:`checkpoint` / :meth:`close` persist the catalog
@@ -232,6 +244,7 @@ class Database:
             self._worker_pool = None
         if self.model_cache is not None:
             self.model_cache.clear()
+        self.kernel_cache.clear()
 
     # ------------------------------------------------------------------
     # observability
@@ -313,14 +326,23 @@ class Database:
         repro.core.attach); the planner consults it per query."""
         self.variant_selector = selector
 
-    def _planner(self) -> Planner:
+    def _planner(self, use_compiled: bool | None = None) -> Planner:
+        options = self.planner_options
+        if use_compiled is False and getattr(
+            options, "use_compiled_kernels", True
+        ):
+            options = dataclasses.replace(
+                options, use_compiled_kernels=False
+            )
         return Planner(
             self.catalog,
-            options=self.planner_options,
+            options=options,
             modeljoin_factory=self._modeljoin_factory,
             variant_selector=self.variant_selector,
             tracer=self.tracer,
             metrics=self.metrics,
+            kernel_cache=self.kernel_cache,
+            compile_breaker=self.compile_breaker,
         )
 
     # ------------------------------------------------------------------
@@ -562,13 +584,48 @@ class Database:
         parallel: bool,
         timeout_seconds: float | None = None,
     ) -> Result:
+        cancellation = (
+            CancellationToken.with_timeout(timeout_seconds)
+            if timeout_seconds is not None
+            else None
+        )
+        try:
+            return self._execute_select_attempt(
+                statement, parallel, cancellation, use_compiled=None
+            )
+        except CompiledKernelError as error:
+            # One-shot fallback: a generated kernel failed (at compile
+            # exec time or at runtime).  Record the failure on the
+            # compile breaker — repeated failures disable compilation
+            # engine-wide for the cool-down — and re-execute fully
+            # interpreted, reusing the same cancellation token so the
+            # original deadline still applies.  Timeouts never take
+            # this path: QueryTimeoutError is not a CompiledKernelError.
+            self.metrics.counter("compile.fallback").increment()
+            self.compile_breaker.record_failure()
+            self.tracer.instant(
+                "compile-fallback",
+                category="fallback",
+                args={
+                    "error": type(error).__name__,
+                    "detail": str(error),
+                },
+            )
+            return self._execute_select_attempt(
+                statement, parallel, cancellation, use_compiled=False
+            )
+
+    def _execute_select_attempt(
+        self,
+        statement: SelectStatement,
+        parallel: bool,
+        cancellation: CancellationToken | None,
+        use_compiled: bool | None,
+    ) -> Result:
         context = self._context(
             parallelism=self.parallelism if parallel else 1
         )
-        if timeout_seconds is not None:
-            context.cancellation = CancellationToken.with_timeout(
-                timeout_seconds
-            )
+        context.cancellation = cancellation
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
@@ -588,10 +645,13 @@ class Database:
                             "DISTINCT is not supported in parallel mode"
                         )
                     result = self._execute_select_parallel(
-                        statement, context, profile
+                        statement, context, profile,
+                        use_compiled=use_compiled,
                     )
                 else:
-                    plan = self._planner().plan_select(statement, context)
+                    plan = self._planner(use_compiled).plan_select(
+                        statement, context
+                    )
                     batches = list(plan.batches())
                     result = Result(plan.schema, batches, profile)
         except QueryTimeoutError:
@@ -609,13 +669,14 @@ class Database:
         context: ExecutionContext,
         profile: QueryProfile,
         collect: dict | None = None,
+        use_compiled: bool | None = None,
     ) -> Result:
         # ORDER BY / LIMIT are global operations: run the core of the
         # query per partition and apply them on the merged result.
         core = dataclasses.replace(
             statement, order_by=(), limit=None, offset=0
         )
-        planner = self._planner()
+        planner = self._planner(use_compiled)
         # Bind + optimize once; every partition pipeline is lowered from
         # the same prepared plan (one variant decision per statement).
         prepared = planner.prepare(core)

@@ -25,6 +25,13 @@ site                      fires in
                           itself retries with bounded backoff, so scans
                           survive transient disk faults without help from
                           the pipeline retry layer
+``compile.kernel``        :class:`repro.db.compile.kernels.FusedKernel` and
+                          :class:`~repro.db.compile.kernels.CompiledExpr`
+                          invocations (inside the error-wrapping scope, so
+                          an injected fault surfaces as a
+                          :class:`~repro.errors.KernelExecutionError` and
+                          exercises the engine's one-shot interpreted
+                          fallback + compile circuit breaker)
 ========================  ====================================================
 
 Policies: :meth:`FaultInjector.raise_once` (raise the first *count*
@@ -77,6 +84,7 @@ KNOWN_SITES = (
     "cache.load",
     "modeljoin.build",
     "io.block_read",
+    "compile.kernel",
 )
 
 RAISE_ONCE = "once"

@@ -83,12 +83,45 @@ def _output_schema(
 def _evaluate_argument(
     spec: AggregateSpec, batch: VectorBatch
 ) -> np.ndarray:
-    if spec.argument is None:  # COUNT(*)
-        return np.ones(len(batch), dtype=np.int64)
-    values = spec.argument.evaluate(batch)
     if spec.function == "COUNT":
+        # COUNT and COUNT(*) both reduce a ones vector; the argument
+        # (when present) never needs evaluating.
         return np.ones(len(batch), dtype=np.int64)
-    return values
+    return spec.argument.evaluate(batch)
+
+
+def _batch_inputs(operator, batch: VectorBatch):
+    """Group-key and aggregate-argument arrays for one input batch.
+
+    With a compiled input kernel (see :mod:`repro.db.compile`) the
+    fused filter + expression evaluation happens in one generated
+    call; ``None`` means the fused filter dropped every row.  Without
+    a kernel this is the interpreted per-expression walk.
+    """
+    kernel = operator.input_kernel
+    if kernel is not None:
+        arrays = kernel(
+            batch.arrays, len(batch), operator.context.cancellation
+        )
+        if arrays is None:
+            return None
+        split = len(operator.group_expressions)
+        return arrays[:split], arrays[split:]
+    keys = [
+        expression.evaluate(batch)
+        for expression in operator.group_expressions
+    ]
+    values = [_evaluate_argument(spec, batch) for spec in operator.aggregates]
+    return keys, values
+
+
+def _describe_fusion(operator) -> str:
+    """Suffix describing a compiled input kernel, for EXPLAIN."""
+    if operator.input_kernel is None:
+        return ""
+    if operator.fused_filter is not None:
+        return f" [compiled input | fused filter: {operator.fused_filter}]"
+    return " [compiled input]"
 
 
 def _reduce_segments(
@@ -121,6 +154,8 @@ class HashAggregate(UnaryOperator):
         group_expressions: list[Expression],
         group_names: list[str],
         aggregates: list[AggregateSpec],
+        input_kernel=None,
+        fused_filter: Expression | None = None,
     ):
         if not group_expressions:
             raise PlanError("global aggregation uses group keys = ()")
@@ -131,27 +166,33 @@ class HashAggregate(UnaryOperator):
         self.group_expressions = list(group_expressions)
         self.group_names = list(group_names)
         self.aggregates = list(aggregates)
+        self.input_kernel = input_kernel
+        self.fused_filter = fused_filter
         self._accounted_bytes = 0
+
+    @property
+    def compiled_source(self) -> str | None:
+        """Input-kernel source (rendered by EXPLAIN), if compiled."""
+        return None if self.input_kernel is None else self.input_kernel.source
 
     def _produce(self) -> Iterator[VectorBatch]:
         key_chunks: list[list[np.ndarray]] = [
             [] for _ in self.group_expressions
         ]
         value_chunks: list[list[np.ndarray]] = [[] for _ in self.aggregates]
-        counts_needed = any(
-            spec.function == "AVG" for spec in self.aggregates
-        )
         for batch in self.child.next_batches():
             if len(batch) == 0:
                 continue
-            for slot, expression in enumerate(self.group_expressions):
-                values = expression.evaluate(batch)
-                key_chunks[slot].append(values)
-                self._account(values)
-            for slot, spec in enumerate(self.aggregates):
-                values = _evaluate_argument(spec, batch)
-                value_chunks[slot].append(values)
-                self._account(values)
+            inputs = _batch_inputs(self, batch)
+            if inputs is None:
+                continue
+            keys, values = inputs
+            for slot, array in enumerate(keys):
+                key_chunks[slot].append(array)
+                self._account(array)
+            for slot, array in enumerate(values):
+                value_chunks[slot].append(array)
+                self._account(array)
         if not key_chunks[0]:
             return
         keys = [np.concatenate(chunks) for chunks in key_chunks]
@@ -184,7 +225,6 @@ class HashAggregate(UnaryOperator):
                 for array, column in zip(arrays, self.schema)
             ],
         )
-        del counts_needed
         for start in range(0, len(result), self.context.vector_size):
             yield result.slice(start, start + self.context.vector_size)
 
@@ -202,7 +242,10 @@ class HashAggregate(UnaryOperator):
     def describe(self) -> str:
         keys = ", ".join(map(str, self.group_expressions))
         aggs = ", ".join(str(spec) for spec in self.aggregates)
-        return f"HashAggregate(by [{keys}] compute [{aggs}])"
+        return (
+            f"HashAggregate(by [{keys}] compute [{aggs}])"
+            f"{_describe_fusion(self)}"
+        )
 
 
 class OrderedAggregate(UnaryOperator):
@@ -220,6 +263,8 @@ class OrderedAggregate(UnaryOperator):
         group_expressions: list[Expression],
         group_names: list[str],
         aggregates: list[AggregateSpec],
+        input_kernel=None,
+        fused_filter: Expression | None = None,
     ):
         for expression in group_expressions:
             if not isinstance(expression, ColumnRef):
@@ -245,6 +290,12 @@ class OrderedAggregate(UnaryOperator):
         self.group_expressions = list(group_expressions)
         self.group_names = list(group_names)
         self.aggregates = list(aggregates)
+        self.input_kernel = input_kernel
+        self.fused_filter = fused_filter
+
+    @property
+    def compiled_source(self) -> str | None:
+        return None if self.input_kernel is None else self.input_kernel.source
 
     @property
     def ordering(self) -> tuple[str, ...]:
@@ -259,10 +310,10 @@ class OrderedAggregate(UnaryOperator):
         for batch in self.child.next_batches():
             if len(batch) == 0:
                 continue
-            keys = [
-                expression.evaluate(batch)
-                for expression in self.group_expressions
-            ]
+            inputs = _batch_inputs(self, batch)
+            if inputs is None:
+                continue
+            keys, values = inputs
             if supports_fast_keys(keys):
                 packed = pack_keys(keys)
             else:
@@ -272,11 +323,10 @@ class OrderedAggregate(UnaryOperator):
             new_group[1:] = packed[1:] != packed[:-1]
             starts = np.flatnonzero(new_group)
             counts = np.diff(np.append(starts, len(packed))).astype(np.int64)
-            partials = []
-            for spec in self.aggregates:
-                values = _evaluate_argument(spec, batch)
-                reduced = _reduce_segments(spec, values, starts)
-                partials.append(reduced)
+            partials = [
+                _reduce_segments(spec, column, starts)
+                for spec, column in zip(self.aggregates, values)
+            ]
             segment_keys = [key[starts] for key in keys]
             merged_row: list | None = None
             first = 0
@@ -386,7 +436,10 @@ class OrderedAggregate(UnaryOperator):
     def describe(self) -> str:
         keys = ", ".join(map(str, self.group_expressions))
         aggs = ", ".join(str(spec) for spec in self.aggregates)
-        return f"OrderedAggregate(by [{keys}] compute [{aggs}])"
+        return (
+            f"OrderedAggregate(by [{keys}] compute [{aggs}])"
+            f"{_describe_fusion(self)}"
+        )
 
 
 class SegmentedAggregate(UnaryOperator):
@@ -414,6 +467,8 @@ class SegmentedAggregate(UnaryOperator):
         group_names: list[str],
         aggregates: list[AggregateSpec],
         prefix_length: int,
+        input_kernel=None,
+        fused_filter: Expression | None = None,
     ):
         if not 0 < prefix_length <= len(group_expressions):
             raise PlanError("invalid segmented-aggregation prefix length")
@@ -440,6 +495,12 @@ class SegmentedAggregate(UnaryOperator):
         self.group_names = list(group_names)
         self.aggregates = list(aggregates)
         self.prefix_length = prefix_length
+        self.input_kernel = input_kernel
+        self.fused_filter = fused_filter
+
+    @property
+    def compiled_source(self) -> str | None:
+        return None if self.input_kernel is None else self.input_kernel.source
 
     @property
     def ordering(self) -> tuple[str, ...]:
@@ -504,13 +565,10 @@ class SegmentedAggregate(UnaryOperator):
         for batch in self.child.next_batches():
             if len(batch) == 0:
                 continue
-            keys = [
-                expression.evaluate(batch)
-                for expression in self.group_expressions
-            ]
-            values = [
-                _evaluate_argument(spec, batch) for spec in self.aggregates
-            ]
+            inputs = _batch_inputs(self, batch)
+            if inputs is None:
+                continue
+            keys, values = inputs
             prefix_arrays = keys[: self.prefix_length]
             if supports_fast_keys(prefix_arrays):
                 prefix_packed = pack_keys(prefix_arrays)
@@ -599,5 +657,5 @@ class SegmentedAggregate(UnaryOperator):
         aggs = ", ".join(str(spec) for spec in self.aggregates)
         return (
             f"SegmentedAggregate(prefix={self.prefix_length} "
-            f"by [{keys}] compute [{aggs}])"
+            f"by [{keys}] compute [{aggs}]){_describe_fusion(self)}"
         )

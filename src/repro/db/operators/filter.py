@@ -27,17 +27,31 @@ class FilterOperator(UnaryOperator):
         context: ExecutionContext,
         child: PhysicalOperator,
         predicate: Expression,
+        compiled=None,
     ):
         super().__init__(context, child.schema, child)
         self.predicate = predicate
+        #: optional CompiledExpr evaluating the predicate in one
+        #: generated call (residual filters the lowering could not fuse
+        #: into a FusedPipeline still skip tree interpretation this way)
+        self.compiled = compiled
+
+    @property
+    def compiled_source(self) -> str | None:
+        return None if self.compiled is None else self.compiled.source
 
     @property
     def ordering(self) -> tuple[str, ...]:
         return self.child.ordering
 
     def _produce(self) -> Iterator[VectorBatch]:
+        evaluate = (
+            self.predicate.evaluate
+            if self.compiled is None
+            else self.compiled.evaluate
+        )
         for batch in self.child.next_batches():
-            mask = self.predicate.evaluate(batch)
+            mask = evaluate(batch)
             if mask.dtype != np.bool_:
                 raise ExecutionError(
                     f"WHERE predicate is not boolean: {self.predicate}"
@@ -48,4 +62,5 @@ class FilterOperator(UnaryOperator):
                 yield batch.filter(mask)
 
     def describe(self) -> str:
-        return f"Filter({self.predicate})"
+        marker = "" if self.compiled is None else " [compiled]"
+        return f"Filter({self.predicate}){marker}"

@@ -6,6 +6,7 @@ import time
 from collections.abc import Iterator
 
 from repro.db.column import Block, ColumnRange
+from repro.db.compile.codegen import compile_range_checker
 from repro.db.operators.base import ExecutionContext, PhysicalOperator
 from repro.db.schema import Schema
 from repro.db.table import Table
@@ -59,6 +60,10 @@ class TableScan(PhysicalOperator):
         super().__init__(context, schema)
         self.table = table
         self.ranges = ranges or []
+        #: zone-map checker with column positions resolved once (the
+        #: generic Block.may_match re-resolves names per block); None
+        #: when no range predicate applies to this table
+        self._may_match = compile_range_checker(table.schema, self.ranges)
         self.partition_index = partition_index
         self._positions = positions
         self._projected = columns is not None and len(positions) < len(
@@ -145,8 +150,8 @@ class TableScan(PhysicalOperator):
             partitions = [self.table.partitions[self.partition_index]]
         for partition in partitions:
             for block in partition.blocks():
-                if self.ranges and not block.may_match(
-                    self.table.schema, self.ranges
+                if self._may_match is not None and not self._may_match(
+                    block.stats
                 ):
                     self._prune_block(block)
                     continue
@@ -196,8 +201,8 @@ class TableScan(PhysicalOperator):
             counters.increment("morsels")
             counters.increment(f"morsels.{worker}")
             block = morsel.block
-            if self.ranges and not block.may_match(
-                self.table.schema, self.ranges
+            if self._may_match is not None and not self._may_match(
+                block.stats
             ):
                 self._prune_block(block)
                 continue

@@ -19,6 +19,12 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass
 
+from repro.db.compile import (
+    FusedPipeline,
+    KernelOutput,
+    KernelSpec,
+    project_outputs,
+)
 from repro.db.expressions import ColumnRef
 from repro.db.operators import (
     CrossJoin,
@@ -159,11 +165,15 @@ class Lowering:
         options,
         modeljoin_factory,
         partition_index: int | None = None,
+        compiler=None,
     ):
         self.context = context
         self.options = options
         self.modeljoin_factory = modeljoin_factory
         self.partition_index = partition_index
+        #: KernelCompiler driving pipeline fusion (None = interpreted
+        #: lowering: use_compiled_kernels=False or open compile breaker)
+        self.compiler = compiler
         self._factory_takes_variant = (
             modeljoin_factory is not None
             and _accepts_keyword(modeljoin_factory, "variant")
@@ -179,19 +189,15 @@ class Lowering:
             ]
             return RenameOperator(self.context, inner, names)
         if isinstance(node, LogicalFilter):
-            child = self.lower(node.child)
-            return FilterOperator(
-                self.context, child, conjoin(node.conjuncts)
+            return self._lower_filter(
+                list(node.conjuncts), self.lower(node.child)
             )
         if isinstance(node, LogicalJoin):
             return self._lower_join(node)
         if isinstance(node, LogicalModelJoin):
             return self._lower_model_join(node)
         if isinstance(node, LogicalProject):
-            child = self.lower(node.child)
-            return ProjectOperator(
-                self.context, child, node.expressions, node.names
-            )
+            return self._lower_project(node)
         if isinstance(node, LogicalAggregate):
             return self._lower_aggregate(node)
         if isinstance(node, LogicalDistinct):
@@ -213,6 +219,113 @@ class Lowering:
         raise PlanError(
             f"cannot lower logical node {type(node).__name__}"
         )  # pragma: no cover - all node types are handled above
+
+    # ------------------------------------------------------------------
+    # pipeline fusion (repro.db.compile)
+    # ------------------------------------------------------------------
+    def _make_spec(
+        self, child: PhysicalOperator, predicates, outputs, label: str
+    ) -> KernelSpec:
+        """Kernel spec for a segment consuming *child*'s output.
+
+        When the child is a ModelJoin, the spec carries the prediction
+        columns as *transient* (they become arena views under epilogue
+        fusion) and bakes the model table's identity into the source
+        header, so a model republish or version bump misses the kernel
+        cache exactly like it misses the ModelCache.
+        """
+        transient: frozenset = frozenset()
+        header: tuple[str, ...] = ()
+        if getattr(child, "supports_emit_views", False):
+            table = child.model_table
+            transient = frozenset(
+                name.lower() for name in child.prediction_column_names
+            )
+            header = (
+                f"# model-table: {table.name} uid={table.uid} "
+                f"version={table.version}",
+            )
+        return KernelSpec(
+            schema=child.schema,
+            predicates=tuple(predicates),
+            outputs=tuple(outputs),
+            transient=transient,
+            header=header,
+            label=label,
+        )
+
+    def _fuse_pipeline(
+        self, child: PhysicalOperator, spec: KernelSpec
+    ) -> PhysicalOperator | None:
+        """Compile *spec*; on success wire up epilogue fusion."""
+        kernel = self.compiler.compile_kernel(spec)
+        if kernel is None:
+            return None
+        if spec.transient:
+            child.emit_views = True
+        return FusedPipeline(self.context, child, kernel, spec)
+
+    def _lower_filter(
+        self, conjuncts: list, child: PhysicalOperator
+    ) -> PhysicalOperator:
+        """A filter as a fused kernel, falling back to FilterOperator.
+
+        The fused form passes every child column through (schema
+        preserved) and applies the conjuncts with mask narrowing; when
+        any conjunct is non-compilable the interpreted operator still
+        gets a :class:`CompiledExpr` for the whole predicate when that
+        much is compilable.
+        """
+        if self.compiler is not None:
+            outputs = [
+                KernelOutput(name, ColumnRef(name), None)
+                for name in child.schema.names
+            ]
+            spec = self._make_spec(
+                child, conjuncts, outputs, label=f"filter({len(conjuncts)})"
+            )
+            fused = self._fuse_pipeline(child, spec)
+            if fused is not None:
+                return fused
+        predicate = conjoin(conjuncts)
+        compiled = (
+            self.compiler.compile_expression(predicate, child.schema)
+            if self.compiler is not None
+            else None
+        )
+        return FilterOperator(
+            self.context, child, predicate, compiled=compiled
+        )
+
+    def _lower_project(self, node: LogicalProject) -> PhysicalOperator:
+        child_node = node.child
+        predicates: list = []
+        if self.compiler is not None and isinstance(
+            child_node, LogicalFilter
+        ):
+            # Absorb the adjacent filter into one filter→project kernel.
+            child = self.lower(child_node.child)
+            predicates = list(child_node.conjuncts)
+        else:
+            child = self.lower(child_node)
+        if self.compiler is not None:
+            outputs = project_outputs(
+                node.expressions, node.names, child.schema
+            )
+            label = (
+                f"filter({len(predicates)})+project({len(outputs)})"
+                if predicates
+                else f"project({len(outputs)})"
+            )
+            spec = self._make_spec(child, predicates, outputs, label)
+            fused = self._fuse_pipeline(child, spec)
+            if fused is not None:
+                return fused
+        if predicates:
+            child = self._lower_filter(predicates, child)
+        return ProjectOperator(
+            self.context, child, node.expressions, node.names
+        )
 
     # ------------------------------------------------------------------
     def _lower_scan(self, node: LogicalScan) -> PhysicalOperator:
@@ -255,9 +368,7 @@ class Lowering:
         residual_conjuncts = node.residual + node.conjuncts
         joined: PhysicalOperator = CrossJoin(self.context, left, right)
         if residual_conjuncts:
-            joined = FilterOperator(
-                self.context, joined, conjoin(residual_conjuncts)
-            )
+            joined = self._lower_filter(residual_conjuncts, joined)
         return joined
 
     def _lower_model_join(
@@ -286,7 +397,24 @@ class Lowering:
     def _lower_aggregate(
         self, node: LogicalAggregate
     ) -> PhysicalOperator:
-        child = self.lower(node.child)
+        child_node = node.child
+        predicates: list = []
+        if self.compiler is not None and isinstance(
+            child_node, LogicalFilter
+        ):
+            # Absorb the adjacent filter into the aggregate's compiled
+            # input kernel.  Selection preserves ordering, so choosing
+            # the aggregation strategy against the grandchild's ordering
+            # is equivalent to choosing it above the filter operator.
+            child = self.lower(child_node.child)
+            predicates = list(child_node.conjuncts)
+        else:
+            child = self.lower(child_node)
+
+        group_exprs = list(node.group_exprs)
+        group_names = list(node.group_names)
+        strategy = "hash"
+        prefix_length = 0
         if getattr(self.options, "use_ordered_aggregation", True) and all(
             isinstance(expression, ColumnRef)
             for expression in node.group_exprs
@@ -299,30 +427,85 @@ class Lowering:
                 name.lower() for name in child.ordering[: len(keys)]
             }
             if prefix == keys:
-                return OrderedAggregate(
-                    self.context,
-                    child,
-                    node.group_exprs,
-                    node.group_names,
-                    node.aggregates,
+                strategy = "ordered"
+        if strategy == "hash" and getattr(
+            self.options, "use_segmented_aggregation", False
+        ):
+            layout = self._segmented_layout(child, node)
+            if layout is not None:
+                order, prefix_length = layout
+                group_exprs = [node.group_exprs[i] for i in order]
+                group_names = [node.group_names[i] for i in order]
+                strategy = "segmented"
+
+        kernel = None
+        fused_filter = None
+        if self.compiler is not None:
+            outputs = [
+                KernelOutput(name, expression, None)
+                for expression, name in zip(group_exprs, group_names)
+            ]
+            outputs.extend(
+                KernelOutput(
+                    spec.name,
+                    None if spec.function == "COUNT" else spec.argument,
+                    None,
                 )
-        if getattr(self.options, "use_segmented_aggregation", False):
-            segmented = self._try_segmented_aggregate(child, node)
-            if segmented is not None:
-                return segmented
+                for spec in node.aggregates
+            )
+            label = (
+                f"filter({len(predicates)})+aggregate-input"
+                if predicates
+                else "aggregate-input"
+            )
+            spec = self._make_spec(child, predicates, outputs, label)
+            kernel = self.compiler.compile_kernel(spec)
+            if kernel is not None:
+                if predicates:
+                    fused_filter = conjoin(predicates)
+                if spec.transient:
+                    child.emit_views = True
+        if kernel is None and predicates:
+            # the filter would not fuse: lower it as its own operator
+            child = self._lower_filter(predicates, child)
+
+        if strategy == "ordered":
+            return OrderedAggregate(
+                self.context,
+                child,
+                group_exprs,
+                group_names,
+                node.aggregates,
+                input_kernel=kernel,
+                fused_filter=fused_filter,
+            )
+        if strategy == "segmented":
+            return SegmentedAggregate(
+                self.context,
+                child,
+                group_exprs,
+                group_names,
+                node.aggregates,
+                prefix_length=prefix_length,
+                input_kernel=kernel,
+                fused_filter=fused_filter,
+            )
         return HashAggregate(
             self.context,
             child,
-            node.group_exprs,
-            node.group_names,
+            group_exprs,
+            group_names,
             node.aggregates,
+            input_kernel=kernel,
+            fused_filter=fused_filter,
         )
 
-    def _try_segmented_aggregate(
+    def _segmented_layout(
         self, child: PhysicalOperator, node: LogicalAggregate
-    ) -> PhysicalOperator | None:
-        """Use SegmentedAggregate when the input ordering covers a
-        proper, non-empty prefix of the group keys (paper §4.4)."""
+    ) -> tuple[list[int], int] | None:
+        """Group-key reordering for SegmentedAggregate, when the input
+        ordering covers a proper, non-empty prefix of the group keys
+        (paper §4.4).  Returns (key order, prefix length) or None."""
         bare = {}
         for index, expression in enumerate(node.group_exprs):
             if isinstance(expression, ColumnRef):
@@ -344,14 +527,7 @@ class Lowering:
             for index in range(len(node.group_exprs))
             if index not in seen
         ]
-        return SegmentedAggregate(
-            self.context,
-            child,
-            [node.group_exprs[index] for index in order],
-            [node.group_names[index] for index in order],
-            node.aggregates,
-            prefix_length=len(prefix_indices),
-        )
+        return order, len(prefix_indices)
 
     def _lower_order_by(self, node: LogicalOrderBy) -> PhysicalOperator:
         child = self.lower(node.child)
@@ -421,4 +597,19 @@ def render_explain(prepared, physical: PhysicalOperator) -> str:
     sections.append("")
     sections.append("== Physical Plan ==")
     sections.append(physical.explain())
+    compiled = list(_compiled_sections(physical))
+    if compiled:
+        sections.append("")
+        sections.append("== Compiled Code ==")
+        sections.extend(compiled)
     return "\n".join(sections)
+
+
+def _compiled_sections(operator: PhysicalOperator):
+    """Generated kernel sources in the physical tree, top-down."""
+    source = getattr(operator, "compiled_source", None)
+    if source is not None:
+        yield f"-- {operator.describe()}"
+        yield source.rstrip("\n")
+    for child in operator.children():
+        yield from _compiled_sections(child)

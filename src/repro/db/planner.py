@@ -25,6 +25,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.db.catalog import Catalog
+from repro.db.compile import KernelCompiler
 from repro.db.operators import ExecutionContext, PhysicalOperator
 from repro.db.plan.logical import LogicalBinder, LogicalNode
 from repro.db.plan.physical import (
@@ -56,6 +57,10 @@ class PlannerOptions:
     #: run the logical rewrite rules (off = bind-then-lower verbatim,
     #: the baseline the optimizer benchmarks compare against)
     use_optimizer_rules: bool = True
+    #: compile expressions and fuse filter→project→aggregate pipelines
+    #: into generated kernels (off = fully interpreted execution, the
+    #: bit-exactness baseline the compiled path is checked against)
+    use_compiled_kernels: bool = True
 
 
 @dataclass
@@ -82,6 +87,8 @@ class Planner:
         variant_selector=None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        kernel_cache=None,
+        compile_breaker=None,
     ):
         self.catalog = catalog
         self.options = options or PlannerOptions()
@@ -91,6 +98,23 @@ class Planner:
         self.variant_selector = variant_selector
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: CompiledKernelCache shared across plans (None = per-planner
+        #: compilation without reuse) and the engine's one-shot breaker
+        self.kernel_cache = kernel_cache
+        self.compile_breaker = compile_breaker
+
+    def _compiler(self) -> KernelCompiler | None:
+        if not getattr(self.options, "use_compiled_kernels", True):
+            return None
+        breaker = self.compile_breaker
+        if breaker is not None and breaker.is_open:
+            return None
+        return KernelCompiler(
+            cache=self.kernel_cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            breaker=breaker,
+        )
 
     # ------------------------------------------------------------------
     # pipeline stages
@@ -126,6 +150,7 @@ class Planner:
                 self.options,
                 self.modeljoin_factory,
                 partition_index=partition_index,
+                compiler=self._compiler(),
             )
             return lowering.lower(prepared.logical)
 

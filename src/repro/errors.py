@@ -57,6 +57,30 @@ class QueryTimeoutError(ExecutionError):
     """
 
 
+class CompiledKernelError(ExecutionError):
+    """A failure in the compiled-kernel execution path.
+
+    The engine's one-shot fallback catches this type: the query is
+    re-executed on the interpreted path (``use_compiled_kernels=False``)
+    and the compile circuit breaker records the failure, so repeated
+    compiler trouble disables compilation engine-wide for a cool-down.
+    """
+
+
+class KernelCompileError(CompiledKernelError):
+    """Generating or ``exec``-ing a kernel's Python source failed."""
+
+
+class KernelExecutionError(CompiledKernelError):
+    """A compiled kernel raised while processing a batch.
+
+    Chains the original error as ``__cause__``.  Cooperative
+    cancellation (:class:`QueryTimeoutError`) is deliberately *not*
+    wrapped — a timeout must abort the query, not demote it to the
+    interpreted path.
+    """
+
+
 class WorkerCrashError(ExecutionError):
     """A pool worker's task crashed.
 

@@ -1,0 +1,555 @@
+"""The pipeline-fusing query compiler (docs/COMPILE.md).
+
+Covers the generated-source shape (golden tests), bit-exactness of the
+compiled path against the interpreted path — including NaN edge cases,
+disk-backed tables and all six ModelJoin execution variants — the
+source-keyed kernel cache (hits, LRU eviction, invalidation on a model
+table republish), and the resilience contract: injected kernel faults
+fall back to interpreted execution once, repeated failures open the
+compile circuit breaker, and cancellation propagates as a timeout.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro.db import faults
+from repro.db.compile import (
+    CompiledKernelCache,
+    KernelCompiler,
+    KernelOutput,
+    KernelSpec,
+    NonCompilable,
+    generate_expression_source,
+    generate_kernel_source,
+)
+from repro.db.compile.codegen import SourceBuilder, emit
+from repro.db.engine import Database
+from repro.db.expressions import BinaryOp, Cast, ColumnRef, Literal
+from repro.db.faults import FaultInjector
+from repro.db.planner import PlannerOptions
+from repro.db.resilience import CancellationToken
+from repro.db.schema import Column, Schema
+from repro.db.types import SqlType
+from repro.bench.variants import BenchEnvironment, make_variant
+from repro.core.registry import publish_model
+from repro.errors import KernelExecutionError, QueryTimeoutError
+from repro.workloads.models import make_dense_model
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+def run_both(db: Database, sql: str, parallel: bool = False):
+    """Execute *sql* compiled and interpreted; return both results."""
+    saved = db.planner_options
+    db.planner_options = dataclasses.replace(
+        saved, use_compiled_kernels=True
+    )
+    compiled = db.execute(sql, parallel=parallel)
+    db.planner_options = dataclasses.replace(
+        saved, use_compiled_kernels=False
+    )
+    interpreted = db.execute(sql, parallel=parallel)
+    db.planner_options = saved
+    return compiled, interpreted
+
+
+def assert_bit_exact(compiled, interpreted):
+    assert compiled.schema.names == interpreted.schema.names
+    assert compiled.row_count == interpreted.row_count
+    for name in compiled.schema.names:
+        left = compiled.column(name)
+        right = interpreted.column(name)
+        assert left.dtype == right.dtype, name
+        if left.dtype == np.dtype(object):
+            assert list(left) == list(right), name
+        else:
+            assert left.tobytes() == right.tobytes(), name
+
+
+@pytest.fixture
+def table_db(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE t (id INTEGER, grp INTEGER, a DOUBLE, b DOUBLE)"
+    )
+    rng = np.random.default_rng(3)
+    n = 4000
+    a = rng.normal(size=n)
+    a[::17] = np.nan  # NaN edge cases flow through filters and SUMs
+    db.table("t").append_columns(
+        id=np.arange(n, dtype=np.int64),
+        grp=rng.integers(0, 7, size=n),
+        a=a,
+        b=rng.normal(size=n),
+    )
+    return db
+
+
+# ----------------------------------------------------------------------
+# generated source (golden tests)
+# ----------------------------------------------------------------------
+GOLDEN_KERNEL = """\
+# kernel: filter(1)+project(2)
+k0 = np.dtype('float64').type(0.5)
+
+def kernel(arrays, n, cancel):
+    if cancel is not None:
+        cancel.check()
+    c0 = arrays[0]
+    c1 = arrays[1]
+    # filter 1/1: (a > 0.5)
+    m = (c0 > k0)
+    if not m.all():
+        kept = np.count_nonzero(m)
+        if kept == 0:
+            return None
+        sel = np.flatnonzero(m)
+        n = kept
+        c0 = c0[sel]
+        c1 = c1[sel]
+    # output x: (a * b)
+    o0 = (c0 * c1)
+    # output b: b
+    o1 = (c1).astype(np.dtype('int64'), copy=False)
+    return [o0, o1]
+"""
+
+GOLDEN_EXPR = """\
+# expr: (a > 0.5)
+k0 = np.dtype('float64').type(0.5)
+
+def expr(arrays, n):
+    c0 = arrays[0]
+    return (c0 > k0)
+"""
+
+
+def two_column_schema() -> Schema:
+    return Schema(
+        (Column("a", SqlType.DOUBLE), Column("b", SqlType.INTEGER))
+    )
+
+
+class TestGeneratedSource:
+    def predicate(self):
+        return BinaryOp(">", ColumnRef("a"), Literal(0.5, SqlType.DOUBLE))
+
+    def test_kernel_source_golden(self):
+        spec = KernelSpec(
+            schema=two_column_schema(),
+            predicates=(self.predicate(),),
+            outputs=(
+                KernelOutput(
+                    "x",
+                    BinaryOp("*", ColumnRef("a"), ColumnRef("b")),
+                    None,
+                ),
+                KernelOutput("b", ColumnRef("b"), np.dtype("int64")),
+            ),
+            transient=frozenset(),
+            header=(),
+            label="filter(1)+project(2)",
+        )
+        source, _bindings = generate_kernel_source(spec)
+        assert source == GOLDEN_KERNEL
+
+    def test_expression_source_golden(self):
+        source, _bindings = generate_expression_source(
+            self.predicate(), two_column_schema()
+        )
+        assert source == GOLDEN_EXPR
+
+    def test_constants_are_deduplicated(self):
+        half = Literal(0.5, SqlType.DOUBLE)
+        expression = BinaryOp(
+            "+",
+            BinaryOp("*", ColumnRef("a"), half),
+            BinaryOp("*", ColumnRef("b"), half),
+        )
+        source, _ = generate_expression_source(
+            expression, two_column_schema()
+        )
+        assert source.count("np.dtype('float64').type(0.5)") == 1
+
+    def test_varchar_cast_is_non_compilable(self):
+        builder = SourceBuilder(two_column_schema())
+        with pytest.raises(NonCompilable):
+            emit(Cast(ColumnRef("a"), SqlType.VARCHAR), builder)
+
+    def test_model_table_header_salts_the_source(self):
+        spec = KernelSpec(
+            schema=two_column_schema(),
+            predicates=(),
+            outputs=(KernelOutput("a", ColumnRef("a"), None),),
+            transient=frozenset(),
+            header=("# model-table: m uid=1 version=2",),
+            label="project(1)",
+        )
+        source, _ = generate_kernel_source(spec)
+        assert "# model-table: m uid=1 version=2" in source
+
+
+# ----------------------------------------------------------------------
+# bit-exactness vs the interpreted path
+# ----------------------------------------------------------------------
+class TestBitExactness:
+    def test_expression_heavy_filter_project(self, table_db):
+        compiled, interpreted = run_both(
+            table_db,
+            "SELECT id, a * b + 2.0 AS x, a / (b * b + 1.0) AS y "
+            "FROM t WHERE a > 0.1 AND b < 1.5 AND id >= 10",
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert compiled.row_count > 0
+
+    def test_fused_aggregate(self, table_db):
+        compiled, interpreted = run_both(
+            table_db,
+            "SELECT grp, SUM(a * b) AS s, COUNT(*) AS c, MIN(b) AS lo "
+            "FROM t WHERE b > -0.5 GROUP BY grp ORDER BY grp",
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert compiled.row_count == 7
+
+    def test_nan_comparisons_filter_like_interpreted(self, table_db):
+        # NaN > 0.1 is false; NaN <> NaN is true — both paths agree.
+        compiled, interpreted = run_both(
+            table_db, "SELECT id FROM t WHERE a > 0.1 ORDER BY id"
+        )
+        assert_bit_exact(compiled, interpreted)
+        compiled, interpreted = run_both(
+            table_db,
+            "SELECT grp, COUNT(*) AS nan_rows FROM t WHERE a <> a "
+            "GROUP BY grp ORDER BY grp",
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert compiled.column("nan_rows").sum() > 0
+
+    def test_nan_propagates_through_sum(self, table_db):
+        compiled, interpreted = run_both(
+            table_db, "SELECT grp, SUM(a) AS s FROM t GROUP BY grp"
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert np.isnan(compiled.column("s")).all()
+
+    def test_case_when_and_functions(self, table_db):
+        compiled, interpreted = run_both(
+            table_db,
+            "SELECT id, CASE WHEN a > 0.0 THEN a ELSE 0.0 - a END AS m, "
+            "ABS(b) AS ab FROM t WHERE id < 500",
+        )
+        assert_bit_exact(compiled, interpreted)
+
+    def test_empty_selection(self, table_db):
+        compiled, interpreted = run_both(
+            table_db, "SELECT id, a FROM t WHERE id > 1000000"
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert compiled.row_count == 0
+
+    def test_parallel_execution(self):
+        db = Database(parallelism=4)
+        db.execute(
+            "CREATE TABLE p (id BIGINT, v DOUBLE) "
+            "PARTITION BY (id) PARTITIONS 4"
+        )
+        rng = np.random.default_rng(5)
+        db.table("p").append_columns(
+            id=np.arange(8000, dtype=np.int64),
+            v=rng.normal(size=8000),
+        )
+        compiled, interpreted = run_both(
+            db,
+            "SELECT id, v * v AS s FROM p WHERE v > -1.0 ORDER BY id",
+            parallel=True,
+        )
+        assert_bit_exact(compiled, interpreted)
+        db.close()
+
+    def test_disk_backed_table(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = repro.connect(path=path)
+        db.execute(
+            "CREATE TABLE d (id INTEGER, v DOUBLE) SORTED BY (id)"
+        )
+        rng = np.random.default_rng(9)
+        db.table("d").append_columns(
+            id=np.arange(6000, dtype=np.int64),
+            v=rng.normal(size=6000),
+        )
+        db.close()
+        reopened = repro.connect(path=path)
+        assert reopened.table("d").disk_resident
+        compiled, interpreted = run_both(
+            reopened,
+            "SELECT id, v * 2.0 AS w FROM d "
+            "WHERE id >= 1000 AND id < 2000 AND v > 0.0",
+        )
+        assert_bit_exact(compiled, interpreted)
+        assert "FusedPipeline" in reopened.explain(
+            "SELECT id, v * 2.0 AS w FROM d WHERE id >= 1000"
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize(
+        "legend",
+        [
+            "ModelJoin_CPU",
+            "ModelJoin_GPU",
+            "TF_CAPI_CPU",
+            "TF_CPU",
+            "UDF",
+            "ML-To-SQL",
+        ],
+    )
+    def test_all_modeljoin_variants_bit_exact(self, legend):
+        predictions = {}
+        for use_compiled in (True, False):
+            db = repro.connect(
+                planner_options=PlannerOptions(
+                    use_compiled_kernels=use_compiled
+                )
+            )
+            db.execute(
+                "CREATE TABLE fact (id BIGINT, f0 FLOAT, f1 FLOAT, "
+                "f2 FLOAT)"
+            )
+            rng = np.random.default_rng(21)
+            db.table("fact").append_columns(
+                id=np.arange(300, dtype=np.int64),
+                f0=rng.random(300, dtype=np.float32),
+                f1=rng.random(300, dtype=np.float32),
+                f2=rng.random(300, dtype=np.float32),
+            )
+            model = make_dense_model(8, 2, input_width=3, seed=13)
+            environment = BenchEnvironment(
+                database=db,
+                model=model,
+                fact_table="fact",
+                id_column="id",
+                input_columns=["f0", "f1", "f2"],
+                keep_predictions=True,
+            )
+            variant = make_variant(legend)
+            variant.prepare(environment)
+            predictions[use_compiled] = variant.run(
+                environment
+            ).predictions
+            db.close()
+        left, right = predictions[True], predictions[False]
+        assert left is not None and right is not None
+        np.testing.assert_array_equal(
+            np.asarray(left), np.asarray(right)
+        )
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN and plan shape
+# ----------------------------------------------------------------------
+class TestExplain:
+    def test_compiled_code_section(self, table_db):
+        plan = table_db.explain(
+            "SELECT id, a * b AS x FROM t WHERE a > 0.1"
+        )
+        assert "== Compiled Code ==" in plan
+        assert "def kernel(arrays, n, cancel):" in plan
+        assert "FusedPipeline" in plan
+
+    def test_interpreted_plan_has_no_compiled_section(self, table_db):
+        table_db.planner_options = dataclasses.replace(
+            table_db.planner_options, use_compiled_kernels=False
+        )
+        plan = table_db.explain(
+            "SELECT id, a * b AS x FROM t WHERE a > 0.1"
+        )
+        assert "== Compiled Code ==" not in plan
+        assert "FusedPipeline" not in plan
+
+    def test_varchar_output_falls_back_to_operators(self, db):
+        db.execute("CREATE TABLE s (id INTEGER, v DOUBLE)")
+        db.execute("INSERT INTO s VALUES (1, 1.5), (2, 2.5)")
+        plan = db.explain(
+            "SELECT CAST(id AS VARCHAR) AS label FROM s WHERE v > 0.0"
+        )
+        # str() conversion stays interpreted: no fused kernel for it
+        assert "Project(" in plan
+        compiled, interpreted = run_both(
+            db, "SELECT CAST(id AS VARCHAR) AS label FROM s"
+        )
+        assert_bit_exact(compiled, interpreted)
+
+    def test_epilogue_fusion_marks_modeljoin(self, cdb):
+        cdb.execute(
+            "CREATE TABLE f (id INTEGER, c0 FLOAT, c1 FLOAT, "
+            "c2 FLOAT, c3 FLOAT)"
+        )
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 4)).astype(np.float32)
+        cdb.table("f").append_columns(
+            id=np.arange(40),
+            c0=x[:, 0],
+            c1=x[:, 1],
+            c2=x[:, 2],
+            c3=x[:, 3],
+        )
+        model = make_dense_model(8, 2, input_width=4, seed=7)
+        publish_model(cdb, "clf", model)
+        sql = (
+            "SELECT id, prediction_0 + 1.0 AS score FROM f "
+            "MODEL JOIN clf USING (c0, c1, c2, c3)"
+        )
+        plan = cdb.explain(sql)
+        assert "[epilogue: fused]" in plan
+        assert "# model-table:" in plan
+        compiled, interpreted = run_both(cdb, sql)
+        assert_bit_exact(compiled, interpreted)
+
+
+# ----------------------------------------------------------------------
+# kernel cache
+# ----------------------------------------------------------------------
+class TestKernelCache:
+    def test_repeat_query_hits_cache(self, table_db):
+        sql = "SELECT id, a + b AS s FROM t WHERE a > 0.0"
+        table_db.execute(sql)
+        hits_before = table_db.metrics.counter("compile.cache_hit").value
+        table_db.execute(sql)
+        hits_after = table_db.metrics.counter("compile.cache_hit").value
+        assert hits_after > hits_before
+        assert len(table_db.kernel_cache) >= 1
+
+    def test_lru_eviction(self):
+        cache = CompiledKernelCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_model_republish_invalidates_epilogue_kernel(self, cdb):
+        cdb.execute(
+            "CREATE TABLE f (id INTEGER, c0 FLOAT, c1 FLOAT, "
+            "c2 FLOAT, c3 FLOAT)"
+        )
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(30, 4)).astype(np.float32)
+        cdb.table("f").append_columns(
+            id=np.arange(30),
+            c0=x[:, 0],
+            c1=x[:, 1],
+            c2=x[:, 2],
+            c3=x[:, 3],
+        )
+        publish_model(cdb, "clf", make_dense_model(8, 2, input_width=4, seed=1))
+        sql = (
+            "SELECT id, prediction_0 + 1.0 AS score FROM f "
+            "MODEL JOIN clf USING (c0, c1, c2, c3)"
+        )
+        first = cdb.execute(sql)
+        hits = cdb.metrics.counter("compile.cache_hit")
+        warm_hits = hits.value
+        cdb.execute(sql)
+        assert hits.value > warm_hits  # warm repeat hits the cache
+        # Republish: new model table identity -> new source header ->
+        # the stale epilogue kernel cannot be reused.
+        publish_model(
+            cdb, "clf", make_dense_model(8, 2, input_width=4, seed=2),
+            replace=True,
+        )
+        requests = cdb.metrics.counter("compile.requests").value
+        hits_before = hits.value
+        second = cdb.execute(sql)
+        assert cdb.metrics.counter("compile.requests").value > requests
+        # the epilogue kernel recompiled (a non-epilogue kernel of the
+        # same statement may still hit, but not all of them can)
+        missed = (
+            cdb.metrics.counter("compile.requests").value - requests
+        ) - (hits.value - hits_before)
+        assert missed >= 1
+        # new weights -> different scores (sanity that we re-ran truly)
+        assert first.column("score").tobytes() != second.column(
+            "score"
+        ).tobytes()
+
+
+# ----------------------------------------------------------------------
+# resilience: faults, breaker, cancellation
+# ----------------------------------------------------------------------
+def compile_simple_kernel():
+    schema = two_column_schema()
+    spec = KernelSpec(
+        schema=schema,
+        predicates=(),
+        outputs=(KernelOutput("a", ColumnRef("a"), None),),
+        transient=frozenset(),
+        header=(),
+        label="project(1)",
+    )
+    kernel = KernelCompiler().compile_kernel(spec)
+    assert kernel is not None
+    return kernel
+
+
+class TestResilience:
+    def test_injected_fault_falls_back_to_interpreted(self, table_db):
+        faults.install(FaultInjector(seed=1).raise_once("compile.kernel"))
+        result = table_db.execute(
+            "SELECT id, a * b AS x FROM t WHERE a > 0.1 ORDER BY id"
+        )
+        assert table_db.metrics.counter("compile.fallback").value == 1
+        faults.uninstall()
+        table_db.compile_breaker.record_success()
+        reference = table_db.execute(
+            "SELECT id, a * b AS x FROM t WHERE a > 0.1 ORDER BY id"
+        )
+        assert_bit_exact(result, reference)
+
+    def test_repeated_faults_open_the_breaker(self, table_db):
+        faults.install(
+            FaultInjector(seed=1).raise_once("compile.kernel", count=100)
+        )
+        sql = "SELECT id, a + b AS s FROM t WHERE b > 0.0"
+        for _ in range(3):
+            table_db.execute(sql)
+        assert table_db.metrics.counter("compile.fallback").value == 3
+        assert table_db.compile_breaker.is_open
+        # breaker open: the planner lowers interpreted, so the faulted
+        # site is never reached and no further fallbacks happen
+        table_db.execute(sql)
+        assert table_db.metrics.counter("compile.fallback").value == 3
+        assert "FusedPipeline" not in table_db.explain(sql)
+
+    def test_kernel_wraps_runtime_errors(self):
+        kernel = compile_simple_kernel()
+        with pytest.raises(KernelExecutionError):
+            kernel([], 4)  # no input arrays -> IndexError inside
+
+    def test_cancellation_raises_timeout_through_kernel(self):
+        kernel = compile_simple_kernel()
+        token = CancellationToken.with_timeout(0.0)
+        arrays = [np.arange(4, dtype=np.float64), np.arange(4)]
+        with pytest.raises(QueryTimeoutError):
+            kernel(arrays, 4, token)
+
+    def test_compile_error_falls_back_to_interpreted_operator(self):
+        # A spec that fails at exec time must compile to None (and the
+        # lowering then uses the interpreted operators).
+        broken = KernelSpec(
+            schema=two_column_schema(),
+            predicates=(),
+            outputs=(KernelOutput("a", ColumnRef("a"), None),),
+            transient=frozenset(),
+            header=("this is not a comment -> SyntaxError",),
+            label="project(1)",
+        )
+        compiler = KernelCompiler()
+        assert compiler.compile_kernel(broken) is None

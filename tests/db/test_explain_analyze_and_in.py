@@ -25,7 +25,12 @@ class TestExplainAnalyze:
         assert result.row_count == 20
         lines = plan.splitlines()
         scan_line = next(line for line in lines if "TableScan" in line)
-        filter_line = next(line for line in lines if "Filter" in line)
+        # the filter+project pair lowers to one fused compiled kernel
+        filter_line = next(
+            line
+            for line in lines
+            if "FusedPipeline" in line or "Filter" in line
+        )
         assert "[rows: 100]" in scan_line
         assert "[rows: 20]" in filter_line
 

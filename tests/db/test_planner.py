@@ -35,9 +35,12 @@ class TestFilterPushdownAndPruning:
             "SELECT f.id FROM fact AS f, model AS m "
             "WHERE f.node = m.node_in AND m.node >= 5 AND m.node <= 5"
         )
-        # The model filter must sit below the join, on the model branch.
+        # The model filter must sit below the join, on the model branch
+        # (lowered as a fused compiled kernel carrying the predicate).
         join_position = plan.index("HashJoin")
-        filter_position = plan.index("Filter", join_position)
+        filter_position = plan.index(
+            "FusedPipeline(filter:", join_position
+        )
         assert filter_position > join_position
         assert "prune: node in [5" in plan
 
@@ -85,7 +88,8 @@ class TestJoinPlanning:
             "SELECT f.id FROM fact AS f, model AS m WHERE f.node < m.node_in"
         )
         assert "CrossJoin" in plan
-        assert "Filter" in plan
+        # residual predicate lowers as a fused kernel above the join
+        assert "FusedPipeline(filter:" in plan or "Filter" in plan
 
     def test_fact_is_probe_side(self, db_with_tables):
         plan = db_with_tables.explain(
