@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench plan    [--check] [--json BENCH_pr4.json]
     python -m repro.bench storage [--check] [--json BENCH_pr5.json]
     python -m repro.bench compile [--check] [--json BENCH_pr6.json]
+    python -m repro.bench observe [--check] [--json BENCH_pr7.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -54,6 +55,13 @@ interpreted (>=2x, bit-exact), ModelJoin epilogue fusion vs the
 interpreted epilogue (>1x, bit-exact), and cold compile overhead
 (<1 ms/query, with warm repeats served from the kernel cache).
 ``--check`` turns the verdict into the exit code.
+
+The ``observe`` experiment smokes the ``system.*`` virtual tables
+against a persistent database (every table must answer through the
+standard SQL path, non-empty where a fresh engine guarantees rows) and
+gates query-log collection overhead on the PR1 serving workload at
+<5% (docs/OBSERVABILITY.md).  ``--check`` turns the verdict into the
+exit code.
 
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
@@ -100,6 +108,7 @@ def main(argv: list[str] | None = None) -> int:
             "plan",
             "storage",
             "compile",
+            "observe",
         ],
     )
     parser.add_argument(
@@ -136,17 +145,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing/chaos/plan/storage/compile experiment: "
-        "where to write the JSON evidence (defaults: BENCH_pr1.json / "
-        "BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json / "
-        "BENCH_pr5.json / BENCH_pr6.json)",
+        help="serving/tracing/chaos/plan/storage/compile/observe "
+        "experiment: where to write the JSON evidence (defaults: "
+        "BENCH_pr1.json / BENCH_pr2.json / BENCH_pr3.json / "
+        "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr6.json / "
+        "BENCH_pr7.json)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="plan experiment: fail when any cell's selected variant "
-        "measures slower than twice the best variant; storage/compile "
-        "experiments: fail unless every gate passes",
+        "measures slower than twice the best variant; storage/compile/"
+        "observe experiments: fail unless every gate passes",
     )
     parser.add_argument(
         "--smoke",
@@ -312,6 +322,27 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if arguments.check and not report["ok"]:
             print("compile check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "observe":
+        from repro.bench.observe_bench import (
+            format_observe_report,
+            run_observe_bench,
+            write_report,
+        )
+
+        report = run_observe_bench(config)
+        rendered = format_observe_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr7.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("observability check FAILED", file=sys.stderr)
             return 1
         return 0
 

@@ -1,0 +1,236 @@
+"""Observability gate: system-schema smoke and query-log overhead.
+
+The introspection layer (docs/OBSERVABILITY.md) must be free enough to
+leave on by default, and the ``system.*`` virtual tables must actually
+answer.  This module turns both requirements into a benchmark with a
+pass/fail verdict:
+
+* **Overhead** — the PR1 serving workload (a warm dense ``MODEL JOIN``
+  over the iris grid, issued as SQL so it takes the full engine path
+  that collection instruments) runs on two identically configured
+  engines, one with query-log collection enabled and one with
+  ``collect_query_log=False``; the repeats are interleaved and the gate
+  compares the *best* run of each arm (noise is strictly additive, so
+  the minima estimate the true cost — the same reasoning as
+  ``timeit``).  It fails when collection costs more than
+  :data:`OVERHEAD_THRESHOLD` (5%).
+
+* **Smoke** — a persistent database is exercised (DDL, inserts,
+  checkpoint, reopen, serial + filtered queries) and every ``system.*``
+  table is then read through the standard SQL path; the gate fails if
+  any comes back empty or the top-5-slowest ranking query errors.
+
+``python -m repro.bench observe --json BENCH_pr7.json`` writes the
+combined report; ``--check`` makes the verdict the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.bench.harness import BenchConfig
+from repro.core.attach import connect
+from repro.core.registry import publish_model
+from repro.db.engine import Database
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+#: maximum tolerated slowdown of the collecting run (fraction)
+OVERHEAD_THRESHOLD = 0.05
+
+#: every virtual table the smoke run must be able to read, with True
+#: where a row is required (registries that may legitimately be empty
+#: on a fresh engine only need to answer)
+SMOKE_TABLES = (
+    ("system.metrics", True),
+    ("system.queries", True),
+    ("system.active_queries", True),  # a query always observes itself
+    ("system.buffer_pool", True),
+    ("system.kernel_cache", True),
+    ("system.model_cache", True),
+    ("system.breakers", True),
+    ("system.storage_blocks", True),
+    ("system.tables", True),
+    ("system.columns", True),
+)
+
+
+#: the serving statement of the overhead gate — a SQL MODEL JOIN so
+#: the query takes the full engine path that collection instruments
+SERVING_SQL = (
+    "SELECT id, prediction_0 FROM iris MODEL JOIN observe_model "
+    f"USING ({', '.join(FEATURE_COLUMNS)})"
+)
+
+
+def _setup(rows: int, width: int, depth: int, collect: bool) -> Database:
+    database = connect(collect_query_log=collect)
+    load_iris_table(database, rows)
+    model = make_dense_model(width, depth, input_width=4, seed=width)
+    publish_model(database, "observe_model", model, replace=True)
+    return database
+
+
+def _timed_run(database: Database) -> float:
+    started = time.perf_counter()
+    database.execute(SERVING_SQL)
+    return time.perf_counter() - started
+
+
+def run_overhead_gate(
+    rows: int = 10_000,
+    width: int = 64,
+    depth: int = 4,
+    repeats: int = 7,
+) -> dict:
+    """Best collecting-vs-disabled latency of the serving workload."""
+    off_db = _setup(rows, width, depth, collect=False)
+    on_db = _setup(rows, width, depth, collect=True)
+    try:
+        _timed_run(off_db)  # warm-up: model build + caches
+        _timed_run(on_db)
+        disabled: list[float] = []
+        enabled: list[float] = []
+        for _ in range(repeats):
+            disabled.append(_timed_run(off_db))
+            enabled.append(_timed_run(on_db))
+        logged = len(on_db.query_log)
+    finally:
+        off_db.close()
+        on_db.close()
+    disabled_best = min(disabled)
+    enabled_best = min(enabled)
+    overhead = (
+        enabled_best / disabled_best - 1.0 if disabled_best > 0 else 0.0
+    )
+    return {
+        "workload": {
+            "rows": rows,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
+        },
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_best_seconds": disabled_best,
+        "enabled_best_seconds": enabled_best,
+        "disabled_median_seconds": statistics.median(disabled),
+        "enabled_median_seconds": statistics.median(enabled),
+        "logged_queries": logged,
+        "overhead_fraction": overhead,
+        "threshold": OVERHEAD_THRESHOLD,
+        "ok": overhead <= OVERHEAD_THRESHOLD,
+    }
+
+
+def run_system_schema_smoke() -> dict:
+    """Exercise a persistent engine and read every ``system.*`` table."""
+    root = tempfile.mkdtemp(prefix="repro-observe-")
+    counts: dict[str, int] = {}
+    errors: list[str] = []
+    try:
+        database = connect(parallelism=2, path=root)
+        database.execute(
+            "CREATE TABLE readings (sensor INTEGER, value DOUBLE) "
+            "PARTITION BY (sensor) PARTITIONS 2"
+        )
+        database.execute(
+            "INSERT INTO readings VALUES "
+            + ", ".join(f"({i % 16}, {i * 0.25})" for i in range(512))
+        )
+        database.checkpoint()
+        database.close()
+        # Reopen so the scans below hit real disk blocks (codecs and
+        # zone maps in system.storage_blocks) and the restored log.
+        database = connect(parallelism=2, path=root)
+        database.execute("SELECT sensor, value FROM readings WHERE value > 8.0")
+        database.execute(
+            "SELECT sensor, value FROM readings WHERE sensor < 8",
+            parallel=True,
+        )
+        ranking = database.execute(
+            "SELECT sql, latency_seconds FROM system.queries "
+            "ORDER BY latency_seconds DESC LIMIT 5"
+        )
+        if ranking.row_count == 0:
+            errors.append("top-5-slowest ranking returned no rows")
+        explain = database.explain("SELECT * FROM system.queries")
+        if "system.queries" not in explain:
+            errors.append("EXPLAIN over a system scan missing the table")
+        for name, required in SMOKE_TABLES:
+            try:
+                result = database.execute(f"SELECT * FROM {name}")
+            except Exception as error:  # noqa: BLE001 - recorded verbatim
+                errors.append(f"{name}: {type(error).__name__}: {error}")
+                continue
+            counts[name] = result.row_count
+            if required and result.row_count == 0:
+                errors.append(f"{name} is empty")
+        database.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"row_counts": counts, "errors": errors, "ok": not errors}
+
+
+def run_observe_bench(config: BenchConfig) -> dict:
+    """The full observability benchmark: smoke plus overhead gate."""
+    if config.preset == "smoke":
+        rows, width, depth, repeats = 2_000, 16, 2, 3
+    else:
+        rows, width, depth, repeats = 10_000, 64, 4, 7
+    smoke = run_system_schema_smoke()
+    overhead = run_overhead_gate(
+        rows=rows, width=width, depth=depth, repeats=repeats
+    )
+    return {
+        "experiment": "observe",
+        "preset": config.preset,
+        "smoke": smoke,
+        "overhead": overhead,
+        "ok": smoke["ok"] and overhead["ok"],
+    }
+
+
+def format_observe_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_observe_bench`."""
+    from repro.bench.reporting import format_seconds
+
+    overhead = report["overhead"]
+    smoke = report["smoke"]
+    title = (
+        "Observability — system schema smoke and query-log overhead "
+        f"(preset {report['preset']})"
+    )
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "system tables: "
+        + "  ".join(
+            f"{name.split('.', 1)[1]}={count}"
+            for name, count in sorted(smoke["row_counts"].items())
+        )
+    )
+    for error in smoke["errors"]:
+        lines.append(f"smoke FAILURE: {error}")
+    lines.append(
+        f"collection off best: "
+        f"{format_seconds(overhead['disabled_best_seconds'])}   "
+        f"on best: {format_seconds(overhead['enabled_best_seconds'])}   "
+        f"overhead: {overhead['overhead_fraction'] * 100:+.2f}% "
+        f"(threshold {overhead['threshold'] * 100:.0f}%) "
+        f"-> {'PASS' if overhead['ok'] else 'FAIL'}"
+    )
+    lines.append(
+        f"queries logged during the gate: {overhead['logged_queries']}"
+    )
+    lines.append(f"\nVerdict: {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -66,6 +66,9 @@ def connect(
     task_retries: int = 2,
     path: str | None = None,
     buffer_pool_bytes: int | None = None,
+    slow_query_seconds: float | None = None,
+    query_log_capacity: int = 256,
+    collect_query_log: bool = True,
 ) -> Database:
     """Create a new database with the full repro feature set attached.
 
@@ -83,6 +86,12 @@ def connect(
     *planner_options* (a :class:`~repro.db.planner.PlannerOptions`)
     tunes planning — e.g. ``use_compiled_kernels=False`` for the
     interpreted baseline (docs/COMPILE.md).
+
+    *slow_query_seconds* marks queries at or above that latency as
+    slow in ``system.queries``; *query_log_capacity* sizes the
+    in-memory query-log ring buffer; *collect_query_log=False*
+    disables per-query profile collection entirely (see
+    docs/OBSERVABILITY.md).
     """
     return attach(
         Database(
@@ -94,5 +103,8 @@ def connect(
             task_retries=task_retries,
             path=path,
             buffer_pool_bytes=buffer_pool_bytes,
+            slow_query_seconds=slow_query_seconds,
+            query_log_capacity=query_log_capacity,
+            collect_query_log=collect_query_log,
         )
     )

@@ -16,6 +16,15 @@ from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.errors import CatalogError
 
+#: reserved prefix of the read-only virtual schema (see
+#: :mod:`repro.db.introspect`)
+SYSTEM_SCHEMA_PREFIX = "system."
+
+
+def is_system_table_name(name: str) -> bool:
+    """True for names inside the reserved ``system`` schema."""
+    return name.lower().startswith(SYSTEM_SCHEMA_PREFIX)
+
 
 @dataclass(frozen=True)
 class LayerMetadata:
@@ -57,6 +66,14 @@ class Catalog:
     #: catalog entry is dropped or replaced — derived caches (the
     #: ModelJoin build cache) subscribe here to invalidate eagerly
     invalidation_listeners: list = field(default_factory=list)
+    #: virtual-table provider resolving the read-only ``system.*``
+    #: names (duck-typed: see repro.db.introspect.SystemSchema);
+    #: attached by the engine, None for a bare catalog
+    system_schema: object | None = field(default=None, repr=False)
+
+    def attach_system_schema(self, provider) -> None:
+        """Install the ``system.*`` virtual-table provider."""
+        self.system_schema = provider
 
     def add_invalidation_listener(self, listener) -> None:
         """Subscribe *listener(table_name)* to DROP/replace events."""
@@ -67,6 +84,11 @@ class Catalog:
             listener(table_name)
 
     def create_table(self, table: Table, replace: bool = False) -> None:
+        if is_system_table_name(table.name):
+            raise CatalogError(
+                f"cannot create {table.name!r}: "
+                "the system schema is read-only"
+            )
         key = table.name.lower()
         if key in self.tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
@@ -75,6 +97,10 @@ class Catalog:
         self.tables[key] = table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if is_system_table_name(name):
+            raise CatalogError(
+                f"cannot drop {name!r}: the system schema is read-only"
+            )
         key = name.lower()
         if key not in self.tables:
             if if_exists:
@@ -92,9 +118,21 @@ class Catalog:
             del self.models[model_name]
 
     def has_table(self, name: str) -> bool:
+        if is_system_table_name(name):
+            return (
+                self.system_schema is not None
+                and self.system_schema.has_table(name)
+            )
         return name.lower() in self.tables
 
     def table(self, name: str) -> Table:
+        if is_system_table_name(name):
+            if self.system_schema is None:
+                raise CatalogError(
+                    f"table {name!r} does not exist "
+                    "(no system schema attached)"
+                )
+            return self.system_schema.table(name)
         table = self.tables.get(name.lower())
         if table is None:
             raise CatalogError(f"table {name!r} does not exist")

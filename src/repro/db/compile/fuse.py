@@ -43,6 +43,12 @@ class FusedPipeline(UnaryOperator):
         self.kernel = kernel
         self.spec = spec
 
+    def open(self) -> None:
+        super().open()
+        # Marks the query as compiled in its resource profile (the
+        # query log's ``compiled`` flag reads this counter).
+        self.context.counters.increment("compile.fused_pipelines")
+
     @property
     def compiled_source(self) -> str:
         """Generated kernel source (rendered by EXPLAIN)."""

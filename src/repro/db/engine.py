@@ -13,8 +13,16 @@ import time
 
 import numpy as np
 
-from repro.db.catalog import Catalog, ModelMetadata
+from repro.db.catalog import Catalog, ModelMetadata, is_system_table_name
 from repro.db.compile import CompiledKernelCache
+from repro.db.introspect import (
+    ActiveQueryRegistry,
+    QueryLog,
+    ResourceProfile,
+    SystemSchema,
+    metrics_to_prometheus,
+)
+from repro.db.introspect.log import LOG_FILE_NAME
 from repro.db.operators import ExecutionContext, LimitOperator, SortOperator
 from repro.db.operators.base import PhysicalOperator
 from repro.db.expressions import ColumnRef
@@ -39,6 +47,7 @@ from repro.db.types import SqlType, parse_type_name
 from repro.db.udf import PythonUdf, register_udf
 from repro.db.vector import VECTOR_SIZE, VectorBatch, concat_batches
 from repro.errors import (
+    CatalogError,
     CompiledKernelError,
     ExecutionError,
     PlanError,
@@ -140,6 +149,9 @@ class Database:
         task_retries: int = 2,
         path: str | None = None,
         buffer_pool_bytes: int | None = None,
+        slow_query_seconds: float | None = None,
+        query_log_capacity: int = 256,
+        collect_query_log: bool = True,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -198,6 +210,33 @@ class Database:
                 tracer=self.tracer,
             )
             self.storage.open_into(self.catalog)
+        #: queries at or above this latency are marked ``slow`` in the
+        #: query log and counted by the ``query.slow`` metric (None =
+        #: no slow-query marking)
+        self.slow_query_seconds = slow_query_seconds
+        #: False skips per-query profile collection and query logging
+        #: entirely (the observe bench measures its overhead)
+        self.collect_query_log = collect_query_log
+        #: named circuit breakers, rendered by ``system.breakers``
+        self.breakers = {"compile": self.compile_breaker}
+        #: registry of queries currently executing — readable from any
+        #: thread through ``system.active_queries``
+        self.active_queries = ActiveQueryRegistry()
+        #: ring buffer of finished queries (``system.queries``); for a
+        #: persistent database the log is also appended to a JSONL
+        #: file under the storage root and restored on reopen
+        self.query_log = QueryLog(
+            capacity=query_log_capacity,
+            path=(
+                self.storage.root / LOG_FILE_NAME
+                if self.storage is not None
+                else None
+            ),
+        )
+        #: the ``system.*`` virtual-table provider (see
+        #: :mod:`repro.db.introspect`)
+        self.introspection = SystemSchema(self)
+        self.catalog.attach_system_schema(self.introspection)
 
     # ------------------------------------------------------------------
     # engine-lifetime resources
@@ -245,6 +284,7 @@ class Database:
         if self.model_cache is not None:
             self.model_cache.clear()
         self.kernel_cache.clear()
+        self.query_log.close()
 
     # ------------------------------------------------------------------
     # observability
@@ -264,6 +304,61 @@ class Database:
         https://ui.perfetto.dev or in ``chrome://tracing``.
         """
         return self.tracer.export(path)
+
+    def export_metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format.
+
+        Counters and gauges export as single samples, histograms as
+        summaries (quantiles + ``_sum``/``_count``); all names carry
+        the ``repro_`` prefix.  See docs/OBSERVABILITY.md.
+        """
+        return metrics_to_prometheus(self.metrics.snapshot())
+
+    def _begin_query(
+        self, sql_text: str, parallel: bool
+    ) -> ResourceProfile | None:
+        """Open a resource profile and register it as an active query."""
+        if not self.collect_query_log:
+            return None
+        collector = ResourceProfile(
+            query_id=self.query_log.allocate_query_id(),
+            sql=sql_text,
+            started_at=time.time(),
+            parallel=parallel,
+        )
+        self.active_queries.register(collector)
+        return collector
+
+    def _finish_query(
+        self,
+        collector: ResourceProfile | None,
+        result: Result | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Finalize a resource profile and append it to the query log."""
+        if collector is None:
+            return
+        try:
+            if error is None:
+                status = "ok"
+            elif isinstance(error, QueryTimeoutError):
+                status = "timeout"
+            else:
+                status = "error"
+            collector.finish(
+                status,
+                error=error,
+                rows_returned=result.row_count if result is not None else 0,
+            )
+            if (
+                self.slow_query_seconds is not None
+                and collector.latency_seconds >= self.slow_query_seconds
+            ):
+                collector.slow = True
+                self.metrics.counter("query.slow").increment()
+            self.query_log.record(collector.to_entry())
+        finally:
+            self.active_queries.deregister(collector.query_id)
 
     def _context(self, parallelism: int = 1) -> ExecutionContext:
         """A fresh execution context wired to the engine's tracer and
@@ -368,7 +463,10 @@ class Database:
         """
         statement = parse_statement(sql)
         return self.execute_statement(
-            statement, parallel=parallel, timeout_seconds=timeout_seconds
+            statement,
+            parallel=parallel,
+            timeout_seconds=timeout_seconds,
+            sql_text=sql.strip(),
         )
 
     def execute_statement(
@@ -376,7 +474,12 @@ class Database:
         statement: Statement,
         parallel: bool = False,
         timeout_seconds: float | None = None,
+        sql_text: str | None = None,
     ) -> Result:
+        if sql_text is None:
+            # Statements executed programmatically (no SQL text) are
+            # still logged, under a synthetic marker.
+            sql_text = f"<{type(statement).__name__}>"
         if isinstance(statement, Explain):
             return self._execute_explain(statement)
         if isinstance(statement, CreateTable):
@@ -392,7 +495,10 @@ class Database:
             return self._execute_insert_select(statement)
         if isinstance(statement, SelectStatement):
             return self._execute_select(
-                statement, parallel=parallel, timeout_seconds=timeout_seconds
+                statement,
+                parallel=parallel,
+                timeout_seconds=timeout_seconds,
+                sql_text=sql_text,
             )
         raise PlanError(f"unsupported statement {type(statement).__name__}")
 
@@ -422,35 +528,48 @@ class Database:
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN ANALYZE supports only SELECT")
         if parallel and self.parallelism > 1:
-            return self._explain_analyze_parallel(statement)
+            return self._explain_analyze_parallel(statement, sql.strip())
         context = self._context()
         context.operator_timing = True
+        collector = self._begin_query(sql.strip(), parallel=False)
+        context.collector = collector
+        if collector is not None:
+            collector.counters = context.counters
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
             counters=context.counters,
         )
         started = time.perf_counter()
-        with self.tracer.span(
-            "query", category="query", args={"kind": "explain-analyze"}
-        ):
-            context.trace_parent = self.tracer.current_span_id()
-            plan = self._planner().plan_select(statement, context)
-            batches = list(plan.batches())
+        try:
+            with self.tracer.span(
+                "query", category="query", args={"kind": "explain-analyze"}
+            ):
+                context.trace_parent = self.tracer.current_span_id()
+                plan = self._planner().plan_select(statement, context)
+                batches = list(plan.batches())
+        except Exception as error:
+            self._finish_query(collector, error=error)
+            raise
         profile.wall_seconds = time.perf_counter() - started
         result = Result(plan.schema, batches, profile)
         profile.rows_returned = result.row_count
         finalize_profile(profile, self.metrics)
         self.last_profile = profile
+        self._finish_query(collector, result=result)
         return plan.explain(stats=True), result
 
     def _explain_analyze_parallel(
-        self, statement: SelectStatement
+        self, statement: SelectStatement, sql_text: str
     ) -> tuple[str, Result]:
         if statement.distinct:
             raise PlanError("DISTINCT is not supported in parallel mode")
         context = self._context(parallelism=self.parallelism)
         context.operator_timing = True
+        collector = self._begin_query(sql_text, parallel=True)
+        context.collector = collector
+        if collector is not None:
+            collector.counters = context.counters
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
@@ -458,19 +577,24 @@ class Database:
         )
         collected: dict = {}
         started = time.perf_counter()
-        with self.tracer.span(
-            "query",
-            category="query",
-            args={"kind": "explain-analyze", "parallel": True},
-        ):
-            context.trace_parent = self.tracer.current_span_id()
-            result = self._execute_select_parallel(
-                statement, context, profile, collect=collected
-            )
+        try:
+            with self.tracer.span(
+                "query",
+                category="query",
+                args={"kind": "explain-analyze", "parallel": True},
+            ):
+                context.trace_parent = self.tracer.current_span_id()
+                result = self._execute_select_parallel(
+                    statement, context, profile, collect=collected
+                )
+        except Exception as error:
+            self._finish_query(collector, error=error)
+            raise
         profile.wall_seconds = time.perf_counter() - started
         profile.rows_returned = result.row_count
         finalize_profile(profile, self.metrics)
         self.last_profile = profile
+        self._finish_query(collector, result=result)
         plans = collected["plans"]
         merged = plans[0]
         for other in plans[1:]:
@@ -520,7 +644,16 @@ class Database:
         )
         return Result.empty()
 
+    @staticmethod
+    def _check_writable(table_name: str) -> None:
+        if is_system_table_name(table_name):
+            raise CatalogError(
+                f"cannot insert into {table_name!r}: "
+                "the system schema is read-only"
+            )
+
     def _execute_insert_values(self, statement: InsertValues) -> Result:
+        self._check_writable(statement.table_name)
         table = self.catalog.table(statement.table_name)
         rows = self._reorder_rows(
             table.schema, statement.rows, statement.column_names
@@ -561,6 +694,7 @@ class Database:
             raise PlanError(
                 "INSERT ... SELECT with a column list is not supported"
             )
+        self._check_writable(statement.table_name)
         table = self.catalog.table(statement.table_name)
         result = self._execute_select(statement.query, parallel=False)
         if len(result.schema) != len(table.schema):
@@ -583,37 +717,61 @@ class Database:
         statement: SelectStatement,
         parallel: bool,
         timeout_seconds: float | None = None,
+        sql_text: str | None = None,
     ) -> Result:
         cancellation = (
             CancellationToken.with_timeout(timeout_seconds)
             if timeout_seconds is not None
             else None
         )
+        collector = self._begin_query(
+            sql_text or f"<{type(statement).__name__}>",
+            parallel=bool(parallel and self.parallelism > 1),
+        )
         try:
-            return self._execute_select_attempt(
-                statement, parallel, cancellation, use_compiled=None
-            )
-        except CompiledKernelError as error:
-            # One-shot fallback: a generated kernel failed (at compile
-            # exec time or at runtime).  Record the failure on the
-            # compile breaker — repeated failures disable compilation
-            # engine-wide for the cool-down — and re-execute fully
-            # interpreted, reusing the same cancellation token so the
-            # original deadline still applies.  Timeouts never take
-            # this path: QueryTimeoutError is not a CompiledKernelError.
-            self.metrics.counter("compile.fallback").increment()
-            self.compile_breaker.record_failure()
-            self.tracer.instant(
-                "compile-fallback",
-                category="fallback",
-                args={
-                    "error": type(error).__name__,
-                    "detail": str(error),
-                },
-            )
-            return self._execute_select_attempt(
-                statement, parallel, cancellation, use_compiled=False
-            )
+            try:
+                result = self._execute_select_attempt(
+                    statement, parallel, cancellation,
+                    use_compiled=None, collector=collector,
+                )
+            except CompiledKernelError as error:
+                # One-shot fallback: a generated kernel failed (at
+                # compile exec time or at runtime).  Record the failure
+                # on the compile breaker — repeated failures disable
+                # compilation engine-wide for the cool-down — and
+                # re-execute fully interpreted, reusing the same
+                # cancellation token so the original deadline still
+                # applies.  Timeouts never take this path:
+                # QueryTimeoutError is not a CompiledKernelError.
+                self.metrics.counter("compile.fallback").increment()
+                self.compile_breaker.record_failure()
+                self.tracer.instant(
+                    "compile-fallback",
+                    category="fallback",
+                    args={
+                        "error": type(error).__name__,
+                        "detail": str(error),
+                    },
+                )
+                if collector is not None:
+                    collector.fallback = True
+                result = self._execute_select_attempt(
+                    statement, parallel, cancellation,
+                    use_compiled=False, collector=collector,
+                )
+        except Exception as error:
+            # Failed queries still land a log row, with the error's
+            # taxonomy class (BindError, InjectedFaultError, ...).
+            self._finish_query(collector, error=error)
+            raise
+        except BaseException:
+            # KeyboardInterrupt/SystemExit: don't log a row, but never
+            # leave a ghost entry in the active-query registry.
+            if collector is not None:
+                self.active_queries.deregister(collector.query_id)
+            raise
+        self._finish_query(collector, result=result)
+        return result
 
     def _execute_select_attempt(
         self,
@@ -621,11 +779,18 @@ class Database:
         parallel: bool,
         cancellation: CancellationToken | None,
         use_compiled: bool | None,
+        collector: ResourceProfile | None = None,
     ) -> Result:
         context = self._context(
             parallelism=self.parallelism if parallel else 1
         )
         context.cancellation = cancellation
+        context.collector = collector
+        if collector is not None:
+            # A fallback re-execution rebinds the collector to the new
+            # attempt's counters: the logged resources are those of the
+            # attempt that produced (or failed to produce) the result.
+            collector.counters = context.counters
         profile = QueryProfile(
             memory=context.memory,
             stopwatch=context.stopwatch,
@@ -649,9 +814,13 @@ class Database:
                         use_compiled=use_compiled,
                     )
                 else:
-                    plan = self._planner(use_compiled).plan_select(
-                        statement, context
-                    )
+                    planner = self._planner(use_compiled)
+                    prepared = planner.prepare(statement)
+                    if collector is not None and prepared.selections:
+                        collector.modeljoin_variant = (
+                            prepared.selections[0].chosen
+                        )
+                    plan = planner.lower(prepared, context)
                     batches = list(plan.batches())
                     result = Result(plan.schema, batches, profile)
         except QueryTimeoutError:
@@ -680,6 +849,10 @@ class Database:
         # Bind + optimize once; every partition pipeline is lowered from
         # the same prepared plan (one variant decision per statement).
         prepared = planner.prepare(core)
+        if context.collector is not None and prepared.selections:
+            context.collector.modeljoin_variant = (
+                prepared.selections[0].chosen
+            )
         plans = [
             planner.lower(prepared, context, partition_index=index)
             for index in range(self.parallelism)

@@ -1,0 +1,94 @@
+"""The persistent ring-buffer query log behind ``system.queries``.
+
+In memory the log is a bounded deque of plain row dicts (see
+``collector.ENTRY_FIELDS``).  For a persistent database every recorded
+row is additionally appended to ``query_log.jsonl`` at the storage root
+and flushed immediately — one write per finished query, no checkpoint
+required — so the history survives a crash-kill and
+``repro.connect(path=...)`` restores the newest *capacity* rows on
+reopen.  A torn trailing line (the row being written when the process
+died) is skipped during the reload instead of poisoning the log.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+
+LOG_FILE_NAME = "query_log.jsonl"
+
+
+class QueryLog:
+    """Bounded query history with optional append-only persistence."""
+
+    def __init__(
+        self, capacity: int = 256, path: str | Path | None = None
+    ):
+        if capacity < 1:
+            raise ValueError("query log capacity must be >= 1")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._handle = None
+        self._next_query_id = 0
+        if self.path is not None:
+            self._load()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        rows: list[dict] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail write of a killed process; drop the row.
+                    continue
+                if isinstance(entry, dict):
+                    rows.append(entry)
+        self._entries.extend(rows[-self.capacity:])
+        if rows:
+            self._next_query_id = (
+                max(int(entry.get("query_id", -1)) for entry in rows) + 1
+            )
+
+    def allocate_query_id(self) -> int:
+        """The next query id (monotonic across restarts)."""
+        with self._lock:
+            query_id = self._next_query_id
+            self._next_query_id += 1
+            return query_id
+
+    def record(self, entry: dict) -> None:
+        """Append one finished-query row (and flush it to disk)."""
+        with self._lock:
+            self._entries.append(entry)
+            if self._handle is not None:
+                self._handle.write(
+                    json.dumps(entry, sort_keys=True) + "\n"
+                )
+                self._handle.flush()
+
+    def entries(self) -> list[dict]:
+        """The retained rows, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

@@ -1,0 +1,105 @@
+"""Prometheus text exposition for the engine metrics registry.
+
+``Database.export_metrics_text()`` renders a
+:meth:`~repro.db.tracing.MetricsRegistry.snapshot` in the Prometheus
+text format (version 0.0.4): counters and gauges as single samples,
+histograms as summaries with the registry's deterministic-reservoir
+quantiles.  Dotted engine names are mangled to the Prometheus alphabet
+(``query.latency`` -> ``repro_query_latency``).
+
+:func:`parse_prometheus_text` is the inverse used by the round-trip
+unit test (and handy for scrapers in tests).
+"""
+
+from __future__ import annotations
+
+import re
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: registry histogram percentile keys -> Prometheus quantile labels
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Mangle a dotted engine metric name to a valid Prometheus name."""
+    sanitized = _INVALID_CHARS.sub("_", name.strip())
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def metrics_to_prometheus(
+    snapshot: dict[str, dict], prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    for name, rendered in snapshot.items():
+        metric = prometheus_name(name, prefix)
+        kind = rendered.get("type", "gauge")
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {_format_value(rendered['value'])}")
+            continue
+        # Histogram -> summary: quantiles + _sum/_count.
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(rendered[key])}"
+            )
+        total = rendered["mean"] * rendered["count"]
+        lines.append(f"{metric}_sum {_format_value(total)}")
+        lines.append(f"{metric}_count {_format_value(rendered['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse Prometheus text exposition back into metric families.
+
+    Returns ``{name: {"type": ..., "value": ...}}`` for counters and
+    gauges, and ``{name: {"type": "summary", "quantiles": {...},
+    "sum": ..., "count": ...}}`` for summaries.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"type": types.get(name, "untyped")}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        value = float(value_part)
+        if "{" in name_part:
+            name, _, labels = name_part.partition("{")
+            entry = family(name)
+            quantiles = entry.setdefault("quantiles", {})
+            match = re.search(r'quantile="([^"]+)"', labels)
+            if match is not None:
+                quantiles[match.group(1)] = value
+            continue
+        for suffix, key in (("_sum", "sum"), ("_count", "count")):
+            base = name_part[: -len(suffix)]
+            if name_part.endswith(suffix) and types.get(base) == "summary":
+                family(base)[key] = value
+                break
+        else:
+            family(name_part)["value"] = value
+    return families

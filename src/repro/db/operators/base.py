@@ -48,6 +48,11 @@ class ExecutionContext:
     #: operator ``next()`` loops, per morsel in the scan loop and per
     #: kernel on the device (None = the query has no deadline)
     cancellation: CancellationToken | None = None
+    #: per-query resource-profile collector (duck-typed: see
+    #: repro.db.introspect.ResourceProfile); operators and the
+    #: parallel executor annotate it — None when the engine runs with
+    #: query-log collection disabled
+    collector: object | None = None
 
 
 def format_operator_seconds(seconds: float) -> str:

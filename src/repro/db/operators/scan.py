@@ -78,6 +78,9 @@ class TableScan(PhysicalOperator):
         self.morsel_owner = None
         self.blocks_scanned = 0
         self.blocks_pruned = 0
+        #: nominal (decoded) bytes of the blocks actually scanned; a
+        #: morsel counts only its row span's share of the block
+        self.bytes_scanned = 0
         #: distinct column files opened (disk-resident tables only)
         self._opened_files: set = set()
 
@@ -156,6 +159,7 @@ class TableScan(PhysicalOperator):
                     self._prune_block(block)
                     continue
                 self.blocks_scanned += 1
+                self.bytes_scanned += block.nominal_bytes()
                 batch = self._block_batch(block)
                 for start in range(0, len(batch), self.context.vector_size):
                     yield batch.slice(start, start + self.context.vector_size)
@@ -207,6 +211,10 @@ class TableScan(PhysicalOperator):
                 self._prune_block(block)
                 continue
             self.blocks_scanned += 1
+            span = morsel.row_stop - morsel.row_start
+            self.bytes_scanned += (
+                block.nominal_bytes() * span
+            ) // max(block.length, 1)
             if traced:
                 with tracer.span(
                     "morsel",
@@ -229,10 +237,27 @@ class TableScan(PhysicalOperator):
         for start in range(0, len(batch), self.context.vector_size):
             yield batch.slice(start, start + self.context.vector_size)
 
+    def close(self) -> None:
+        # Fold this scan's totals into the per-query profile counters
+        # (the introspection layer's ResourceProfile reads them at
+        # query end; retried pipelines re-scan, so re-counting their
+        # fresh plans is the honest accounting).
+        counters = self.context.counters
+        if self.rows_emitted:
+            counters.increment("scan.rows_read", self.rows_emitted)
+        if self.bytes_scanned:
+            counters.increment("scan.bytes_read", self.bytes_scanned)
+        if self.blocks_scanned:
+            counters.increment("scan.blocks_scanned", self.blocks_scanned)
+        if self.blocks_pruned:
+            counters.increment("scan.blocks_skipped", self.blocks_pruned)
+        super().close()
+
     def merge_stats_from(self, other) -> None:
         super().merge_stats_from(other)
         self.blocks_scanned += other.blocks_scanned
         self.blocks_pruned += other.blocks_pruned
+        self.bytes_scanned += other.bytes_scanned
 
     def describe(self) -> str:
         parts = [f"TableScan({self.table.name}"]

@@ -375,6 +375,9 @@ def attach_morsel_sources(
     for index, scans in enumerate(partitioned_scans):
         scans[0].morsel_source = source
         scans[0].morsel_owner = index
+    collector = partitioned_scans[0][0].context.collector
+    if collector is not None:
+        collector.morsels_total = len(source)
     return [source]
 
 
@@ -575,6 +578,7 @@ def run_plans(
         attempt += 1
         if metrics is not None:
             metrics.counter("query.retries").increment(len(failed))
+        context.counters.increment("query.retries", len(failed))
         if tracer.enabled:
             tracer.instant(
                 "retry",

@@ -26,7 +26,7 @@ class MemoryAccountant:
     letting it go negative: a negative balance would silently deflate
     every later peak — the Table-3-style numbers — for the rest of the
     query.  Each clamp increments :attr:`underflows`, which the engine
-    surfaces as the ``memory.release-underflow`` counter so accounting
+    surfaces as the ``memory.release_underflow`` counter so accounting
     bugs are visible instead of corrupting the measurements.
     """
 
@@ -164,7 +164,7 @@ class QueryProfile:
 def finalize_profile(profile: QueryProfile, metrics=None) -> None:
     """Post-query bookkeeping shared by the engine and the runners.
 
-    Surfaces memory-release underflows as the ``memory.release-underflow``
+    Surfaces memory-release underflows as the ``memory.release_underflow``
     profile counter and, when an engine-lifetime metrics registry is
     given (duck-typed: see :class:`repro.db.tracing.MetricsRegistry`),
     feeds the cross-query aggregates: ``query.latency`` (histogram),
@@ -172,11 +172,11 @@ def finalize_profile(profile: QueryProfile, metrics=None) -> None:
     """
     underflows = profile.memory.underflows
     if underflows:
-        profile.counters.increment("memory.release-underflow", underflows)
+        profile.counters.increment("memory.release_underflow", underflows)
     if metrics is None:
         return
     metrics.histogram("query.latency").observe(profile.wall_seconds)
     metrics.counter("query.count").increment()
     metrics.counter("query.rows").increment(profile.rows_returned)
     if underflows:
-        metrics.counter("memory.release-underflow").increment(underflows)
+        metrics.counter("memory.release_underflow").increment(underflows)

@@ -113,6 +113,12 @@ class CircuitBreaker:
             self._opened_at = None
 
     @property
+    def consecutive_failures(self) -> int:
+        """Current failure streak (reported by ``system.breakers``)."""
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
     def is_open(self) -> bool:
         """Open = skip the resource.  Auto-closes after the cool-down
         (the next call is the half-open trial; its failure re-opens)."""

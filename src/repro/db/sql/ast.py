@@ -42,7 +42,12 @@ class TableRef(FromItem):
 
     @property
     def binding_name(self) -> str:
-        return self.alias or self.table_name
+        # A schema-qualified name ("system.queries") binds under its
+        # last component: binding names must stay dot-free because
+        # qualified column references split at the first dot.
+        if self.alias:
+            return self.alias
+        return self.table_name.rsplit(".", 1)[-1]
 
 
 @dataclass(frozen=True)

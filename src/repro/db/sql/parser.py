@@ -143,6 +143,19 @@ class _Parser:
                 f"unexpected trailing input: {token.text!r}", token.position
             )
 
+    def _parse_table_name(self) -> str:
+        """A table name, optionally schema-qualified (``system.queries``).
+
+        The only schema the engine knows is the virtual read-only
+        ``system`` schema; plain names resolve against the user
+        catalog.  The dot must be parsed here (the lexer emits it as an
+        operator token), so ``a.b`` becomes one qualified name.
+        """
+        name = self.expect_identifier()
+        if self.accept_operator("."):
+            name = f"{name}.{self.expect_identifier()}"
+        return name
+
     def parse_create_table(self) -> CreateTable:
         self.expect_keyword("CREATE")
         self.expect_keyword("TABLE")
@@ -151,7 +164,7 @@ class _Parser:
             self.expect_keyword("NOT")
             self.expect_keyword("EXISTS")
             if_not_exists = True
-        name = self.expect_identifier()
+        name = self._parse_table_name()
         self.expect_operator("(")
         columns: list[ColumnDefinition] = []
         while True:
@@ -201,12 +214,12 @@ class _Parser:
         if self.accept_keyword("IF"):
             self.expect_keyword("EXISTS")
             if_exists = True
-        return DropTable(self.expect_identifier(), if_exists=if_exists)
+        return DropTable(self._parse_table_name(), if_exists=if_exists)
 
     def parse_insert(self) -> Statement:
         self.expect_keyword("INSERT")
         self.expect_keyword("INTO")
-        table_name = self.expect_identifier()
+        table_name = self._parse_table_name()
         column_names: list[str] = []
         if self.peek().is_operator("(") and not self.peek(1).is_keyword(
             "SELECT"
@@ -396,7 +409,7 @@ class _Parser:
             self.accept_keyword("AS")
             alias = self.expect_identifier()
             return SubqueryRef(query, alias)
-        name = self.expect_identifier()
+        name = self._parse_table_name()
         alias = None
         if self.accept_keyword("AS"):
             alias = self.expect_identifier()

@@ -213,6 +213,39 @@ class DiskPartition:
         )
         return disk + self._overlay.nominal_bytes()
 
+    def disk_block_metadata(self) -> list[dict]:
+        """Footer metadata of every sealed block × column, no payload I/O.
+
+        Feeds ``system.storage_blocks``: one dict per (block, column)
+        with the persisted codec, row count, encoded size and zone-map
+        bounds.  Overlay (unsealed) blocks are not included — see
+        :meth:`overlay_blocks`.
+        """
+        self._ensure_meta()
+        rows: list[dict] = []
+        for position, (reader, column) in enumerate(
+            zip(self._readers, self.schema)
+        ):
+            for index, entry in enumerate(reader.blocks):
+                rows.append(
+                    {
+                        "block": index,
+                        "column": column.name,
+                        "position": position,
+                        "codec": entry["codec"],
+                        "rows": entry["rows"],
+                        "raw_nbytes": entry["raw_nbytes"],
+                        "nulls": entry.get("nulls", 0),
+                        "min": entry["min"],
+                        "max": entry["max"],
+                    }
+                )
+        return rows
+
+    def overlay_blocks(self) -> list:
+        """In-memory blocks appended since the last checkpoint."""
+        return self._overlay.all_blocks()
+
     def scan(
         self,
         ranges: list[ColumnRange] | None = None,

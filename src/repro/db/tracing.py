@@ -29,7 +29,7 @@ observability layer serving-oriented systems treat as table stakes:
   timeline of 12 parallel partition pipelines is actually inspectable.
 
 Metric naming convention: lowercase dotted paths, ``subsystem.measure``
-(``query.latency``, ``cache.hits``, ``memory.release-underflow``).
+(``query.latency``, ``cache.hits``, ``memory.release_underflow``).
 """
 
 from __future__ import annotations

@@ -499,8 +499,8 @@ class TestMemoryUnderflow:
         profile.memory.release(20, "x")
         metrics = MetricsRegistry()
         finalize_profile(profile, metrics)
-        assert profile.counters.get("memory.release-underflow") == 1
-        assert metrics.counter("memory.release-underflow").value == 1
+        assert profile.counters.get("memory.release_underflow") == 1
+        assert metrics.counter("memory.release_underflow").value == 1
 
 
 class TestTracingOverheadGate:
