@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench storage [--check] [--json BENCH_pr5.json]
     python -m repro.bench compile [--check] [--json BENCH_pr6.json]
     python -m repro.bench observe [--check] [--json BENCH_pr7.json]
+    python -m repro.bench serve   [--check] [--json BENCH_pr8.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -63,6 +64,15 @@ gates query-log collection overhead on the PR1 serving workload at
 <5% (docs/OBSERVABILITY.md).  ``--check`` turns the verdict into the
 exit code.
 
+The ``serve`` experiment gates the concurrent serving front-end
+(docs/SERVING.md): sustained mixed OLAP/ModelJoin throughput from N
+client sessions under concurrent checkpoint churn with zero
+cross-session bleed and bounded p99, deterministic shedding under a
+2x-capacity overload burst with nothing hung, and a chaos run with
+10% injected faults (including the ``serve.admit`` site) where every
+admitted query still completes bit-exact.  ``--check`` turns the
+verdict into the exit code.
+
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
 Chrome-trace/Perfetto JSON (open at https://ui.perfetto.dev).
@@ -109,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
             "storage",
             "compile",
             "observe",
+            "serve",
         ],
     )
     parser.add_argument(
@@ -145,11 +156,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="serving/tracing/chaos/plan/storage/compile/observe "
+        help="serving/tracing/chaos/plan/storage/compile/observe/serve "
         "experiment: where to write the JSON evidence (defaults: "
         "BENCH_pr1.json / BENCH_pr2.json / BENCH_pr3.json / "
         "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr6.json / "
-        "BENCH_pr7.json)",
+        "BENCH_pr7.json / BENCH_pr8.json)",
     )
     parser.add_argument(
         "--check",
@@ -343,6 +354,27 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if arguments.check and not report["ok"]:
             print("observability check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "serve":
+        from repro.bench.serve_bench import (
+            format_serve_report,
+            run_serve_bench,
+            write_report,
+        )
+
+        report = run_serve_bench(config, seed=arguments.seed)
+        rendered = format_serve_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr8.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("serving check FAILED", file=sys.stderr)
             return 1
         return 0
 

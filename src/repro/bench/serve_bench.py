@@ -1,0 +1,473 @@
+"""Serving gate: sustained concurrency, overload shedding, chaos.
+
+Three phases against one persistent database behind a
+:class:`repro.db.serve.Server`, each with a pass/fail verdict
+(``python -m repro.bench serve --check`` makes it the exit code):
+
+* **Steady state** — N client threads run a mixed OLAP / ``MODEL
+  JOIN`` workload through their own sessions while a writer session
+  appends rows and publishes checkpoint generations.  Every result is
+  compared bit-exact against its per-client reference answer (the
+  writer only touches a group no reader queries, so any deviation is
+  cross-session bleed or a torn snapshot), and the gate requires zero
+  errors plus a bounded p99 (``<= max(1s, 20x median)`` — a relative
+  bound so slow CI machines do not flake it).
+
+* **Overload** — a burst of 2x the admission-queue capacity per
+  dispatcher is submitted at once.  The gate requires every future to
+  resolve (shed queries fail fast with ``QueryRejectedError`` — none
+  may hang), every completed query to be bit-exact and within its
+  deadline, and a non-zero measured shed rate (the queue actually
+  saturated).
+
+* **Chaos** — the same workload under ``REPRO_FAULTS``-style injection
+  (10% on ``serve.admit`` and ``io.block_read``, 5% on
+  ``worker.task``).  Faulted admissions must surface as immediate
+  rejections; every admitted query must still complete bit-exact (the
+  reader retry layer and pipeline retries absorb the rest).
+
+The report lands in ``BENCH_pr8.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig
+from repro.core.attach import connect
+from repro.core.registry import publish_model
+from repro.db import faults
+from repro.db.serve import Server
+from repro.errors import QueryRejectedError
+from repro.workloads.iris import FEATURE_COLUMNS, load_iris_table
+from repro.workloads.models import make_dense_model
+
+#: p99 must stay under max(P99_FLOOR_SECONDS, P99_MEDIAN_FACTOR * p50)
+P99_FLOOR_SECONDS = 1.0
+P99_MEDIAN_FACTOR = 20.0
+
+#: generous per-query deadline: hitting it means a hang, not load
+DEADLINE_SECONDS = 30.0
+
+MODELJOIN_SQL = (
+    "SELECT id, prediction_0 FROM iris MODEL JOIN serve_model "
+    f"USING ({', '.join(FEATURE_COLUMNS)})"
+)
+
+
+def _olap_sql(group: int) -> str:
+    return (
+        "SELECT grp, COUNT(*), SUM(val) FROM events "
+        f"WHERE grp = {group} GROUP BY grp"
+    )
+
+
+def _setup(root: str, rows_per_group: int, iris_rows: int, width: int):
+    database = connect(parallelism=2, path=root)
+    database.execute(
+        "CREATE TABLE events (id INTEGER, grp INTEGER, val DOUBLE)"
+    )
+    values = ", ".join(
+        f"({index}, {index % 4}, {index * 0.5})"
+        for index in range(rows_per_group * 4)
+    )
+    database.execute(f"INSERT INTO events VALUES {values}")
+    load_iris_table(database, iris_rows)
+    model = make_dense_model(width, 2, input_width=4, seed=width)
+    publish_model(database, "serve_model", model, replace=True)
+    database.checkpoint()
+    references = {
+        group: database.execute(_olap_sql(group)).rows
+        for group in range(4)
+    }
+    modeljoin_reference = database.execute(MODELJOIN_SQL).column(
+        "prediction_0"
+    )
+    return database, references, modeljoin_reference
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.array(latencies), q))
+
+
+class _ClientStats:
+    """Thread-safe tally shared by the client threads of one phase."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: list[float] = []
+        self.completed = 0
+        self.rejected = 0
+        self.errors: list[str] = []
+
+    def record(self, seconds: float) -> None:
+        with self.lock:
+            self.latencies.append(seconds)
+            self.completed += 1
+
+    def record_rejection(self) -> None:
+        with self.lock:
+            self.rejected += 1
+
+    def record_error(self, message: str) -> None:
+        with self.lock:
+            self.errors.append(message)
+
+
+def _run_clients(
+    server: Server,
+    references: dict,
+    modeljoin_reference,
+    clients: int,
+    queries_per_client: int,
+    modeljoin_share: int,
+) -> tuple[_ClientStats, float]:
+    """N threads, each its own session, mixed OLAP/ModelJoin."""
+    stats = _ClientStats()
+
+    def client(index: int) -> None:
+        session = server.open_session(
+            tenant=f"t{index % 3}",
+            priority=index % 3,
+            timeout_seconds=DEADLINE_SECONDS,
+        )
+        try:
+            for turn in range(queries_per_client):
+                modeljoin = (
+                    modeljoin_share > 0
+                    and turn % modeljoin_share == 0
+                )
+                group = (index + turn) % 4
+                sql = MODELJOIN_SQL if modeljoin else _olap_sql(group)
+                started = time.perf_counter()
+                try:
+                    result = session.execute(sql)
+                except QueryRejectedError:
+                    stats.record_rejection()
+                    continue
+                except Exception as error:  # noqa: BLE001 - verdict data
+                    stats.record_error(
+                        f"client {index}: {type(error).__name__}: {error}"
+                    )
+                    continue
+                stats.record(time.perf_counter() - started)
+                if modeljoin:
+                    exact = np.array_equal(
+                        result.column("prediction_0"),
+                        modeljoin_reference,
+                    )
+                else:
+                    exact = result.rows == references[group]
+                if not exact:
+                    stats.record_error(
+                        f"client {index}: BLEED on {sql!r}"
+                    )
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return stats, time.perf_counter() - started
+
+
+def run_steady_phase(
+    server: Server,
+    database,
+    references: dict,
+    modeljoin_reference,
+    clients: int,
+    queries_per_client: int,
+) -> dict:
+    """Mixed workload under concurrent writer churn; zero-bleed gate."""
+    stop = threading.Event()
+    writer_errors: list[str] = []
+
+    def writer() -> None:
+        # Appends land in a group no reader queries and each publish
+        # swaps the generation the readers' snapshots pin.
+        session = server.open_session(tenant="writer", priority=9)
+        try:
+            sequence = 0
+            while not stop.is_set():
+                session.execute(
+                    "INSERT INTO events VALUES "
+                    f"({100_000 + sequence}, 999, 1.0)"
+                )
+                database.checkpoint()
+                sequence += 1
+                time.sleep(0.01)
+        except Exception as error:  # noqa: BLE001 - verdict data
+            writer_errors.append(f"writer: {type(error).__name__}: {error}")
+        finally:
+            session.close()
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    try:
+        stats, wall = _run_clients(
+            server,
+            references,
+            modeljoin_reference,
+            clients,
+            queries_per_client,
+            modeljoin_share=4,
+        )
+    finally:
+        stop.set()
+        writer_thread.join()
+    p50 = _percentile(stats.latencies, 50)
+    p99 = _percentile(stats.latencies, 99)
+    p99_bound = max(P99_FLOOR_SECONDS, P99_MEDIAN_FACTOR * p50)
+    errors = stats.errors + writer_errors
+    storage = database.storage
+    return {
+        "clients": clients,
+        "queries_per_client": queries_per_client,
+        "completed": stats.completed,
+        "rejected": stats.rejected,
+        "wall_seconds": wall,
+        "qps": stats.completed / wall if wall > 0 else 0.0,
+        "p50_seconds": p50,
+        "p99_seconds": p99,
+        "p99_bound_seconds": p99_bound,
+        "pinned_generations_after": storage.pinned_generations(),
+        "retired_generations_after": storage.retired_generations(),
+        "errors": errors,
+        "ok": (
+            not errors
+            and stats.completed > 0
+            and p99 <= p99_bound
+            # every snapshot released its pins; nothing leaks
+            and storage.pinned_generations() == 0
+            and storage.retired_generations() == 0
+        ),
+    }
+
+
+def run_overload_phase(
+    server: Server, references: dict, burst_factor: int = 2
+) -> dict:
+    """Burst 2x queue capacity per dispatcher; nothing may hang."""
+    capacity = server.queue.capacity
+    burst = burst_factor * capacity * len(server._dispatchers)
+    sessions = [
+        server.open_session(
+            tenant=f"burst{index % 2}",
+            priority=index % 3,
+            timeout_seconds=DEADLINE_SECONDS,
+        )
+        for index in range(4)
+    ]
+    futures = []
+    rejected_at_submit = 0
+    started = time.perf_counter()
+    for index in range(burst):
+        group = index % 4
+        try:
+            futures.append(
+                (group, sessions[index % 4].submit(_olap_sql(group)))
+            )
+        except QueryRejectedError:
+            rejected_at_submit += 1
+    completed = 0
+    rejected = rejected_at_submit
+    hung = 0
+    errors: list[str] = []
+    for group, future in futures:
+        try:
+            result = future.wait(timeout=DEADLINE_SECONDS * 2)
+        except TimeoutError:
+            hung += 1
+            continue
+        except QueryRejectedError:
+            rejected += 1
+            continue
+        except Exception as error:  # noqa: BLE001 - verdict data
+            errors.append(f"{type(error).__name__}: {error}")
+            continue
+        completed += 1
+        if result.rows != references[group]:
+            errors.append(f"BLEED in overload burst (grp {group})")
+    wall = time.perf_counter() - started
+    for session in sessions:
+        session.close()
+    shed_rate = rejected / burst if burst else 0.0
+    return {
+        "queue_capacity": capacity,
+        "burst": burst,
+        "completed": completed,
+        "rejected": rejected,
+        "hung": hung,
+        "shed_rate": shed_rate,
+        "wall_seconds": wall,
+        "errors": errors,
+        "ok": (
+            hung == 0
+            and not errors
+            and completed + rejected == burst
+            and completed > 0
+            and rejected > 0
+        ),
+    }
+
+
+def run_chaos_phase(
+    server: Server,
+    references: dict,
+    modeljoin_reference,
+    clients: int,
+    queries_per_client: int,
+    seed: int,
+) -> dict:
+    """The steady workload under 10% injected faults (serve.admit in)."""
+    injector = faults.FaultInjector(seed=seed)
+    injector.raise_with_probability("serve.admit", 0.1)
+    injector.raise_with_probability("io.block_read", 0.1)
+    injector.raise_with_probability("worker.task", 0.05)
+    with faults.active(injector):
+        stats, wall = _run_clients(
+            server,
+            references,
+            modeljoin_reference,
+            clients,
+            queries_per_client,
+            modeljoin_share=0,
+        )
+        fault_stats = injector.statistics()
+    submitted = clients * queries_per_client
+    return {
+        "spec": "serve.admit=prob:0.1,io.block_read=prob:0.1,"
+        "worker.task=prob:0.05",
+        "seed": seed,
+        "submitted": submitted,
+        "completed": stats.completed,
+        "rejected": stats.rejected,
+        "wall_seconds": wall,
+        "faults": fault_stats,
+        "errors": stats.errors,
+        "ok": (
+            not stats.errors
+            and stats.completed + stats.rejected == submitted
+            and stats.completed > 0
+        ),
+    }
+
+
+def run_serve_bench(config: BenchConfig, seed: int = 7) -> dict:
+    """All three serving phases against one persistent database."""
+    if config.preset == "smoke":
+        rows_per_group, iris_rows, width = 200, 500, 16
+        clients, queries_per_client = 4, 6
+        queue_capacity, dispatchers = 4, 2
+    else:
+        rows_per_group, iris_rows, width = 1_000, 2_000, 32
+        clients, queries_per_client = 8, 16
+        queue_capacity, dispatchers = 8, 4
+    root = tempfile.mkdtemp(prefix="repro-serve-")
+    try:
+        database, references, modeljoin_reference = _setup(
+            root, rows_per_group, iris_rows, width
+        )
+        server = Server(
+            database,
+            queue_capacity=queue_capacity,
+            dispatchers=dispatchers,
+            default_timeout_seconds=DEADLINE_SECONDS,
+        )
+        steady = run_steady_phase(
+            server,
+            database,
+            references,
+            modeljoin_reference,
+            clients,
+            queries_per_client,
+        )
+        overload = run_overload_phase(server, references)
+        chaos = run_chaos_phase(
+            server,
+            references,
+            modeljoin_reference,
+            clients,
+            queries_per_client,
+            seed=seed,
+        )
+        database.close()  # exercises close-under-serving teardown
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "experiment": "serve",
+        "preset": config.preset,
+        "workload": {
+            "rows_per_group": rows_per_group,
+            "iris_rows": iris_rows,
+            "model_width": width,
+            "clients": clients,
+            "queries_per_client": queries_per_client,
+            "queue_capacity": queue_capacity,
+            "dispatchers": dispatchers,
+        },
+        "steady": steady,
+        "overload": overload,
+        "chaos": chaos,
+        "ok": steady["ok"] and overload["ok"] and chaos["ok"],
+    }
+
+
+def format_serve_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_serve_bench`."""
+    steady = report["steady"]
+    overload = report["overload"]
+    chaos = report["chaos"]
+    title = (
+        "Serving — concurrency, overload shedding, chaos "
+        f"(preset {report['preset']})"
+    )
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"steady: {steady['completed']} queries from "
+        f"{steady['clients']} clients at {steady['qps']:.1f} qps   "
+        f"p50 {steady['p50_seconds'] * 1000:.1f} ms   "
+        f"p99 {steady['p99_seconds'] * 1000:.1f} ms "
+        f"(bound {steady['p99_bound_seconds'] * 1000:.0f} ms)   "
+        f"pins leaked: {steady['pinned_generations_after']} "
+        f"-> {'PASS' if steady['ok'] else 'FAIL'}"
+    )
+    lines.append(
+        f"overload: burst {overload['burst']} vs capacity "
+        f"{overload['queue_capacity']}   completed "
+        f"{overload['completed']}   rejected {overload['rejected']} "
+        f"(shed rate {overload['shed_rate'] * 100:.0f}%)   hung "
+        f"{overload['hung']} -> {'PASS' if overload['ok'] else 'FAIL'}"
+    )
+    lines.append(
+        f"chaos [{chaos['spec']}]: {chaos['completed']} completed + "
+        f"{chaos['rejected']} rejected of {chaos['submitted']} "
+        f"-> {'PASS' if chaos['ok'] else 'FAIL'}"
+    )
+    for phase in (steady, overload, chaos):
+        for error in phase["errors"]:
+            lines.append(f"FAILURE: {error}")
+    lines.append(f"\nVerdict: {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

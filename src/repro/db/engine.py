@@ -9,6 +9,7 @@ tables, see :mod:`repro.db.parallel`).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 
 import numpy as np
@@ -51,6 +52,8 @@ from repro.errors import (
     CompiledKernelError,
     ExecutionError,
     PlanError,
+    QueryCancelledError,
+    QueryRejectedError,
     QueryTimeoutError,
     TypeMismatchError,
 )
@@ -158,6 +161,15 @@ class Database:
         if task_retries < 0:
             raise ValueError("task_retries must be >= 0")
         self.catalog = Catalog()
+        #: serializes catalog mutation against snapshot capture: writers
+        #: (DDL/DML/checkpoint) hold it for the whole statement, readers
+        #: hold it only for the instant :meth:`snapshot` copies the
+        #: table list — so a snapshot never observes a half-applied
+        #: write (reentrant, so a write statement can nest another)
+        self.catalog_lock = threading.RLock()
+        #: the serving front-end currently attached (if any); close()
+        #: drains it first, and ``system.sessions`` reads through it
+        self._server = None
         self.parallelism = parallelism
         self.vector_size = vector_size
         #: how many times a crashed partition pipeline is retried (on a
@@ -264,18 +276,68 @@ class Database:
             raise ExecutionError(
                 "checkpoint() requires a database opened with path="
             )
-        manifest = self.storage.checkpoint(self.catalog)
+        with self.catalog_lock:
+            manifest = self.storage.checkpoint(self.catalog)
         if self.model_cache_persistence is not None:
             self.model_cache_persistence.save()
         return manifest
 
-    def close(self) -> None:
+    def snapshot(self):
+        """A pinned, immutable view of the current catalog (MVCC-lite).
+
+        Captured under :attr:`catalog_lock`, so the snapshot is a
+        consistent cut across all tables and partitions.  The caller
+        must call ``release()`` (or use the snapshot as a context
+        manager) so pinned checkpoint generations can be GC'd; the
+        serving layer does this for every admitted read query.
+        """
+        from repro.db.snapshot import DatabaseSnapshot
+
+        with self.catalog_lock:
+            return DatabaseSnapshot(self)
+
+    def attach_server(self, server) -> None:
+        """Register the serving front-end (done by ``serve.Server``).
+
+        Makes ``system.sessions`` / ``system.admission_queue`` render
+        the server's state and lets :meth:`close` drain it first.
+        """
+        self._server = server
+
+    def _drain_active_queries(self, drain_seconds: float) -> None:
+        """Cancel every in-flight query and wait (bounded) for drain.
+
+        Cancellation is cooperative: each query's token trips at its
+        next morsel/operator checkpoint and the worker pool drains
+        cleanly.  Queries without a token (plain single-caller use)
+        are simply waited for.
+        """
+        for profile in self.active_queries.snapshot():
+            token = getattr(profile, "cancellation", None)
+            if token is not None:
+                token.cancel("database closing")
+        deadline = time.perf_counter() + max(drain_seconds, 0.0)
+        while self.active_queries.snapshot():
+            if time.perf_counter() >= deadline:
+                break
+            time.sleep(0.005)
+
+    def close(self, drain_seconds: float = 5.0) -> None:
         """Release engine-lifetime resources (worker threads, caches).
 
-        A persistent database checkpoints first, so plain
-        ``close()`` / ``with Database(path=...)`` is durable by
-        default.
+        Safe under load: an attached serving front-end is closed first
+        (new admissions rejected, queued queries shed), then every
+        in-flight query is cancelled cooperatively and waited for up to
+        *drain_seconds* — only then does the final checkpoint run and
+        the worker pool shut down.  A persistent database checkpoints
+        before teardown, so plain ``close()`` / ``with
+        Database(path=...)`` is durable by default.
         """
+        server = self._server
+        if server is not None:
+            self._server = None
+            server.close(drain_seconds=drain_seconds)
+        self._drain_active_queries(drain_seconds)
         if self.storage is not None:
             self.checkpoint()
         if self._worker_pool is not None:
@@ -315,7 +377,11 @@ class Database:
         return metrics_to_prometheus(self.metrics.snapshot())
 
     def _begin_query(
-        self, sql_text: str, parallel: bool
+        self,
+        sql_text: str,
+        parallel: bool,
+        session_id: str = "",
+        tenant: str = "",
     ) -> ResourceProfile | None:
         """Open a resource profile and register it as an active query."""
         if not self.collect_query_log:
@@ -325,6 +391,8 @@ class Database:
             sql=sql_text,
             started_at=time.time(),
             parallel=parallel,
+            session_id=session_id,
+            tenant=tenant,
         )
         self.active_queries.register(collector)
         return collector
@@ -341,6 +409,11 @@ class Database:
         try:
             if error is None:
                 status = "ok"
+            elif isinstance(error, QueryRejectedError):
+                status = "rejected"
+            elif isinstance(error, QueryCancelledError):
+                # before QueryTimeoutError: cancelled is its subclass
+                status = "cancelled"
             elif isinstance(error, QueryTimeoutError):
                 status = "timeout"
             else:
@@ -421,7 +494,11 @@ class Database:
         repro.core.attach); the planner consults it per query."""
         self.variant_selector = selector
 
-    def _planner(self, use_compiled: bool | None = None) -> Planner:
+    def _planner(
+        self,
+        use_compiled: bool | None = None,
+        catalog: Catalog | None = None,
+    ) -> Planner:
         options = self.planner_options
         if use_compiled is False and getattr(
             options, "use_compiled_kernels", True
@@ -430,7 +507,7 @@ class Database:
                 options, use_compiled_kernels=False
             )
         return Planner(
-            self.catalog,
+            catalog if catalog is not None else self.catalog,
             options=options,
             modeljoin_factory=self._modeljoin_factory,
             variant_selector=self.variant_selector,
@@ -448,6 +525,10 @@ class Database:
         sql: str,
         parallel: bool = False,
         timeout_seconds: float | None = None,
+        catalog: Catalog | None = None,
+        cancellation: CancellationToken | None = None,
+        session_id: str = "",
+        tenant: str = "",
     ) -> Result:
         """Parse and execute one SQL statement.
 
@@ -460,6 +541,12 @@ class Database:
         and raises :class:`~repro.errors.QueryTimeoutError` once the
         deadline passes (the worker pool drains cleanly and stays
         usable).
+
+        The serving layer passes *catalog* (a snapshot catalog so the
+        query reads a pinned, immutable view), *cancellation* (a
+        pre-built token carrying the session deadline — it takes
+        precedence over *timeout_seconds*) and *session_id*/*tenant*
+        (stamped on the query-log row and ``system.active_queries``).
         """
         statement = parse_statement(sql)
         return self.execute_statement(
@@ -467,6 +554,10 @@ class Database:
             parallel=parallel,
             timeout_seconds=timeout_seconds,
             sql_text=sql.strip(),
+            catalog=catalog,
+            cancellation=cancellation,
+            session_id=session_id,
+            tenant=tenant,
         )
 
     def execute_statement(
@@ -475,6 +566,10 @@ class Database:
         parallel: bool = False,
         timeout_seconds: float | None = None,
         sql_text: str | None = None,
+        catalog: Catalog | None = None,
+        cancellation: CancellationToken | None = None,
+        session_id: str = "",
+        tenant: str = "",
     ) -> Result:
         if sql_text is None:
             # Statements executed programmatically (no SQL text) are
@@ -483,22 +578,30 @@ class Database:
         if isinstance(statement, Explain):
             return self._execute_explain(statement)
         if isinstance(statement, CreateTable):
-            return self._execute_create_table(statement)
+            with self.catalog_lock:
+                return self._execute_create_table(statement)
         if isinstance(statement, DropTable):
-            self.catalog.drop_table(
-                statement.table_name, if_exists=statement.if_exists
-            )
+            with self.catalog_lock:
+                self.catalog.drop_table(
+                    statement.table_name, if_exists=statement.if_exists
+                )
             return Result.empty()
         if isinstance(statement, InsertValues):
-            return self._execute_insert_values(statement)
+            with self.catalog_lock:
+                return self._execute_insert_values(statement)
         if isinstance(statement, InsertSelect):
-            return self._execute_insert_select(statement)
+            with self.catalog_lock:
+                return self._execute_insert_select(statement)
         if isinstance(statement, SelectStatement):
             return self._execute_select(
                 statement,
                 parallel=parallel,
                 timeout_seconds=timeout_seconds,
                 sql_text=sql_text,
+                catalog=catalog,
+                cancellation=cancellation,
+                session_id=session_id,
+                tenant=tenant,
             )
         raise PlanError(f"unsupported statement {type(statement).__name__}")
 
@@ -718,21 +821,29 @@ class Database:
         parallel: bool,
         timeout_seconds: float | None = None,
         sql_text: str | None = None,
+        catalog: Catalog | None = None,
+        cancellation: CancellationToken | None = None,
+        session_id: str = "",
+        tenant: str = "",
     ) -> Result:
-        cancellation = (
-            CancellationToken.with_timeout(timeout_seconds)
-            if timeout_seconds is not None
-            else None
-        )
+        if cancellation is None and timeout_seconds is not None:
+            cancellation = CancellationToken.with_timeout(timeout_seconds)
         collector = self._begin_query(
             sql_text or f"<{type(statement).__name__}>",
             parallel=bool(parallel and self.parallelism > 1),
+            session_id=session_id,
+            tenant=tenant,
         )
+        if collector is not None:
+            # Exposed so close()/session teardown can cancel in-flight
+            # queries through the active-query registry.
+            collector.cancellation = cancellation
         try:
             try:
                 result = self._execute_select_attempt(
                     statement, parallel, cancellation,
                     use_compiled=None, collector=collector,
+                    catalog=catalog,
                 )
             except CompiledKernelError as error:
                 # One-shot fallback: a generated kernel failed (at
@@ -758,6 +869,7 @@ class Database:
                 result = self._execute_select_attempt(
                     statement, parallel, cancellation,
                     use_compiled=False, collector=collector,
+                    catalog=catalog,
                 )
         except Exception as error:
             # Failed queries still land a log row, with the error's
@@ -780,6 +892,7 @@ class Database:
         cancellation: CancellationToken | None,
         use_compiled: bool | None,
         collector: ResourceProfile | None = None,
+        catalog: Catalog | None = None,
     ) -> Result:
         context = self._context(
             parallelism=self.parallelism if parallel else 1
@@ -811,10 +924,10 @@ class Database:
                         )
                     result = self._execute_select_parallel(
                         statement, context, profile,
-                        use_compiled=use_compiled,
+                        use_compiled=use_compiled, catalog=catalog,
                     )
                 else:
-                    planner = self._planner(use_compiled)
+                    planner = self._planner(use_compiled, catalog=catalog)
                     prepared = planner.prepare(statement)
                     if collector is not None and prepared.selections:
                         collector.modeljoin_variant = (
@@ -839,13 +952,14 @@ class Database:
         profile: QueryProfile,
         collect: dict | None = None,
         use_compiled: bool | None = None,
+        catalog: Catalog | None = None,
     ) -> Result:
         # ORDER BY / LIMIT are global operations: run the core of the
         # query per partition and apply them on the merged result.
         core = dataclasses.replace(
             statement, order_by=(), limit=None, offset=0
         )
-        planner = self._planner(use_compiled)
+        planner = self._planner(use_compiled, catalog=catalog)
         # Bind + optimize once; every partition pipeline is lowered from
         # the same prepared plan (one variant decision per statement).
         prepared = planner.prepare(core)

@@ -32,6 +32,13 @@ site                      fires in
                           :class:`~repro.errors.KernelExecutionError` and
                           exercises the engine's one-shot interpreted
                           fallback + compile circuit breaker)
+``serve.admit``           :meth:`repro.db.serve.admission.AdmissionQueue.
+                          admit`, once per admission attempt (an injected
+                          fault surfaces as a
+                          :class:`~repro.errors.QueryRejectedError`, so a
+                          chaos-faulted admission behaves exactly like a
+                          deterministic shed: the client gets an immediate
+                          rejection, never a hang)
 ========================  ====================================================
 
 Policies: :meth:`FaultInjector.raise_once` (raise the first *count*
@@ -85,6 +92,7 @@ KNOWN_SITES = (
     "modeljoin.build",
     "io.block_read",
     "compile.kernel",
+    "serve.admit",
 )
 
 RAISE_ONCE = "once"

@@ -57,6 +57,10 @@ ENTRY_FIELDS = (
     "compiled",
     "fallback",
     "modeljoin_variant",
+    # appended in PR8 so older JSONL rows (without them) still load:
+    # the restore path reads entries with .get(name, default)
+    "session_id",
+    "tenant",
 )
 
 
@@ -93,6 +97,16 @@ class ResourceProfile:
     fallback: bool = False
     #: the optimizer's chosen ModelJoin execution variant ("" = none)
     modeljoin_variant: str = ""
+    #: serving-session identity ("" = direct single-caller use); set by
+    #: the engine from the serve layer's admission record
+    session_id: str = ""
+    tenant: str = ""
+    #: the query's cooperative cancellation token (if any); lets
+    #: ``Database.close()`` and session teardown cancel in-flight
+    #: queries found through the active-query registry
+    cancellation: object | None = field(
+        default=None, repr=False, compare=False
+    )
     #: live handle to the running query's thread-safe counters; bound
     #: by the engine once the execution context exists and read
     #: concurrently by ``system.active_queries`` (never serialized)

@@ -10,8 +10,10 @@ applies unchanged: no special operators, no side channel.
 Available tables (see docs/OBSERVABILITY.md for the column reference):
 ``system.metrics``, ``system.queries``, ``system.active_queries``,
 ``system.buffer_pool``, ``system.kernel_cache``, ``system.model_cache``,
-``system.breakers``, ``system.storage_blocks``, ``system.tables`` and
-``system.columns``.
+``system.breakers``, ``system.storage_blocks``, ``system.tables``,
+``system.columns``, ``system.sessions`` and ``system.admission_queue``
+(the last two render live serving-layer state when a
+:class:`repro.db.serve.Server` is attached, and are empty otherwise).
 """
 
 from __future__ import annotations
@@ -45,6 +47,8 @@ _QUERY_COLUMN_TYPES = {
     "compiled": SqlType.BOOLEAN,
     "fallback": SqlType.BOOLEAN,
     "modeljoin_variant": SqlType.VARCHAR,
+    "session_id": SqlType.VARCHAR,
+    "tenant": SqlType.VARCHAR,
 }
 
 _TYPE_DEFAULTS = {
@@ -90,6 +94,8 @@ class SystemSchema:
             "storage_blocks": self._storage_blocks,
             "tables": self._tables,
             "columns": self._columns,
+            "sessions": self._sessions,
+            "admission_queue": self._admission_queue,
         }
 
     # ------------------------------------------------------------------
@@ -172,6 +178,8 @@ class SystemSchema:
             ("morsels_completed", SqlType.INTEGER),
             ("morsels_total", SqlType.INTEGER),
             ("parallel", SqlType.BOOLEAN),
+            ("session_id", SqlType.VARCHAR),
+            ("tenant", SqlType.VARCHAR),
         )
         rows = [
             (
@@ -181,8 +189,72 @@ class SystemSchema:
                 profile.morsels_completed(),
                 profile.morsels_total,
                 profile.parallel,
+                profile.session_id,
+                profile.tenant,
             )
             for profile in self._database.active_queries.snapshot()
+        ]
+        return schema, rows
+
+    def _sessions(self):
+        schema = _schema(
+            ("session_id", SqlType.VARCHAR),
+            ("tenant", SqlType.VARCHAR),
+            ("priority", SqlType.INTEGER),
+            ("state", SqlType.VARCHAR),
+            ("submitted", SqlType.INTEGER),
+            ("rejected", SqlType.INTEGER),
+            ("completed", SqlType.INTEGER),
+            ("active", SqlType.INTEGER),
+            ("opened_seconds", SqlType.DOUBLE),
+        )
+        server = getattr(self._database, "_server", None)
+        if server is None:
+            return schema, []
+        rows = [
+            (
+                entry["session_id"],
+                entry["tenant"],
+                entry["priority"],
+                entry["state"],
+                entry["submitted"],
+                entry["rejected"],
+                entry["completed"],
+                entry["active"],
+                entry["opened_seconds"],
+            )
+            for entry in server.sessions_snapshot()
+        ]
+        return schema, rows
+
+    def _admission_queue(self):
+        schema = _schema(
+            ("position", SqlType.INTEGER),
+            ("session_id", SqlType.VARCHAR),
+            ("tenant", SqlType.VARCHAR),
+            ("priority", SqlType.INTEGER),
+            ("sql", SqlType.VARCHAR),
+            ("queued_seconds", SqlType.DOUBLE),
+            ("deadline_seconds", SqlType.DOUBLE),
+        )
+        server = getattr(self._database, "_server", None)
+        if server is None:
+            return schema, []
+        rows = [
+            (
+                position,
+                entry["session_id"],
+                entry["tenant"],
+                entry["priority"],
+                entry["sql"],
+                entry["queued_seconds"],
+                (
+                    entry["deadline_seconds"]
+                    if entry["deadline_seconds"] is not None
+                    else math.nan
+                ),
+            )
+            for position, entry in enumerate(server.queue_snapshot())
         ]
         return schema, rows
 

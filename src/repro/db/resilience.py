@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryCancelledError, QueryTimeoutError
 
 
 class CancellationToken:
@@ -67,9 +67,15 @@ class CancellationToken:
         return self.deadline - time.perf_counter()
 
     def check(self) -> None:
-        """Raise :class:`QueryTimeoutError` if cancelled or past due."""
+        """Raise :class:`QueryTimeoutError` if cancelled or past due.
+
+        An explicit :meth:`cancel` surfaces as the more specific
+        :class:`~repro.errors.QueryCancelledError` (a subclass), so the
+        query log can distinguish ``cancelled`` from ``timeout`` while
+        every existing deadline checkpoint keeps working unchanged.
+        """
         if self._cancelled:
-            raise QueryTimeoutError(self.reason or "query cancelled")
+            raise QueryCancelledError(self.reason or "query cancelled")
         if (
             self.deadline is not None
             and time.perf_counter() > self.deadline

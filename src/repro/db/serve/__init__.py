@@ -1,0 +1,24 @@
+"""The concurrent serving front-end (see docs/SERVING.md).
+
+Many clients — in-process threads or socket clients speaking the
+line-framed JSON wire protocol — open :class:`Session` objects against
+one shared :class:`~repro.db.engine.Database`.  Every query passes
+through a bounded :class:`AdmissionQueue` (per-tenant priorities,
+deadline-aware deterministic shedding) and executes against a pinned
+:class:`~repro.db.snapshot.DatabaseSnapshot`, so concurrent readers and
+writers never observe each other's half-applied state.
+"""
+
+from repro.db.serve.admission import AdmissionQueue, AdmittedQuery
+from repro.db.serve.server import Server
+from repro.db.serve.session import Session
+from repro.db.serve.wire import WireClient, WireServer
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmittedQuery",
+    "Server",
+    "Session",
+    "WireClient",
+    "WireServer",
+]

@@ -1,0 +1,253 @@
+"""The bounded admission queue: backpressure with deterministic shedding.
+
+Every query a session submits becomes an :class:`AdmittedQuery` and
+enters the server's single :class:`AdmissionQueue`.  The queue holds at
+most *capacity* entries; pushing one more forces a **shed decision**,
+resolved deterministically rather than by arrival luck:
+
+* the victim is the entry with the **lowest priority**;
+* among equals, the one **closest to its deadline** (it is the most
+  likely to miss it anyway — shedding it wastes the least work);
+* among still-equals, the newest (latest sequence number).
+
+The victim — possibly the entry just pushed — fails immediately with
+:class:`~repro.errors.QueryRejectedError`; a shed client is never left
+hanging.  Dispatchers drain the queue with the mirrored preference
+(fewest in-flight queries per tenant first, then highest priority, then
+earliest deadline, then FIFO), so one chatty tenant cannot starve the
+others even when every entry shares a priority.
+
+The ``serve.admit`` fault site fires on every admission attempt, so
+chaos runs (``REPRO_FAULTS=serve.admit=prob:0.1,...``) exercise the
+rejection path: an injected fault surfaces as the same immediate
+``QueryRejectedError`` a deterministic shed produces.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from repro.db import faults
+from repro.db.resilience import CancellationToken
+from repro.errors import InjectedFaultError, QueryRejectedError
+
+
+class AdmittedQuery:
+    """One query's journey through the serving layer.
+
+    Doubles as the client-visible future: :meth:`wait` blocks until a
+    dispatcher finishes, fails, or sheds the query, then returns the
+    :class:`~repro.db.engine.Result` or raises the recorded error.
+    """
+
+    def __init__(
+        self,
+        sql: str,
+        session,
+        token: CancellationToken,
+        parallel: bool = False,
+    ):
+        self.sql = sql
+        self.session = session
+        self.tenant = session.tenant
+        self.priority = session.priority
+        self.token = token
+        self.parallel = parallel
+        #: assigned by the queue under its lock (admission order)
+        self.seq = -1
+        self.enqueued_at = time.perf_counter()
+        self.status = "queued"
+        self.result = None
+        self.error: BaseException | None = None
+        self._done = threading.Event()
+
+    def remaining_seconds(self) -> float:
+        """Seconds to the deadline (``inf`` when there is none)."""
+        remaining = self.token.remaining_seconds()
+        return math.inf if remaining is None else remaining
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def finish(self, result) -> None:
+        self.result = result
+        self.status = "ok"
+        self.session._query_done(self)
+        self._done.set()
+
+    def fail(self, error: BaseException, status: str) -> None:
+        self.error = error
+        self.status = status
+        self.session._query_done(self)
+        self._done.set()
+
+    def wait(self, timeout: float | None = None):
+        """Block for the outcome; returns the result or raises."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query outcome not available within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+def _shed_key(entry: AdmittedQuery):
+    # Lowest priority sheds first; then closest to deadline; then the
+    # newest arrival (largest seq) — all total orders, so the decision
+    # is deterministic for a given queue state.
+    return (entry.priority, entry.remaining_seconds(), -entry.seq)
+
+
+def _take_key(inflight: dict, entry: AdmittedQuery):
+    # Tenant fairness dominates: a tenant with fewer queries currently
+    # executing is served first, so one tenant cannot occupy every
+    # dispatcher.  Then priority (higher first), urgency, FIFO.
+    return (
+        inflight.get(entry.tenant, 0),
+        -entry.priority,
+        entry.remaining_seconds(),
+        entry.seq,
+    )
+
+
+class AdmissionQueue:
+    """Bounded, priority- and deadline-aware admission queue."""
+
+    def __init__(self, capacity: int, metrics=None):
+        if capacity < 1:
+            raise ValueError("admission queue capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._entries: list[AdmittedQuery] = []
+        self._seq = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment(value)
+
+    def _set_depth_locked(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("server.queue_depth").set(
+                len(self._entries)
+            )
+
+    def admit(self, entry: AdmittedQuery) -> list[AdmittedQuery]:
+        """Enqueue *entry*; returns the entries shed to make room.
+
+        Raises :class:`QueryRejectedError` when *entry* itself is the
+        shed victim, the queue is closed, or the ``serve.admit`` fault
+        fires.  Shed victims in the returned list have **not** been
+        failed yet — the server fails and logs them, so every rejection
+        lands a ``system.queries`` row.
+        """
+        if faults.ACTIVE is not None:
+            try:
+                faults.ACTIVE.fire("serve.admit")
+            except InjectedFaultError as fault:
+                self._count("server.queries_rejected")
+                raise QueryRejectedError(
+                    "admission rejected by injected fault"
+                ) from fault
+        with self._ready:
+            if self._closed:
+                self._count("server.queries_rejected")
+                raise QueryRejectedError("server is closed")
+            entry.seq = self._seq
+            self._seq += 1
+            entry.enqueued_at = time.perf_counter()
+            self._entries.append(entry)
+            shed: list[AdmittedQuery] = []
+            while len(self._entries) > self.capacity:
+                victim = min(self._entries, key=_shed_key)
+                self._entries.remove(victim)
+                shed.append(victim)
+            self._ready.notify()
+            self._set_depth_locked()
+        self._count("server.queries_submitted")
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"server.tenant.{entry.tenant}.submitted"
+            ).increment()
+        if shed:
+            self._count("server.queries_rejected", len(shed))
+        if entry in shed:
+            raise QueryRejectedError(
+                "admission queue is full "
+                f"(capacity {self.capacity}); query shed "
+                f"(priority {entry.priority}, "
+                f"deadline in {entry.remaining_seconds():.3f}s)"
+            )
+        return shed
+
+    def take(self, inflight: dict) -> AdmittedQuery | None:
+        """Pop the best entry for a dispatcher (blocking).
+
+        *inflight* maps tenant → currently-executing query count; the
+        pick minimizes it first (see :func:`_take_key`).  Returns
+        ``None`` once the queue is closed and drained.
+        """
+        with self._ready:
+            while True:
+                if self._entries:
+                    entry = min(
+                        self._entries,
+                        key=lambda e: _take_key(inflight, e),
+                    )
+                    self._entries.remove(entry)
+                    self._set_depth_locked()
+                    break
+                if self._closed:
+                    return None
+                self._ready.wait(0.05)
+        self._count("server.queries_admitted")
+        if self.metrics is not None:
+            self.metrics.histogram("server.queue_wait").observe(
+                time.perf_counter() - entry.enqueued_at
+            )
+        return entry
+
+    def close(self) -> list[AdmittedQuery]:
+        """Stop admissions; returns the still-queued entries.
+
+        The caller (the server) fails each returned entry with
+        :class:`QueryRejectedError` and logs it — the queue never
+        strands a waiting client.
+        """
+        with self._ready:
+            self._closed = True
+            pending = list(self._entries)
+            self._entries.clear()
+            self._set_depth_locked()
+            self._ready.notify_all()
+        if pending:
+            self._count("server.queries_rejected", len(pending))
+        return pending
+
+    def snapshot(self) -> list[dict]:
+        """Queued entries as plain rows (``system.admission_queue``)."""
+        now = time.perf_counter()
+        with self._lock:
+            entries = list(self._entries)
+        entries.sort(key=_shed_key, reverse=True)  # safest first
+        return [
+            {
+                "session_id": entry.session.session_id,
+                "tenant": entry.tenant,
+                "priority": entry.priority,
+                "sql": entry.sql,
+                "queued_seconds": now - entry.enqueued_at,
+                "deadline_seconds": entry.token.remaining_seconds(),
+            }
+            for entry in entries
+        ]

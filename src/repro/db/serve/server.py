@@ -1,0 +1,314 @@
+"""The serving front-end: dispatchers, snapshots, graceful shutdown.
+
+A :class:`Server` wraps one shared :class:`~repro.db.engine.Database`
+with a pool of dispatcher threads draining the admission queue:
+
+* **Reads** (SELECT / EXPLAIN) execute against a pinned
+  :class:`~repro.db.snapshot.DatabaseSnapshot`, released when the query
+  finishes — concurrent writers and checkpoints cannot perturb an
+  admitted reader, and there is zero cross-session result bleed.
+* **Writes** (DDL/DML) execute under the engine's ``catalog_lock``
+  (taken inside ``execute_statement``), so a write is atomic with
+  respect to snapshot capture.  With ``checkpoint_on_write=True`` each
+  write also publishes a fresh storage generation, the way a durable
+  deployment would run.
+
+Every admitted query carries its session's deadline on a PR3
+:class:`~repro.db.resilience.CancellationToken`; queries that die
+before reaching the engine — shed at admission, expired in the queue,
+cancelled by a disconnecting client — still land a ``system.queries``
+row with the matching status (``rejected`` / ``timeout`` /
+``cancelled``), so the persistent query log tells shed load apart from
+failures.
+
+``Server.close`` is what ``Database.close`` calls first: it stops
+admissions, sheds the queue, cancels in-flight queries cooperatively
+and joins the dispatchers within a bounded drain timeout — closing a
+database under load strands no client.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.db.introspect import ResourceProfile
+from repro.db.serve.admission import AdmissionQueue, AdmittedQuery
+from repro.db.serve.session import Session
+from repro.db.sql.ast import Explain, SelectStatement
+from repro.db.sql.parser import parse_statement
+from repro.errors import (
+    QueryCancelledError,
+    QueryRejectedError,
+    QueryTimeoutError,
+)
+
+
+def _status_of(error: BaseException) -> str:
+    if isinstance(error, QueryRejectedError):
+        return "rejected"
+    if isinstance(error, QueryCancelledError):
+        return "cancelled"
+    if isinstance(error, QueryTimeoutError):
+        return "timeout"
+    return "error"
+
+
+class Server:
+    """A concurrent serving layer over one shared database."""
+
+    def __init__(
+        self,
+        database,
+        queue_capacity: int = 32,
+        dispatchers: int = 4,
+        default_timeout_seconds: float | None = None,
+        checkpoint_on_write: bool = False,
+    ):
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
+        self.database = database
+        self.metrics = database.metrics
+        self.default_timeout_seconds = default_timeout_seconds
+        self.checkpoint_on_write = checkpoint_on_write
+        self.queue = AdmissionQueue(queue_capacity, metrics=self.metrics)
+        self._lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+        self._session_seq = 0
+        self._inflight_by_tenant: dict[str, int] = {}
+        self._closed = False
+        database.attach_server(self)
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            for index in range(dispatchers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        tenant: str = "default",
+        priority: int = 0,
+        timeout_seconds: float | None = None,
+    ) -> Session:
+        """Open a client session (raises once the server is closed)."""
+        with self._lock:
+            if self._closed:
+                raise QueryRejectedError("server is closed")
+            self._session_seq += 1
+            session_id = f"s{self._session_seq:04d}"
+            session = Session(
+                self,
+                session_id,
+                tenant=tenant,
+                priority=priority,
+                default_timeout_seconds=(
+                    timeout_seconds
+                    if timeout_seconds is not None
+                    else self.default_timeout_seconds
+                ),
+            )
+            self._sessions[session_id] = session
+        if self.metrics is not None:
+            self.metrics.counter("server.sessions_opened").increment()
+        return session
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _submit(self, entry: AdmittedQuery) -> None:
+        if self._closed:
+            error = QueryRejectedError("server is closed")
+            entry.fail(error, "rejected")
+            self._log_unexecuted(entry)
+            raise error
+        try:
+            shed = self.queue.admit(entry)
+        except QueryRejectedError as error:
+            entry.fail(error, "rejected")
+            self._log_unexecuted(entry)
+            raise
+        for victim in shed:
+            victim.fail(
+                QueryRejectedError(
+                    "shed at admission to make room "
+                    f"(priority {victim.priority}, queue capacity "
+                    f"{self.queue.capacity})"
+                ),
+                "rejected",
+            )
+            self._log_unexecuted(victim)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            entry = self.queue.take(self._inflight_by_tenant)
+            if entry is None:
+                return
+            self._run(entry)
+
+    def _run(self, entry: AdmittedQuery) -> None:
+        tenant = entry.tenant
+        with self._lock:
+            self._inflight_by_tenant[tenant] = (
+                self._inflight_by_tenant.get(tenant, 0) + 1
+            )
+        if self.metrics is not None:
+            self.metrics.gauge("server.queries_active").set(
+                self._inflight_total()
+            )
+        try:
+            self._run_admitted(entry)
+        finally:
+            with self._lock:
+                remaining = self._inflight_by_tenant.get(tenant, 1) - 1
+                if remaining:
+                    self._inflight_by_tenant[tenant] = remaining
+                else:
+                    self._inflight_by_tenant.pop(tenant, None)
+            if self.metrics is not None:
+                self.metrics.gauge("server.queries_active").set(
+                    self._inflight_total()
+                )
+
+    def _run_admitted(self, entry: AdmittedQuery) -> None:
+        session = entry.session
+        # Pre-engine guards: a query whose session closed or whose
+        # deadline passed while it waited in the queue must fail here,
+        # explicitly, with a log row — never reach a worker, never
+        # leave the client hanging.
+        try:
+            if session.closed:
+                raise QueryCancelledError(
+                    f"session {session.session_id!r} closed while "
+                    "the query was queued"
+                )
+            entry.token.check()
+            statement = parse_statement(entry.sql)
+        except Exception as error:
+            entry.fail(error, _status_of(error))
+            self._log_unexecuted(entry)
+            return
+        database = self.database
+        try:
+            if isinstance(statement, (SelectStatement, Explain)):
+                snapshot = database.snapshot()
+                try:
+                    result = database.execute_statement(
+                        statement,
+                        parallel=entry.parallel,
+                        sql_text=entry.sql.strip(),
+                        catalog=snapshot.catalog,
+                        cancellation=entry.token,
+                        session_id=session.session_id,
+                        tenant=entry.tenant,
+                    )
+                finally:
+                    snapshot.release()
+            else:
+                result = database.execute_statement(
+                    statement,
+                    sql_text=entry.sql.strip(),
+                    session_id=session.session_id,
+                    tenant=entry.tenant,
+                )
+                if (
+                    self.checkpoint_on_write
+                    and database.storage is not None
+                ):
+                    database.checkpoint()
+        except Exception as error:
+            entry.fail(error, _status_of(error))
+            return
+        entry.finish(result)
+
+    def _inflight_total(self) -> int:
+        with self._lock:
+            return sum(self._inflight_by_tenant.values())
+
+    def _log_unexecuted(self, entry: AdmittedQuery) -> None:
+        """Log a query that never reached the engine.
+
+        The engine logs every SELECT it executes; rejected, expired and
+        cancelled-in-queue entries bypass it, so the server writes
+        their ``system.queries`` rows itself (same schema, status
+        ``rejected`` / ``timeout`` / ``cancelled``).
+        """
+        database = self.database
+        if not database.collect_query_log:
+            return
+        profile = ResourceProfile(
+            query_id=database.query_log.allocate_query_id(),
+            sql=entry.sql.strip(),
+            started_at=time.time(),
+            parallel=entry.parallel,
+            session_id=entry.session.session_id,
+            tenant=entry.tenant,
+        )
+        profile.finish(entry.status, error=entry.error)
+        database.query_log.record(profile.to_entry())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def sessions_snapshot(self) -> list[dict]:
+        """``system.sessions`` rows, in session-open order."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.stats() for session in sessions]
+
+    def queue_snapshot(self) -> list[dict]:
+        """``system.admission_queue`` rows, safest-from-shedding first."""
+        return self.queue.snapshot()
+
+    def stats(self) -> dict:
+        with self._lock:
+            sessions = len(self._sessions)
+        return {
+            "sessions": sessions,
+            "queue_depth": len(self.queue),
+            "queries_active": self._inflight_total(),
+            "closed": self._closed,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Graceful shutdown: shed the queue, cancel, drain (bounded).
+
+        New admissions are rejected immediately; queued entries fail
+        with :class:`QueryRejectedError`; queries already executing are
+        cancelled cooperatively and the dispatchers are joined for up
+        to *drain_seconds*.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for entry in self.queue.close():
+            entry.fail(
+                QueryRejectedError("server closing"), "rejected"
+            )
+            self._log_unexecuted(entry)
+        for session in sessions:
+            session.close(reason="server closing")
+        deadline = time.perf_counter() + max(drain_seconds, 0.0)
+        for thread in self._dispatchers:
+            thread.join(max(deadline - time.perf_counter(), 0.0))
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -21,6 +21,7 @@ before atomically swapping the manifest (see
 from __future__ import annotations
 
 import shutil
+import threading
 from collections.abc import Iterator
 from contextlib import nullcontext
 from pathlib import Path
@@ -346,6 +347,15 @@ def write_partition(
     return rows
 
 
+class GenerationPin:
+    """One snapshot's refcount claim on a set of generation dirs."""
+
+    __slots__ = ("dirs",)
+
+    def __init__(self, dirs: list[Path]):
+        self.dirs = dirs
+
+
 class StorageEngine:
     """Maps a directory to the durable state of one database."""
 
@@ -374,6 +384,14 @@ class StorageEngine:
         #: manifest entries currently backed by on-disk data, by
         #: lower-cased table name (used to skip rewriting clean tables)
         self._persisted: dict[str, dict] = {}
+        #: snapshot pinning (MVCC-lite, see repro.db.snapshot): a
+        #: refcount per pinned generation directory, plus the retired
+        #: generations (superseded by a later checkpoint while pinned)
+        #: whose readers must be closed and files deleted once the
+        #: last pin drops
+        self._pin_lock = threading.Lock()
+        self._pin_counts: dict[Path, int] = {}
+        self._retired: dict[Path, list] = {}
 
     @property
     def models_dir(self) -> Path:
@@ -447,6 +465,103 @@ class StorageEngine:
             # restart pays no metadata I/O (the catalog opens warm).
             partition._ensure_meta()
         return table
+
+    # ------------------------------------------------------------------
+    # snapshot pinning (MVCC-lite)
+    # ------------------------------------------------------------------
+    def pin_generations(self) -> GenerationPin:
+        """Pin the current generation dir of every persisted table.
+
+        While pinned, a generation directory survives any number of
+        later checkpoints: its readers stay open, its buffer-pool
+        frames stay resident, and its files stay on disk.  Call
+        :meth:`unpin_generations` with the returned pin to release.
+        """
+        with self._pin_lock:
+            dirs: list[Path] = []
+            for entry in self._persisted.values():
+                directory = (self.root / entry["data_dir"]).resolve()
+                self._pin_counts[directory] = (
+                    self._pin_counts.get(directory, 0) + 1
+                )
+                dirs.append(directory)
+        if self.metrics is not None:
+            self.metrics.counter("storage.generations_pinned").increment(
+                len(dirs)
+            )
+        return GenerationPin(dirs)
+
+    def unpin_generations(self, pin: GenerationPin) -> int:
+        """Drop one pin; garbage-collect newly unpinned retirees.
+
+        Returns the number of generation directories collected.
+        """
+        collectable: list[tuple[Path, list]] = []
+        with self._pin_lock:
+            for directory in pin.dirs:
+                count = self._pin_counts.get(directory, 0) - 1
+                if count > 0:
+                    self._pin_counts[directory] = count
+                    continue
+                self._pin_counts.pop(directory, None)
+                if directory in self._retired:
+                    collectable.append(
+                        (directory, self._retired.pop(directory))
+                    )
+        for directory, partitions in collectable:
+            self._gc_generation(directory, partitions)
+        return len(collectable)
+
+    def pinned_generations(self) -> int:
+        """Number of generation directories currently pinned."""
+        with self._pin_lock:
+            return len(self._pin_counts)
+
+    def retired_generations(self) -> int:
+        """Pinned generations superseded and awaiting GC at unpin."""
+        with self._pin_lock:
+            return len(self._retired)
+
+    def _gc_generation(self, directory: Path, partitions: list) -> None:
+        """Close a retired generation's readers and delete its files."""
+        for partition in partitions:
+            self.buffer_pool.invalidate_prefix(str(partition.directory))
+            partition.close()
+        shutil.rmtree(directory, ignore_errors=True)
+        parent = directory.parent
+        try:
+            if parent.is_dir() and not any(parent.iterdir()):
+                parent.rmdir()
+        except OSError:
+            pass
+        if self.metrics is not None:
+            self.metrics.counter("storage.generations_gced").increment()
+
+    def _retire_partitions(self, partitions: list) -> None:
+        """Hand a superseded generation's partitions to GC.
+
+        Unpinned generations are detached immediately (readers closed,
+        pool frames dropped — file deletion follows in the stale-dir
+        sweep); pinned ones are parked in ``_retired`` until their last
+        pin drops, so in-flight snapshot scans keep a valid view.
+        """
+        groups: dict[Path, list] = {}
+        for partition in partitions:
+            directory = Path(partition.directory).parent.resolve()
+            groups.setdefault(directory, []).append(partition)
+        detach_now: list[list] = []
+        with self._pin_lock:
+            for directory, group in groups.items():
+                if self._pin_counts.get(directory):
+                    self._retired.setdefault(directory, []).extend(group)
+                else:
+                    detach_now.append(group)
+        for group in detach_now:
+            for partition in group:
+                self.buffer_pool.invalidate_prefix(
+                    str(partition.directory)
+                )
+                partition.close()
 
     # ------------------------------------------------------------------
     # checkpoint
@@ -526,10 +641,10 @@ class StorageEngine:
         }
         if table.disk_resident:
             # Point the live table at the merged generation so the
-            # overlay does not keep growing (and drop stale frames).
-            for partition in table.partitions:
-                self.buffer_pool.invalidate_prefix(str(partition.directory))
-                partition.close()
+            # overlay does not keep growing.  The superseded partitions
+            # go through the retire path: dropped immediately when no
+            # snapshot pins their generation, deferred otherwise.
+            old_partitions = list(table.partitions)
             table.partitions = [
                 DiskPartition(
                     table.schema,
@@ -540,6 +655,7 @@ class StorageEngine:
                 )
                 for index in range(table.num_partitions)
             ]
+            self._retire_partitions(old_partitions)
         return entry
 
     def _cleanup_stale_generations(self, manifest: dict) -> None:
@@ -552,8 +668,16 @@ class StorageEngine:
             if not table_dir.is_dir():
                 continue
             for generation_dir in table_dir.iterdir():
-                if generation_dir.resolve() not in referenced:
-                    shutil.rmtree(generation_dir, ignore_errors=True)
+                resolved = generation_dir.resolve()
+                if resolved in referenced:
+                    continue
+                with self._pin_lock:
+                    if self._pin_counts.get(resolved):
+                        # A snapshot still reads this generation: keep
+                        # the files and let the last unpin delete them.
+                        self._retired.setdefault(resolved, [])
+                        continue
+                shutil.rmtree(generation_dir, ignore_errors=True)
             if not any(table_dir.iterdir()):
                 table_dir.rmdir()
 

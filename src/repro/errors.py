@@ -57,6 +57,36 @@ class QueryTimeoutError(ExecutionError):
     """
 
 
+class QueryCancelledError(QueryTimeoutError):
+    """A query was cancelled explicitly rather than by its deadline.
+
+    Raised from :meth:`repro.db.resilience.CancellationToken.check`
+    when the token was cancelled by a caller — a session closing, a
+    disconnecting wire client, or the engine draining on ``close()``.
+    Subclasses :class:`QueryTimeoutError` so every cooperative
+    checkpoint, retry-exclusion rule and fallback guard treats
+    cancellation exactly like a deadline miss; the query log still
+    distinguishes the two (status ``cancelled`` vs ``timeout``).
+    """
+
+
+class QueryRejectedError(DatabaseError):
+    """The serving layer shed this query at admission.
+
+    Raised when the bounded admission queue is saturated and this query
+    lost the shedding decision (lowest priority first, then closest to
+    its deadline), when the server is closing, or when the
+    ``serve.admit`` fault site fires under chaos testing.  Deliberately
+    deterministic and *immediate*: a shed query never occupies a worker
+    and never hangs its client.  Logged to ``system.queries`` with
+    status ``rejected`` so shed load is distinguishable from failures.
+    """
+
+
+class SessionClosedError(DatabaseError):
+    """An operation used a serving session that is already closed."""
+
+
 class CompiledKernelError(ExecutionError):
     """A failure in the compiled-kernel execution path.
 
