@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench compile [--check] [--json BENCH_pr6.json]
     python -m repro.bench observe [--check] [--json BENCH_pr7.json]
     python -m repro.bench serve   [--check] [--json BENCH_pr8.json]
+    python -m repro.bench shard   [--check] [--json BENCH_pr9.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -73,6 +74,14 @@ cross-session bleed and bounded p99, deterministic shedding under a
 admitted query still completes bit-exact.  ``--check`` turns the
 verdict into the exit code.
 
+The ``shard`` experiment measures multiprocess sharded execution
+(docs/SHARDING.md): a large scan + GROUP BY and a scan + MODEL JOIN,
+single-process vs N shard processes (bit-exact required; the >=2.5x
+speedup gate applies only on machines with >=4 usable cores), a chaos
+shard-kill that must surface a typed error with a bounded drain, and
+per-shard ``system.shards`` observability.  ``--check`` turns the
+verdict into the exit code.
+
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
 Chrome-trace/Perfetto JSON (open at https://ui.perfetto.dev).
@@ -120,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             "compile",
             "observe",
             "serve",
+            "shard",
         ],
     )
     parser.add_argument(
@@ -228,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             write_report,
         )
 
-        trace_path = arguments.trace or "trace_evidence.json"
+        trace_path = arguments.trace or "results/trace_evidence.json"
         report = run_tracing_bench(config, trace_path=trace_path)
         rendered = format_tracing_report(report)
         print(rendered)
@@ -253,7 +263,7 @@ def main(argv: list[str] | None = None) -> int:
             write_report,
         )
 
-        trace_path = arguments.trace or "chaos_trace.json"
+        trace_path = arguments.trace or "results/chaos_trace.json"
         report = run_chaos_bench(
             config, seed=arguments.seed, trace_path=trace_path
         )
@@ -354,6 +364,27 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if arguments.check and not report["ok"]:
             print("observability check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "shard":
+        from repro.bench.shard_bench import (
+            format_shard_report,
+            run_shard_bench,
+            write_report,
+        )
+
+        report = run_shard_bench(config)
+        rendered = format_shard_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr9.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("shard check FAILED", file=sys.stderr)
             return 1
         return 0
 

@@ -494,7 +494,7 @@ def _check_trace(trace_path: str, tracer: Tracer) -> dict:
 def run_chaos_bench(
     config: BenchConfig,
     seed: int = 7,
-    trace_path: str = "chaos_trace.json",
+    trace_path: str = "results/chaos_trace.json",
 ) -> dict:
     """All fault scenarios, the overhead gate, and the evidence trace."""
     if config.preset == "smoke":

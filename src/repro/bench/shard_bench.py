@@ -1,0 +1,321 @@
+"""Sharded-execution benchmark and gates (``python -m repro.bench shard``).
+
+Measures the multiprocess shard fleet (docs/SHARDING.md) against
+single-process execution on the same data:
+
+- *scale*: a >=5M-tuple (preset ``default``) scan + GROUP BY on the
+  partition key, and the same scan through a MODEL JOIN, timed
+  single-process vs N shard processes.  Results must be bit-exact
+  (both queries group by the partition key, so per-group fold order is
+  preserved shard-side).
+- *chaos*: SIGKILL one shard mid-query — the coordinator must surface
+  a typed :class:`~repro.errors.ShardCrashError` (never hang) and
+  ``close(drain_seconds=)`` must return within its bound.
+- *observability*: ``system.shards`` must report one row per shard
+  with non-zero per-shard scan counters.
+
+The >=2.5x speedup gate is enforced only when the machine has at
+least four usable cores: shard processes cannot run concurrently on
+fewer, so the measurement is recorded but the verdict is skipped with
+an explicit reason (single-core CI boxes would otherwise fail on
+physics, not regressions).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig
+
+SPEEDUP_THRESHOLD = 2.5
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _shard_params(config: BenchConfig) -> tuple[int, int]:
+    """(rows, shards) for the preset."""
+    if config.preset == "smoke":
+        return 40_000, 2
+    return 5_000_000, 4
+
+
+def _load(db, rows: int, chunk: int = 500_000) -> None:
+    from repro.db.vector import VectorBatch
+
+    db.execute(
+        "CREATE TABLE facts (k INTEGER, x1 FLOAT, x2 FLOAT, x3 FLOAT, "
+        "x4 FLOAT, v DOUBLE) PARTITION BY (k)"
+    )
+    table = db.table("facts")
+    rng = np.random.default_rng(7)
+    loaded = 0
+    while loaded < rows:
+        n = min(chunk, rows - loaded)
+        table.append_batch(
+            VectorBatch.from_dict(
+                table.schema,
+                {
+                    "k": rng.integers(0, 4096, n).astype(np.int64),
+                    "x1": rng.random(n, dtype=np.float32),
+                    "x2": rng.random(n, dtype=np.float32),
+                    "x3": rng.random(n, dtype=np.float32),
+                    "x4": rng.random(n, dtype=np.float32),
+                    "v": rng.integers(-4000, 4000, n).astype(np.float64)
+                    / 8.0,
+                },
+            )
+        )
+        loaded += n
+
+
+def _publish(db) -> None:
+    from repro.core.registry import publish_model
+    from repro.nn.layers import Dense
+    from repro.nn.model import Sequential
+
+    publish_model(
+        db,
+        "scorer",
+        Sequential(
+            [Dense(8, "relu"), Dense(1, "sigmoid")],
+            input_width=4,
+            seed=11,
+        ),
+    )
+
+
+SCALE_QUERIES = (
+    (
+        "scan_groupby",
+        "SELECT k, SUM(v) AS s, COUNT(v) AS c FROM facts "
+        "GROUP BY k ORDER BY k",
+    ),
+    (
+        "scan_modeljoin",
+        "SELECT k, SUM(prediction_0) AS p, COUNT(prediction_0) AS c "
+        "FROM facts MODEL JOIN scorer USING (x1, x2, x3, x4) "
+        "GROUP BY k ORDER BY k",
+    ),
+)
+
+
+def _timed(db, sql: str) -> tuple[float, list]:
+    started = time.perf_counter()
+    result = db.execute(sql)
+    return time.perf_counter() - started, result.rows
+
+
+def _run_scale(config: BenchConfig, rows: int, shards: int) -> dict:
+    import repro
+
+    queries = []
+    single = repro.connect()
+    _load(single, rows)
+    _publish(single)
+    sharded = repro.connect(shards=shards)
+    _load(sharded, rows)
+    _publish(sharded)
+    try:
+        for name, sql in SCALE_QUERIES:
+            single.execute(sql)  # warm both engines (model build, JIT)
+            sharded.execute(sql)
+            single_seconds, single_rows = _timed(single, sql)
+            sharded_seconds, sharded_rows = _timed(sharded, sql)
+            queries.append(
+                {
+                    "name": name,
+                    "sql": sql,
+                    "single_seconds": single_seconds,
+                    "sharded_seconds": sharded_seconds,
+                    "speedup": single_seconds / max(sharded_seconds, 1e-9),
+                    "bit_exact": single_rows == sharded_rows,
+                }
+            )
+        shard_rows = sharded.execute(
+            "SELECT shard_id, alive, rows, rows_read FROM system.shards "
+            "ORDER BY shard_id"
+        ).rows
+        observability = {
+            "shard_rows": [
+                {
+                    "shard_id": int(row[0]),
+                    "alive": bool(row[1]),
+                    "rows": int(row[2]),
+                    "rows_read": int(row[3]),
+                }
+                for row in shard_rows
+            ],
+            "ok": len(shard_rows) == shards
+            and all(bool(row[1]) and int(row[3]) > 0 for row in shard_rows),
+        }
+    finally:
+        single.close()
+        sharded.close()
+    return {"queries": queries, "observability": observability}
+
+
+def _run_chaos() -> dict:
+    import repro
+    from repro.errors import ShardCrashError
+
+    db = repro.connect(shards=2)
+    _load(db, 100_000)
+    outcome: dict = {"error": None, "mid_query": False}
+
+    def run_query():
+        try:
+            db.execute(
+                "SELECT k, SUM(v) AS s FROM facts GROUP BY k ORDER BY k"
+            )
+            db.execute("SELECT k, v FROM facts WHERE v > 100")
+        except ShardCrashError as error:
+            outcome["error"] = type(error).__name__
+            outcome["mid_query"] = True
+        except Exception as error:  # anything else fails the gate
+            outcome["error"] = f"UNEXPECTED:{type(error).__name__}"
+
+    thread = threading.Thread(target=run_query)
+    started = time.perf_counter()
+    thread.start()
+    time.sleep(0.05)
+    db.sharding.kill_shard(1)
+    thread.join(timeout=30.0)
+    hung = thread.is_alive()
+    query_seconds = time.perf_counter() - started
+    if outcome["error"] is None and not hung:
+        # The in-flight queries beat the SIGKILL; the degraded
+        # coordinator must still fail fast with the typed error.
+        try:
+            db.execute("SELECT k, v FROM facts WHERE v > 0")
+        except ShardCrashError as error:
+            outcome["error"] = type(error).__name__
+        except Exception as error:
+            outcome["error"] = f"UNEXPECTED:{type(error).__name__}"
+    drain_started = time.perf_counter()
+    db.close(drain_seconds=2.0)
+    drain_seconds = time.perf_counter() - drain_started
+    return {
+        "typed_error": outcome["error"],
+        "killed_mid_query": outcome["mid_query"],
+        "query_seconds": query_seconds,
+        "hung": hung,
+        "drain_seconds": drain_seconds,
+        "drain_bound_seconds": 8.0,
+        "ok": (
+            outcome["error"] == "ShardCrashError"
+            and not hung
+            and drain_seconds < 8.0
+        ),
+    }
+
+
+def run_shard_bench(config: BenchConfig) -> dict:
+    rows, shards = _shard_params(config)
+    cores = _usable_cores()
+    scale = _run_scale(config, rows, shards)
+    chaos = _run_chaos()
+    best_speedup = max(
+        (query["speedup"] for query in scale["queries"]), default=0.0
+    )
+    speedup_enforced = cores >= MIN_CORES_FOR_SPEEDUP_GATE
+    speedup_gate = {
+        "threshold": SPEEDUP_THRESHOLD,
+        "value": best_speedup,
+        "enforced": speedup_enforced,
+        "ok": (not speedup_enforced)
+        or best_speedup >= SPEEDUP_THRESHOLD,
+    }
+    if not speedup_enforced:
+        speedup_gate["skip_reason"] = (
+            f"only {cores} usable core(s); {shards} shard processes "
+            f"cannot run concurrently (need >= "
+            f"{MIN_CORES_FOR_SPEEDUP_GATE} cores for a meaningful "
+            "speedup measurement)"
+        )
+    bit_exact = all(query["bit_exact"] for query in scale["queries"])
+    report = {
+        "bench": "shard",
+        "preset": config.preset,
+        "rows": rows,
+        "shards": shards,
+        "usable_cores": cores,
+        "scale": scale,
+        "chaos": chaos,
+        "gates": {
+            "bit_exact": bit_exact,
+            "speedup": speedup_gate,
+            "chaos": chaos["ok"],
+            "observability": scale["observability"]["ok"],
+        },
+        "ok": (
+            bit_exact
+            and speedup_gate["ok"]
+            and chaos["ok"]
+            and scale["observability"]["ok"]
+        ),
+    }
+    return report
+
+
+def format_shard_report(report: dict) -> str:
+    lines = [
+        f"Sharded execution — preset {report['preset']}, "
+        f"{report['rows']:,} rows, {report['shards']} shards, "
+        f"{report['usable_cores']} usable core(s)",
+        "",
+    ]
+    for query in report["scale"]["queries"]:
+        lines.append(
+            f"  {query['name']:<16} single {query['single_seconds']:8.3f}s"
+            f"  sharded {query['sharded_seconds']:8.3f}s"
+            f"  speedup {query['speedup']:5.2f}x"
+            f"  bit-exact {'yes' if query['bit_exact'] else 'NO'}"
+        )
+    speedup = report["gates"]["speedup"]
+    if speedup["enforced"]:
+        lines.append(
+            f"  speedup gate: {speedup['value']:.2f}x vs "
+            f">={speedup['threshold']}x -> "
+            f"{'ok' if speedup['ok'] else 'FAILED'}"
+        )
+    else:
+        lines.append(
+            f"  speedup gate skipped: {speedup['skip_reason']} "
+            f"(measured {speedup['value']:.2f}x, recorded only)"
+        )
+    chaos = report["chaos"]
+    lines.append(
+        f"  chaos: typed error {chaos['typed_error']} "
+        f"({'mid-query' if chaos['killed_mid_query'] else 'post-kill'}), "
+        f"drain {chaos['drain_seconds']:.2f}s "
+        f"< {chaos['drain_bound_seconds']:.0f}s -> "
+        f"{'ok' if chaos['ok'] else 'FAILED'}"
+    )
+    lines.append(
+        "  system.shards: "
+        + ", ".join(
+            f"shard {row['shard_id']} rows={row['rows']:,} "
+            f"rows_read={row['rows_read']:,}"
+            for row in report["scale"]["observability"]["shard_rows"]
+        )
+    )
+    lines.append("")
+    lines.append("verdict: " + ("PASS" if report["ok"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -186,7 +186,7 @@ def run_trace_evidence(
 
 
 def run_tracing_bench(
-    config: BenchConfig, trace_path: str = "trace_evidence.json"
+    config: BenchConfig, trace_path: str = "results/trace_evidence.json"
 ) -> dict:
     """The full tracing benchmark: overhead gate plus trace evidence."""
     if config.preset == "smoke":

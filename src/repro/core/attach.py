@@ -69,6 +69,8 @@ def connect(
     slow_query_seconds: float | None = None,
     query_log_capacity: int = 256,
     collect_query_log: bool = True,
+    shards: int = 0,
+    shard_workers: int = 1,
 ) -> Database:
     """Create a new database with the full repro feature set attached.
 
@@ -92,6 +94,13 @@ def connect(
     in-memory query-log ring buffer; *collect_query_log=False*
     disables per-query profile collection entirely (see
     docs/OBSERVABILITY.md).
+
+    *shards* > 0 switches on multiprocess sharded execution: every
+    partitioned table is hash-sharded across that many worker
+    processes and queries over it are dispatched, gathered and merged
+    by the coordinator; *shard_workers* sets each shard's thread
+    parallelism.  ``shards=0`` (the default) is single-process mode,
+    bit-identical to earlier releases.  See docs/SHARDING.md.
     """
     return attach(
         Database(
@@ -106,5 +115,7 @@ def connect(
             slow_query_seconds=slow_query_seconds,
             query_log_capacity=query_log_capacity,
             collect_query_log=collect_query_log,
+            shards=shards,
+            shard_workers=shard_workers,
         )
     )

@@ -136,6 +136,18 @@ class BlockBuilder:
         # the first scans may race to seal the final block.
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Plan fragments (and the logical scans inside them) must be
+        # picklable to ship across shard-process pipes; the lock is
+        # process-local state, dropped here and recreated on load.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def append(self, batch: VectorBatch) -> None:
         if len(batch) == 0:
             return

@@ -155,11 +155,19 @@ class Database:
         slow_query_seconds: float | None = None,
         query_log_capacity: int = 256,
         collect_query_log: bool = True,
+        shards: int = 0,
+        shard_workers: int = 1,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if task_retries < 0:
             raise ValueError("task_retries must be >= 0")
+        if shards < 0:
+            raise ValueError("shards must be >= 0 (0 = single-process)")
+        if shards > 64:
+            raise ValueError("shards must be <= 64")
+        if shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
         self.catalog = Catalog()
         #: serializes catalog mutation against snapshot capture: writers
         #: (DDL/DML/checkpoint) hold it for the whole statement, readers
@@ -249,6 +257,23 @@ class Database:
         #: :mod:`repro.db.introspect`)
         self.introspection = SystemSchema(self)
         self.catalog.attach_system_schema(self.introspection)
+        #: configuration echoed as gauges so deployments can scrape
+        #: the effective topology (docs/OBSERVABILITY.md)
+        self.metrics.gauge("worker.pool_size").set(parallelism)
+        self.metrics.gauge("shard.count").set(shards)
+        #: multiprocess shard coordinator; None = single-process mode
+        #: (the default — bit-identical to pre-sharding behavior).
+        #: Started last so shard manifests can replace tables the local
+        #: storage restore produced above (see docs/SHARDING.md).
+        self.shard_workers = shard_workers
+        self.sharding = None
+        if shards:
+            from repro.db.shard.coordinator import ShardCoordinator
+
+            self.sharding = ShardCoordinator(
+                self, shards, shard_workers=shard_workers, path=path
+            )
+            self.sharding.start()
 
     # ------------------------------------------------------------------
     # engine-lifetime resources
@@ -278,6 +303,11 @@ class Database:
             )
         with self.catalog_lock:
             manifest = self.storage.checkpoint(self.catalog)
+        if self.sharding is not None:
+            # Shard-local slices checkpoint in their own processes;
+            # the shard manifest (row routing, table versions) commits
+            # alongside the coordinator manifest.
+            self.sharding.checkpoint()
         if self.model_cache_persistence is not None:
             self.model_cache_persistence.save()
         return manifest
@@ -340,6 +370,11 @@ class Database:
         self._drain_active_queries(drain_seconds)
         if self.storage is not None:
             self.checkpoint()
+        if self.sharding is not None:
+            # After the drain no sharded query holds the dispatch lock,
+            # so shutdown broadcasts immediately; a wedged or dead
+            # shard is terminated within the deadline (never a hang).
+            self.sharding.close(drain_seconds=drain_seconds)
         if self._worker_pool is not None:
             self._worker_pool.shutdown()
             self._worker_pool = None
@@ -462,7 +497,22 @@ class Database:
         sort_key: tuple[str, ...] = (),
         replace: bool = False,
     ) -> Table:
-        """Create a table programmatically (bulk loaders use this)."""
+        """Create a table programmatically (bulk loaders use this).
+
+        On a sharded database every *partitioned* table (one with a
+        ``partition_key``) is hash-sharded across the worker processes;
+        unpartitioned tables — model tables, dimension tables — stay
+        coordinator-local and replicate to shards on demand (the
+        ModelJoin broadcast; see docs/SHARDING.md).
+        """
+        if self.sharding is not None and partition_key is not None:
+            return self.sharding.create_sharded_table(
+                name,
+                schema,
+                partition_key=partition_key,
+                sort_key=sort_key,
+                replace=replace,
+            )
         table = Table(
             name,
             schema,
@@ -582,6 +632,14 @@ class Database:
                 return self._execute_create_table(statement)
         if isinstance(statement, DropTable):
             with self.catalog_lock:
+                if self.sharding is not None:
+                    from repro.db.shard.tables import ShardedTable
+
+                    existing = self.catalog.tables.get(
+                        statement.table_name.lower()
+                    )
+                    if isinstance(existing, ShardedTable):
+                        self.sharding.drop_table(statement.table_name)
                 self.catalog.drop_table(
                     statement.table_name, if_exists=statement.if_exists
                 )
@@ -612,7 +670,19 @@ class Database:
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN supports only SELECT statements")
         context = ExecutionContext(vector_size=self.vector_size)
-        return self._planner().explain(statement, context)
+        text = self._planner().explain(statement, context)
+        return self._prepend_fragment_tree(statement, text)
+
+    def _prepend_fragment_tree(
+        self, statement: SelectStatement, text: str
+    ) -> str:
+        """Prefix EXPLAIN output with the shard fragment tree (if any)."""
+        if self.sharding is None:
+            return text
+        fragment = self.sharding.plan_fragments(statement, self.catalog)
+        if fragment is None:
+            return text
+        return self.sharding.explain_fragments(fragment) + "\n" + text
 
     def explain_analyze(
         self, sql: str, parallel: bool = False
@@ -722,7 +792,9 @@ class Database:
         if not isinstance(inner, SelectStatement):
             raise PlanError("EXPLAIN supports only SELECT statements")
         context = ExecutionContext(vector_size=self.vector_size)
-        lines = self._planner().explain(inner, context).splitlines()
+        lines = self._prepend_fragment_tree(
+            inner, self._planner().explain(inner, context)
+        ).splitlines()
         schema = Schema((Column("plan", SqlType.VARCHAR),))
         batch = VectorBatch(schema, [np.array(lines, dtype=object)])
         return Result(schema, [batch], QueryProfile())
@@ -828,6 +900,11 @@ class Database:
     ) -> Result:
         if cancellation is None and timeout_seconds is not None:
             cancellation = CancellationToken.with_timeout(timeout_seconds)
+        if cancellation is None and self.sharding is not None:
+            # Sharded queries always carry a token so close() (and any
+            # explicit cancel) can abandon a cross-process gather
+            # instead of blocking on a slow or dead shard.
+            cancellation = CancellationToken()
         collector = self._begin_query(
             sql_text or f"<{type(statement).__name__}>",
             parallel=bool(parallel and self.parallelism > 1),
@@ -917,7 +994,17 @@ class Database:
                 args={"parallel": bool(parallel and self.parallelism > 1)},
             ):
                 context.trace_parent = self.tracer.current_span_id()
-                if parallel and self.parallelism > 1:
+                fragment = None
+                if self.sharding is not None:
+                    fragment = self.sharding.plan_fragments(
+                        statement, catalog or self.catalog
+                    )
+                if fragment is not None:
+                    schema, batches = self.sharding.execute_fragments(
+                        fragment, context, catalog or self.catalog
+                    )
+                    result = Result(schema, batches, profile)
+                elif parallel and self.parallelism > 1:
                     if statement.distinct:
                         raise PlanError(
                             "DISTINCT is not supported in parallel mode"

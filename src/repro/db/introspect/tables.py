@@ -11,9 +11,11 @@ Available tables (see docs/OBSERVABILITY.md for the column reference):
 ``system.metrics``, ``system.queries``, ``system.active_queries``,
 ``system.buffer_pool``, ``system.kernel_cache``, ``system.model_cache``,
 ``system.breakers``, ``system.storage_blocks``, ``system.tables``,
-``system.columns``, ``system.sessions`` and ``system.admission_queue``
-(the last two render live serving-layer state when a
-:class:`repro.db.serve.Server` is attached, and are empty otherwise).
+``system.columns``, ``system.sessions``, ``system.admission_queue``
+(those two render live serving-layer state when a
+:class:`repro.db.serve.Server` is attached, and are empty otherwise)
+and ``system.shards`` (one row per shard worker process when the
+database was opened with ``shards=N``, empty otherwise).
 """
 
 from __future__ import annotations
@@ -96,6 +98,7 @@ class SystemSchema:
             "columns": self._columns,
             "sessions": self._sessions,
             "admission_queue": self._admission_queue,
+            "shards": self._shards,
         }
 
     # ------------------------------------------------------------------
@@ -257,6 +260,23 @@ class SystemSchema:
             for position, entry in enumerate(server.queue_snapshot())
         ]
         return schema, rows
+
+    def _shards(self):
+        schema = _schema(
+            ("shard_id", SqlType.INTEGER),
+            ("pid", SqlType.INTEGER),
+            ("alive", SqlType.BOOLEAN),
+            ("rows", SqlType.INTEGER),
+            ("tables", SqlType.INTEGER),
+            ("queries", SqlType.INTEGER),
+            ("rows_read", SqlType.INTEGER),
+            ("bytes_read", SqlType.INTEGER),
+            ("morsels", SqlType.INTEGER),
+        )
+        coordinator = getattr(self._database, "sharding", None)
+        if coordinator is None:
+            return schema, []
+        return schema, coordinator.shard_rows()
 
     def _buffer_pool(self):
         schema = _schema(

@@ -123,6 +123,28 @@ class WorkerCrashError(ExecutionError):
     """
 
 
+class ShardError(ExecutionError):
+    """A sharded-execution failure at the coordinator.
+
+    Raised when a statement cannot be distributed (two sharded tables
+    without a repartition exchange, ``system.*`` scans mixed with
+    sharded scans, aggregating subqueries) or when the shard layer is
+    misconfigured.  Distinguished from :class:`ShardCrashError` so
+    callers can tell "this query shape is unsupported" from "a shard
+    process died".
+    """
+
+
+class ShardCrashError(ShardError):
+    """A shard worker process died or became unreachable.
+
+    Raised when a pipe to a shard hits EOF mid-request or the process
+    sentinel fires while responses are outstanding.  The coordinator
+    marks the shard dead; subsequent sharded queries fail fast with the
+    same type instead of hanging on a closed pipe.
+    """
+
+
 class FallbackExhaustedError(ReproError):
     """Every approach in a resilient fallback chain failed."""
 
