@@ -16,6 +16,7 @@ Usage::
     python -m repro.bench observe [--check] [--json BENCH_pr7.json]
     python -m repro.bench serve   [--check] [--json BENCH_pr8.json]
     python -m repro.bench shard   [--check] [--json BENCH_pr9.json]
+    python -m repro.bench train   [--check] [--json BENCH_pr10.json]
 
 The ``serving`` experiment measures cold vs warm ModelJoin latency
 (the cross-query model build cache); with ``--check-regression`` it
@@ -82,6 +83,15 @@ shard-kill that must surface a typed error with a bounded drain, and
 per-shard ``system.shards`` observability.  ``--check`` turns the
 verdict into the exit code.
 
+The ``train`` experiment gates the in-database training subsystem
+(docs/TRAINING.md): ``CREATE MODEL`` convergence on a synthetic
+linearly separable dataset (with time-per-epoch), bit-identical
+weights across two same-seed runs, MODEL JOIN scoring parity with the
+NumPy reference (max abs diff exactly 0), and retrain-and-swap under
+live serving traffic (zero failed or torn queries, during-swap p99
+under 2x the steady baseline, ``system.models`` reflecting the swap).
+``--check`` turns the verdict into the exit code.
+
 ``--trace out.json`` on any sweep experiment records every swept
 engine into one shared span timeline and exports it as
 Chrome-trace/Perfetto JSON (open at https://ui.perfetto.dev).
@@ -130,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
             "observe",
             "serve",
             "shard",
+            "train",
         ],
     )
     parser.add_argument(
@@ -170,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment: where to write the JSON evidence (defaults: "
         "BENCH_pr1.json / BENCH_pr2.json / BENCH_pr3.json / "
         "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr6.json / "
-        "BENCH_pr7.json / BENCH_pr8.json)",
+        "BENCH_pr7.json / BENCH_pr8.json / BENCH_pr10.json)",
     )
     parser.add_argument(
         "--check",
@@ -385,6 +396,27 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(rendered + "\n")
         if arguments.check and not report["ok"]:
             print("shard check FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    if arguments.experiment == "train":
+        from repro.bench.train_bench import (
+            format_train_report,
+            run_train_bench,
+            write_report,
+        )
+
+        report = run_train_bench(config, seed=arguments.seed)
+        rendered = format_train_report(report)
+        print(rendered)
+        json_path = arguments.json or "BENCH_pr10.json"
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+        if arguments.out:
+            with open(arguments.out, "w") as handle:
+                handle.write(rendered + "\n")
+        if arguments.check and not report["ok"]:
+            print("training check FAILED", file=sys.stderr)
             return 1
         return 0
 

@@ -1,0 +1,336 @@
+"""In-database training benchmark and gates (``python -m repro.bench train``).
+
+Measures the ``CREATE MODEL`` training subsystem (docs/TRAINING.md) on
+a synthetic linearly separable dataset and turns the training
+contract into exit-code gates:
+
+- *convergence*: ``CREATE MODEL ... AS TRAIN`` on the separable
+  dataset must reach a final loss below the preset's bound and >=95%
+  training accuracy; time per epoch is recorded.
+- *reproducibility*: two runs with the same seed, data and
+  hyperparameters must produce bit-identical weights (equal CRC32
+  weight checksums in ``system.models``).
+- *parity*: scoring the trained model through ``MODEL JOIN`` must
+  reproduce the NumPy ``Sequential.predict`` reference bit-exactly
+  (max abs diff exactly 0).
+- *retrain-and-swap*: reader sessions score through
+  :class:`repro.db.serve.Server` while a writer session retrains and
+  publishes a new version with ``ALTER MODEL``.  Zero queries may
+  fail, every result must match exactly one published version (no
+  torn reads), the during-swap p99 latency must stay under 2x the
+  steady-state baseline (plus a small absolute slack for scheduler
+  noise on short smoke windows), and ``system.models`` must reflect
+  the swap.
+
+``--check`` turns the verdict into the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig
+
+ACCURACY_THRESHOLD = 0.95
+SWAP_P99_FACTOR = 2.0
+# Absolute slack on the swap p99 gate: smoke windows hold only a few
+# dozen queries, so the p99 on a ms-scale workload sits in scheduler
+# noise (same reasoning as the chaos bench's "10x p95 + 1s" bound).
+SWAP_P99_SLACK_SECONDS = 0.010
+
+
+def _train_params(config: BenchConfig) -> tuple[int, int]:
+    """(rows, epochs) for the preset."""
+    if config.preset == "smoke":
+        return 1_000, 10
+    if config.preset == "paper":
+        return 32_000, 40
+    return 8_000, 25
+
+
+def _loss_bound(config: BenchConfig) -> float:
+    # fewer smoke epochs -> looser (still-converging) bound
+    return 0.30 if config.preset == "smoke" else 0.15
+
+
+def _make_database(rows: int, seed: int = 7, **kwargs):
+    from repro import connect
+
+    database = connect(**kwargs)
+    database.execute(
+        "CREATE TABLE pts (x1 DOUBLE, x2 DOUBLE, label DOUBLE)"
+    )
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, 2)).astype(np.float32)
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.float32)
+    database.catalog.table("pts").append_rows(
+        [(float(a), float(b), float(l)) for (a, b), l in zip(x, y)]
+    )
+    return database, x, y
+
+
+def _train_sql(
+    name: str, epochs: int, seed: int, retrain: bool = False
+) -> str:
+    mode = "RETRAIN" if retrain else "TRAIN"
+    return (
+        f"CREATE MODEL {name} AS {mode} DENSE(8 relu, 1 sigmoid) "
+        "ON (SELECT x1, x2, label FROM pts) "
+        f"WITH (epochs={epochs}, batch_size=32, lr=0.05, seed={seed}, "
+        "loss='bce')"
+    )
+
+
+def _scores(database, join: str = "clf") -> np.ndarray:
+    result = database.execute(
+        f"SELECT prediction_0 FROM pts MODEL JOIN {join} USING (x1, x2)"
+    )
+    return np.concatenate([batch.arrays[0] for batch in result.batches])
+
+
+def _run_convergence(config: BenchConfig, seed: int) -> dict:
+    rows, epochs = _train_params(config)
+    database, _, labels = _make_database(rows)
+    started = time.perf_counter()
+    result = database.execute(_train_sql("clf", epochs, seed))
+    train_seconds = time.perf_counter() - started
+    (summary,) = result.rows
+    final_loss = float(summary[5])
+    predicted = (_scores(database) > 0.5).astype(np.float32)
+    accuracy = float((predicted == labels).mean())
+    database.close()
+    bound = _loss_bound(config)
+    return {
+        "rows": rows,
+        "epochs": epochs,
+        "train_seconds": train_seconds,
+        "seconds_per_epoch": train_seconds / epochs,
+        "final_loss": final_loss,
+        "loss_bound": bound,
+        "accuracy": accuracy,
+        "accuracy_threshold": ACCURACY_THRESHOLD,
+        "ok": final_loss < bound and accuracy >= ACCURACY_THRESHOLD,
+    }
+
+
+def _run_reproducibility(config: BenchConfig, seed: int) -> dict:
+    rows, epochs = _train_params(config)
+    checksums = []
+    for _ in range(2):
+        database, _, _ = _make_database(rows)
+        database.execute(_train_sql("clf", epochs, seed))
+        checksums.append(
+            database.catalog.model_version("clf", 1).weight_checksum
+        )
+        database.close()
+    return {
+        "checksums": [f"{value:08x}" for value in checksums],
+        "ok": checksums[0] == checksums[1],
+    }
+
+
+def _run_parity(config: BenchConfig, seed: int) -> dict:
+    from repro.db.sql.parser import parse_statement
+    from repro.db.train.executor import _build_model
+    from repro.db.train.operator import TrainOperator
+    from repro.db.train.spec import TrainingSpec
+
+    rows, epochs = _train_params(config)
+    database, features, labels = _make_database(rows)
+    database.execute(_train_sql("clf", epochs, seed))
+    joined = _scores(database)
+    statement = parse_statement(_train_sql("clf", epochs, seed))
+    model = _build_model(statement, 2, seed)
+    spec = TrainingSpec(
+        epochs=epochs, batch_size=32, learning_rate=0.05, seed=seed,
+        loss="bce",
+    )
+    TrainOperator(model, spec).run(features, labels.reshape(-1, 1))
+    reference = model.predict(features).reshape(-1).astype(np.float64)
+    max_diff = float(np.max(np.abs(joined - reference)))
+    database.close()
+    return {"max_abs_diff": max_diff, "ok": max_diff == 0.0}
+
+
+def _run_swap(config: BenchConfig, seed: int) -> dict:
+    from repro.db.serve import Server
+
+    rows, epochs = _train_params(config)
+    readers = 3
+    steady_queries = 8  # per reader, before the retrain starts
+    database, _, _ = _make_database(rows)
+    database.execute(_train_sql("clf", epochs, seed))
+    v1 = _scores(database)
+    join_sql = (
+        "SELECT prediction_0 FROM pts MODEL JOIN clf USING (x1, x2)"
+    )
+    steady: list[float] = []
+    during: list[float] = []
+    failures: list[str] = []
+    torn = 0
+    lock = threading.Lock()
+    retraining = threading.Event()
+    stop = threading.Event()
+    v2_holder: dict[str, np.ndarray] = {}
+
+    with Server(
+        database, queue_capacity=64, dispatchers=readers + 1
+    ) as server:
+
+        def reader(index: int) -> None:
+            nonlocal torn
+            with server.open_session(tenant=f"r{index}") as session:
+                while True:
+                    in_swap_window = retraining.is_set()
+                    if stop.is_set():
+                        return
+                    if not in_swap_window and len(steady) >= (
+                        readers * steady_queries
+                    ):
+                        # baseline collected; idle until the swap starts
+                        retraining.wait(timeout=0.01)
+                        continue
+                    started = time.perf_counter()
+                    try:
+                        result = session.execute(join_sql)
+                    except Exception as error:
+                        with lock:
+                            failures.append(repr(error))
+                        return
+                    elapsed = time.perf_counter() - started
+                    got = np.concatenate(
+                        [b.arrays[0] for b in result.batches]
+                    )
+                    v2 = v2_holder.get("v2")
+                    matches = np.array_equal(got, v1) or (
+                        v2 is not None and np.array_equal(got, v2)
+                    )
+                    with lock:
+                        (during if in_swap_window else steady).append(
+                            elapsed
+                        )
+                        if not matches:
+                            torn += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(index,))
+            for index in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        while len(steady) < readers * steady_queries:
+            time.sleep(0.01)
+        with server.open_session(tenant="trainer") as trainer:
+            retraining.set()
+            trainer.execute(
+                _train_sql("clf", epochs, seed + 1, retrain=True)
+            )
+            v2_holder["v2"] = _scores(database, "clf VERSION 2")
+            trainer.execute("ALTER MODEL clf SET VERSION 2")
+        time.sleep(0.1)  # post-swap tail: new admissions score v2
+        stop.set()
+        for thread in threads:
+            thread.join()
+        current_rows = database.execute(
+            "SELECT name, version FROM system.models WHERE current"
+        ).rows
+    database.close()
+
+    steady_p99 = float(np.percentile(steady, 99)) if steady else 0.0
+    during_p99 = float(np.percentile(during, 99)) if during else 0.0
+    p99_ok = during_p99 < SWAP_P99_FACTOR * steady_p99 + SWAP_P99_SLACK_SECONDS
+    catalog_ok = current_rows == [("clf", 2)]
+    return {
+        "readers": readers,
+        "steady_queries": len(steady),
+        "during_swap_queries": len(during),
+        "steady_p99_seconds": steady_p99,
+        "during_swap_p99_seconds": during_p99,
+        "p99_factor_bound": SWAP_P99_FACTOR,
+        "p99_slack_seconds": SWAP_P99_SLACK_SECONDS,
+        "failed_queries": len(failures),
+        "failures": failures[:5],
+        "torn_reads": torn,
+        "catalog_reflects_swap": catalog_ok,
+        "ok": (
+            not failures
+            and torn == 0
+            and p99_ok
+            and catalog_ok
+            and len(during) > 0
+        ),
+    }
+
+
+def run_train_bench(config: BenchConfig, seed: int = 1) -> dict:
+    convergence = _run_convergence(config, seed)
+    reproducibility = _run_reproducibility(config, seed)
+    parity = _run_parity(config, seed)
+    swap = _run_swap(config, seed)
+    return {
+        "bench": "train",
+        "preset": config.preset,
+        "seed": seed,
+        "convergence": convergence,
+        "reproducibility": reproducibility,
+        "parity": parity,
+        "swap": swap,
+        "gates": {
+            "convergence": convergence["ok"],
+            "reproducibility": reproducibility["ok"],
+            "parity": parity["ok"],
+            "swap": swap["ok"],
+        },
+        "ok": (
+            convergence["ok"]
+            and reproducibility["ok"]
+            and parity["ok"]
+            and swap["ok"]
+        ),
+    }
+
+
+def format_train_report(report: dict) -> str:
+    convergence = report["convergence"]
+    reproducibility = report["reproducibility"]
+    parity = report["parity"]
+    swap = report["swap"]
+    lines = [
+        f"In-database training — preset {report['preset']}, "
+        f"{convergence['rows']:,} rows, {convergence['epochs']} epochs",
+        "",
+        f"  convergence: loss {convergence['final_loss']:.4f} "
+        f"< {convergence['loss_bound']} and accuracy "
+        f"{convergence['accuracy']:.3f} >= "
+        f"{convergence['accuracy_threshold']} -> "
+        f"{'ok' if convergence['ok'] else 'FAILED'} "
+        f"({convergence['seconds_per_epoch'] * 1000:.1f} ms/epoch)",
+        f"  reproducibility: checksums "
+        f"{' vs '.join(reproducibility['checksums'])} -> "
+        f"{'ok' if reproducibility['ok'] else 'FAILED'}",
+        f"  parity: MODEL JOIN vs NumPy max abs diff "
+        f"{parity['max_abs_diff']:.3g} -> "
+        f"{'ok' if parity['ok'] else 'FAILED'}",
+        f"  retrain-and-swap: {swap['failed_queries']} failed / "
+        f"{swap['torn_reads']} torn of "
+        f"{swap['steady_queries'] + swap['during_swap_queries']} "
+        f"queries, p99 {swap['during_swap_p99_seconds'] * 1000:.1f} ms "
+        f"(steady {swap['steady_p99_seconds'] * 1000:.1f} ms, bound "
+        f"{swap['p99_factor_bound']}x + "
+        f"{SWAP_P99_SLACK_SECONDS * 1000:.0f} ms), catalog swap "
+        f"{'visible' if swap['catalog_reflects_swap'] else 'MISSING'} "
+        f"-> {'ok' if swap['ok'] else 'FAILED'}",
+        "",
+        "verdict: " + ("PASS" if report["ok"] else "FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

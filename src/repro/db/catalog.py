@@ -56,12 +56,45 @@ class ModelMetadata:
         return self.layers[-1].units
 
 
+@dataclass(frozen=True)
+class ModelVersionRecord:
+    """One trained version of a model in the lifecycle catalog.
+
+    Produced by ``CREATE MODEL ... AS TRAIN|RETRAIN``; surfaced through
+    ``system.models`` and persisted in the storage manifest.  The
+    metadata's ``table_name`` points at the version's own one-row-per-
+    edge table (``<name>__v<k>``), so the ModelJoin build cache keys
+    per version for free (distinct table → distinct uid).
+    """
+
+    model_name: str
+    version: int
+    metadata: ModelMetadata
+    created_at: float
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    seed: int
+    loss_name: str
+    final_loss: float
+    weight_checksum: int
+    source_fingerprint: str
+    arch: str
+
+
 @dataclass
 class Catalog:
     """Name -> object registry of the database."""
 
     tables: dict[str, Table] = field(default_factory=dict)
     models: dict[str, ModelMetadata] = field(default_factory=dict)
+    #: model name -> version -> lifecycle record (CREATE MODEL output);
+    #: ``models`` always points at the *current* version's metadata
+    model_versions: dict[str, dict[int, ModelVersionRecord]] = field(
+        default_factory=dict
+    )
+    #: model name -> currently published version number
+    current_versions: dict[str, int] = field(default_factory=dict)
     #: callables invoked with a table name whenever that table's
     #: catalog entry is dropped or replaced — derived caches (the
     #: ModelJoin build cache) subscribe here to invalidate eagerly
@@ -116,6 +149,18 @@ class Catalog:
         ]
         for model_name in orphaned:
             del self.models[model_name]
+            self.current_versions.pop(model_name, None)
+        # Version records whose weight table is gone are unusable too.
+        for model_name, versions in list(self.model_versions.items()):
+            stale = [
+                version
+                for version, record in versions.items()
+                if record.metadata.table_name.lower() == key
+            ]
+            for version in stale:
+                del versions[version]
+            if not versions:
+                del self.model_versions[model_name]
 
     def has_table(self, name: str) -> bool:
         if is_system_table_name(name):
@@ -159,11 +204,78 @@ class Catalog:
             self._notify_invalidation(self.models[key].table_name.lower())
         self.models[key] = metadata
 
-    def model(self, name: str) -> ModelMetadata:
-        metadata = self.models.get(name.lower())
+    def model(self, name: str, version: int | None = None) -> ModelMetadata:
+        key = name.lower()
+        if version is not None:
+            return self.model_version(name, version).metadata
+        metadata = self.models.get(key)
         if metadata is None:
             raise CatalogError(f"model {name!r} is not registered")
         return metadata
 
     def has_model(self, name: str) -> bool:
         return name.lower() in self.models
+
+    # ------------------------------------------------------------------
+    # model lifecycle (CREATE MODEL / ALTER MODEL)
+    # ------------------------------------------------------------------
+    def register_model_version(
+        self, record: ModelVersionRecord, make_current: bool = False
+    ) -> None:
+        """Record a trained model version; optionally publish it.
+
+        Publication (``make_current``) re-points the bare model name at
+        the version's weight table and invalidates builds cached from
+        the previously current binding — exactly what ``ALTER MODEL
+        ... SET VERSION`` does, and what ``AS TRAIN`` does implicitly
+        for a brand-new model.
+        """
+        if not self.has_table(record.metadata.table_name):
+            raise CatalogError(
+                f"model table {record.metadata.table_name!r} does not exist"
+            )
+        key = record.model_name.lower()
+        versions = self.model_versions.setdefault(key, {})
+        if record.version in versions:
+            raise CatalogError(
+                f"model {record.model_name!r} already has a "
+                f"version {record.version}"
+            )
+        versions[record.version] = record
+        if make_current:
+            self.set_current_version(record.model_name, record.version)
+
+    def set_current_version(self, name: str, version: int) -> None:
+        """Atomically re-point *name* at *version* (caller holds the
+        catalog lock); snapshots taken earlier keep the old binding."""
+        record = self.model_version(name, version)
+        key = name.lower()
+        previous = self.models.get(key)
+        if previous is not None and previous.table_name.lower() != (
+            record.metadata.table_name.lower()
+        ):
+            # The name now means different weights: any ModelJoin build
+            # cached from the old current version's table is stale for
+            # bare `MODEL JOIN name` plans resolved after this point.
+            self._notify_invalidation(previous.table_name.lower())
+        self.models[key] = record.metadata
+        self.current_versions[key] = version
+
+    def model_version(self, name: str, version: int) -> ModelVersionRecord:
+        versions = self.model_versions.get(name.lower(), {})
+        record = versions.get(version)
+        if record is None:
+            raise CatalogError(
+                f"model {name!r} has no version {version} "
+                f"(known: {sorted(versions) or 'none'})"
+            )
+        return record
+
+    def current_version(self, name: str) -> int | None:
+        return self.current_versions.get(name.lower())
+
+    def latest_version(self, name: str) -> int:
+        versions = self.model_versions.get(name.lower())
+        if not versions:
+            raise CatalogError(f"model {name!r} has no trained versions")
+        return max(versions)

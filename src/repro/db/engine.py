@@ -33,6 +33,8 @@ from repro.db.profiler import QueryProfile, finalize_profile
 from repro.db.resilience import CancellationToken, CircuitBreaker
 from repro.db.schema import Column, Schema
 from repro.db.sql.ast import (
+    AlterModel,
+    CreateModel,
     CreateTable,
     DropTable,
     Explain,
@@ -644,6 +646,18 @@ class Database:
                     statement.table_name, if_exists=statement.if_exists
                 )
             return Result.empty()
+        if isinstance(statement, CreateModel):
+            # NOT under the catalog lock: the executor locks briefly to
+            # resolve the version and again to publish, but the training
+            # loop itself runs unlocked so serving admissions and
+            # snapshot captures proceed while a (re)train is in flight.
+            from repro.db.train import execute_create_model
+
+            return execute_create_model(self, statement, sql_text=sql_text)
+        if isinstance(statement, AlterModel):
+            from repro.db.train import execute_alter_model
+
+            return execute_alter_model(self, statement, sql_text=sql_text)
         if isinstance(statement, InsertValues):
             with self.catalog_lock:
                 return self._execute_insert_values(statement)
@@ -667,8 +681,13 @@ class Database:
         statement = parse_statement(sql)
         if isinstance(statement, Explain):
             statement = statement.statement
+        if isinstance(statement, (CreateModel, AlterModel)):
+            result = self._execute_explain(Explain(statement))
+            return "\n".join(row[0] for row in result.rows)
         if not isinstance(statement, SelectStatement):
-            raise PlanError("EXPLAIN supports only SELECT statements")
+            raise PlanError(
+                "EXPLAIN supports SELECT, CREATE MODEL and ALTER MODEL"
+            )
         context = ExecutionContext(vector_size=self.vector_size)
         text = self._planner().explain(statement, context)
         return self._prepend_fragment_tree(statement, text)
@@ -789,12 +808,24 @@ class Database:
     # ------------------------------------------------------------------
     def _execute_explain(self, statement: Explain) -> Result:
         inner = statement.statement
-        if not isinstance(inner, SelectStatement):
-            raise PlanError("EXPLAIN supports only SELECT statements")
-        context = ExecutionContext(vector_size=self.vector_size)
-        lines = self._prepend_fragment_tree(
-            inner, self._planner().explain(inner, context)
-        ).splitlines()
+        if isinstance(inner, CreateModel):
+            from repro.db.train import render_create_model_explain
+
+            lines = render_create_model_explain(self, inner)
+        elif isinstance(inner, AlterModel):
+            lines = [
+                f"AlterModel(model={inner.model_name.lower()}, "
+                f"set_version={inner.version})"
+            ]
+        elif isinstance(inner, SelectStatement):
+            context = ExecutionContext(vector_size=self.vector_size)
+            lines = self._prepend_fragment_tree(
+                inner, self._planner().explain(inner, context)
+            ).splitlines()
+        else:
+            raise PlanError(
+                "EXPLAIN supports SELECT, CREATE MODEL and ALTER MODEL"
+            )
         schema = Schema((Column("plan", SqlType.VARCHAR),))
         batch = VectorBatch(schema, [np.array(lines, dtype=object)])
         return Result(schema, [batch], QueryProfile())

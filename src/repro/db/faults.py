@@ -39,6 +39,12 @@ site                      fires in
                           chaos-faulted admission behaves exactly like a
                           deterministic shed: the client gets an immediate
                           rejection, never a hang)
+``train.step``            :class:`repro.db.train.operator.TrainOperator`,
+                          once per minibatch *before* the forward pass, so
+                          a retried batch reruns against untouched weights
+                          (bit-exact retry); retries exhausted fail the
+                          whole ``CREATE MODEL`` atomically — no partial
+                          model table, no catalog entry
 ========================  ====================================================
 
 Policies: :meth:`FaultInjector.raise_once` (raise the first *count*
@@ -93,6 +99,7 @@ KNOWN_SITES = (
     "io.block_read",
     "compile.kernel",
     "serve.admit",
+    "train.step",
 )
 
 RAISE_ONCE = "once"

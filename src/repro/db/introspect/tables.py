@@ -11,7 +11,9 @@ Available tables (see docs/OBSERVABILITY.md for the column reference):
 ``system.metrics``, ``system.queries``, ``system.active_queries``,
 ``system.buffer_pool``, ``system.kernel_cache``, ``system.model_cache``,
 ``system.breakers``, ``system.storage_blocks``, ``system.tables``,
-``system.columns``, ``system.sessions``, ``system.admission_queue``
+``system.columns``, ``system.models`` (one row per registered model
+version — see docs/TRAINING.md), ``system.sessions``,
+``system.admission_queue``
 (those two render live serving-layer state when a
 :class:`repro.db.serve.Server` is attached, and are empty otherwise)
 and ``system.shards`` (one row per shard worker process when the
@@ -96,6 +98,7 @@ class SystemSchema:
             "storage_blocks": self._storage_blocks,
             "tables": self._tables,
             "columns": self._columns,
+            "models": self._models,
             "sessions": self._sessions,
             "admission_queue": self._admission_queue,
             "shards": self._shards,
@@ -489,6 +492,73 @@ class SystemSchema:
             for key in sorted(catalog.tables)
             for table in (catalog.tables[key],)
         ]
+        return schema, rows
+
+    def _models(self):
+        schema = _schema(
+            ("name", SqlType.VARCHAR),
+            ("version", SqlType.INTEGER),
+            ("current", SqlType.BOOLEAN),
+            ("table_name", SqlType.VARCHAR),
+            ("created_at", SqlType.DOUBLE),
+            ("epochs", SqlType.INTEGER),
+            ("batch_size", SqlType.INTEGER),
+            ("learning_rate", SqlType.DOUBLE),
+            ("seed", SqlType.INTEGER),
+            ("loss", SqlType.VARCHAR),
+            ("final_loss", SqlType.DOUBLE),
+            ("weight_checksum", SqlType.VARCHAR),
+            ("source_fingerprint", SqlType.VARCHAR),
+            ("arch", SqlType.VARCHAR),
+        )
+        catalog = self._database.catalog
+        rows = []
+        for name in sorted(catalog.model_versions):
+            current = catalog.current_versions.get(name)
+            for version in sorted(catalog.model_versions[name]):
+                record = catalog.model_versions[name][version]
+                rows.append(
+                    (
+                        name,
+                        version,
+                        version == current,
+                        record.metadata.table_name,
+                        record.created_at,
+                        record.epochs,
+                        record.batch_size,
+                        record.learning_rate,
+                        record.seed,
+                        record.loss_name,
+                        record.final_loss,
+                        f"{record.weight_checksum:08x}",
+                        record.source_fingerprint,
+                        record.arch,
+                    )
+                )
+        # Models registered directly (publish_model) without a trained
+        # version history surface as version 0, always current.
+        for name in sorted(catalog.models):
+            if name in catalog.model_versions:
+                continue
+            metadata = catalog.models[name]
+            rows.append(
+                (
+                    name,
+                    0,
+                    True,
+                    metadata.table_name,
+                    math.nan,
+                    0,
+                    0,
+                    math.nan,
+                    0,
+                    "",
+                    math.nan,
+                    "",
+                    "",
+                    "",
+                )
+            )
         return schema, rows
 
     def _columns(self):

@@ -254,6 +254,7 @@ class LogicalModelJoin(LogicalNode):
         input_columns: list[str] | None,
         output_prefix: str,
         variant_override: str | None = None,
+        version: int | None = None,
     ):
         super().__init__()
         self.child = child
@@ -263,6 +264,7 @@ class LogicalModelJoin(LogicalNode):
         self.input_columns = input_columns
         self.output_prefix = output_prefix
         self.variant_override = variant_override
+        self.version = version
         #: filled by the planner's variant-selection step (physical.py)
         self.selection = None
 
@@ -287,6 +289,8 @@ class LogicalModelJoin(LogicalNode):
             ", ".join(self.input_columns) if self.input_columns else "auto"
         )
         base = f"ModelJoin(model={self.metadata.model_name}, inputs=[{inputs}]"
+        if self.version is not None:
+            base += f", version={self.version}"
         if self.variant_override:
             base += f", variant={self.variant_override}"
         elif self.selection is not None:
@@ -747,7 +751,8 @@ class LogicalBinder:
                 "repro, not repro.db)"
             )
         left = self._bind_from_item(item.left, scope)
-        metadata = self.catalog.model(item.model_name)
+        version = getattr(item, "version", None)
+        metadata = self.catalog.model(item.model_name, version)
         model_table = self.catalog.table(metadata.table_name)
         input_columns = [
             scope.resolve(name) for name in item.input_columns
@@ -760,6 +765,7 @@ class LogicalBinder:
             input_columns,
             item.output_prefix,
             variant_override=getattr(item, "variant", None),
+            version=version,
         )
         for index in range(metadata.output_width):
             scope.add(node.binding, f"{item.output_prefix}_{index}")

@@ -179,6 +179,15 @@ class DatabaseSnapshot:
                 for key, table in live.tables.items()
             },
             models=dict(live.models),
+            # Version bindings are copied too, so `MODEL JOIN m` (and
+            # `... VERSION k`) resolved against this snapshot keep the
+            # versions current at capture time even while a concurrent
+            # retrain publishes (records are frozen dataclasses).
+            model_versions={
+                name: dict(versions)
+                for name, versions in live.model_versions.items()
+            },
+            current_versions=dict(live.current_versions),
             system_schema=live.system_schema,
         )
         self._released = False

@@ -86,6 +86,9 @@ class ModelJoinRef(FromItem):
     input_columns: tuple[str, ...] = ()
     output_prefix: str = "prediction"
     variant: str | None = None
+    #: explicit model version (``MODEL JOIN m VERSION 2``); ``None``
+    #: scores whichever version is currently published.
+    version: int | None = None
 
 
 @dataclass(frozen=True)
@@ -141,6 +144,41 @@ class InsertSelect(Statement):
     table_name: str
     query: SelectStatement
     column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One dense layer in a ``CREATE MODEL ... AS TRAIN DENSE(...)``."""
+
+    units: int
+    activation: str = "linear"
+
+
+@dataclass(frozen=True)
+class CreateModel(Statement):
+    """``CREATE MODEL name [VERSION v] AS TRAIN|RETRAIN arch ON (...)``.
+
+    ``options`` holds the ``WITH (key = literal, ...)`` hyperparameters
+    as ordered pairs (the statement stays hashable); ``retrain``
+    distinguishes ``AS RETRAIN`` (new version of an existing model,
+    published only by ``ALTER MODEL ... SET VERSION``) from
+    ``AS TRAIN`` (brand-new model, immediately current).
+    """
+
+    model_name: str
+    layers: tuple[LayerSpec, ...]
+    query: SelectStatement
+    version: int | None = None
+    retrain: bool = False
+    options: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class AlterModel(Statement):
+    """``ALTER MODEL name SET VERSION v`` — atomic version publish."""
+
+    model_name: str
+    version: int
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,9 @@ from repro.db.expressions import (
     UnaryOp,
 )
 from repro.db.sql.ast import (
+    AlterModel,
     ColumnDefinition,
+    CreateModel,
     CreateTable,
     DropTable,
     Explain,
@@ -21,6 +23,7 @@ from repro.db.sql.ast import (
     InsertSelect,
     InsertValues,
     JoinRef,
+    LayerSpec,
     ModelJoinRef,
     OrderItem,
     SelectItem,
@@ -123,7 +126,12 @@ class _Parser:
         if token.is_keyword("SELECT"):
             statement = self.parse_select()
         elif token.is_keyword("CREATE"):
-            statement = self.parse_create_table()
+            if self.peek(1).is_keyword("MODEL"):
+                statement = self.parse_create_model()
+            else:
+                statement = self.parse_create_table()
+        elif token.is_keyword("ALTER"):
+            statement = self.parse_alter_model()
         elif token.is_keyword("DROP"):
             statement = self.parse_drop_table()
         elif token.is_keyword("INSERT"):
@@ -206,6 +214,68 @@ class _Parser:
             sort_key=tuple(sort_key),
             if_not_exists=if_not_exists,
         )
+
+    def parse_create_model(self) -> CreateModel:
+        """``CREATE MODEL name [VERSION v] AS TRAIN|RETRAIN
+        DENSE(units [act], ...) ON (SELECT ...) [WITH (k = lit, ...)]``.
+
+        The inner SELECT's last column is the training label; every
+        preceding column is a feature (docs/TRAINING.md).
+        """
+        self.expect_keyword("CREATE")
+        self.expect_keyword("MODEL")
+        name = self.expect_identifier()
+        version = None
+        if self.accept_keyword("VERSION"):
+            version = self._parse_integer()
+        self.expect_keyword("AS")
+        if self.accept_keyword("RETRAIN"):
+            retrain = True
+        else:
+            self.expect_keyword("TRAIN")
+            retrain = False
+        self.expect_keyword("DENSE")
+        self.expect_operator("(")
+        layers: list[LayerSpec] = []
+        while True:
+            units = self._parse_integer()
+            activation = "linear"
+            if self.peek().kind is TokenKind.IDENT:
+                activation = self.expect_identifier().lower()
+            layers.append(LayerSpec(units, activation))
+            if not self.accept_operator(","):
+                break
+        self.expect_operator(")")
+        self.expect_keyword("ON")
+        self.expect_operator("(")
+        query = self.parse_select()
+        self.expect_operator(")")
+        options: list[tuple[str, object]] = []
+        if self.accept_keyword("WITH"):
+            self.expect_operator("(")
+            while True:
+                key = self.expect_identifier().lower()
+                self.expect_operator("=")
+                options.append((key, self._parse_literal_value()))
+                if not self.accept_operator(","):
+                    break
+            self.expect_operator(")")
+        return CreateModel(
+            name,
+            tuple(layers),
+            query,
+            version=version,
+            retrain=retrain,
+            options=tuple(options),
+        )
+
+    def parse_alter_model(self) -> AlterModel:
+        self.expect_keyword("ALTER")
+        self.expect_keyword("MODEL")
+        name = self.expect_identifier()
+        self.expect_keyword("SET")
+        self.expect_keyword("VERSION")
+        return AlterModel(name, self._parse_integer())
 
     def parse_drop_table(self) -> DropTable:
         self.expect_keyword("DROP")
@@ -380,6 +450,9 @@ class _Parser:
                 self.advance()
                 self.advance()
                 model_name = self.expect_identifier()
+                version: int | None = None
+                if self.accept_keyword("VERSION"):
+                    version = self._parse_integer()
                 input_columns: list[str] = []
                 if self.accept_keyword("USING"):
                     self.expect_operator("(")
@@ -397,7 +470,11 @@ class _Parser:
                     else:
                         variant = self.expect_identifier()
                 item = ModelJoinRef(
-                    item, model_name, tuple(input_columns), variant=variant
+                    item,
+                    model_name,
+                    tuple(input_columns),
+                    variant=variant,
+                    version=version,
                 )
             else:
                 return item

@@ -28,7 +28,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.db.catalog import Catalog, LayerMetadata, ModelMetadata
+from repro.db.catalog import (
+    Catalog,
+    LayerMetadata,
+    ModelMetadata,
+    ModelVersionRecord,
+)
 from repro.db.column import (
     BLOCK_SIZE,
     BlockBuilder,
@@ -58,6 +63,41 @@ MODELS_DIR = "models"
 
 def _column_file_name(position: int, name: str) -> str:
     return f"c{position}_{name.lower()}.col"
+
+
+def _model_entry(metadata: ModelMetadata) -> dict:
+    """A ModelMetadata as a JSON-friendly manifest entry."""
+    return {
+        "model_name": metadata.model_name,
+        "table_name": metadata.table_name,
+        "input_width": metadata.input_width,
+        "layers": [
+            {
+                "layer_type": layer.layer_type,
+                "units": layer.units,
+                "activation": layer.activation,
+                "time_steps": layer.time_steps,
+            }
+            for layer in metadata.layers
+        ],
+    }
+
+
+def _metadata_from_entry(entry: dict) -> ModelMetadata:
+    return ModelMetadata(
+        model_name=entry["model_name"],
+        table_name=entry["table_name"],
+        input_width=int(entry["input_width"]),
+        layers=tuple(
+            LayerMetadata(
+                layer_type=layer["layer_type"],
+                units=int(layer["units"]),
+                activation=layer["activation"],
+                time_steps=int(layer.get("time_steps", 1)),
+            )
+            for layer in entry["layers"]
+        ),
+    )
 
 
 class DiskBlock:
@@ -415,22 +455,32 @@ class StorageEngine:
                 self._persisted[table.name.lower()] = dict(entry)
             ensure_uid_floor(highest_uid + 1)
             for model in manifest.get("models", []):
-                catalog.register_model(
-                    ModelMetadata(
-                        model_name=model["model_name"],
-                        table_name=model["table_name"],
-                        input_width=int(model["input_width"]),
-                        layers=tuple(
-                            LayerMetadata(
-                                layer_type=layer["layer_type"],
-                                units=int(layer["units"]),
-                                activation=layer["activation"],
-                                time_steps=int(layer.get("time_steps", 1)),
-                            )
-                            for layer in model["layers"]
-                        ),
-                    )
+                catalog.register_model(_metadata_from_entry(model))
+            for entry in manifest.get("model_versions", []):
+                catalog.register_model_version(
+                    ModelVersionRecord(
+                        model_name=entry["model_name"],
+                        version=int(entry["version"]),
+                        metadata=_metadata_from_entry(entry["metadata"]),
+                        created_at=float(entry["created_at"]),
+                        epochs=int(entry["epochs"]),
+                        batch_size=int(entry["batch_size"]),
+                        learning_rate=float(entry["learning_rate"]),
+                        seed=int(entry["seed"]),
+                        loss_name=entry["loss_name"],
+                        final_loss=float(entry["final_loss"]),
+                        weight_checksum=int(entry["weight_checksum"]),
+                        source_fingerprint=entry["source_fingerprint"],
+                        arch=entry["arch"],
+                    ),
+                    make_current=False,
                 )
+            # The current bindings were restored through "models"
+            # above; record the version numbers they correspond to.
+            for name, version in manifest.get(
+                "current_versions", {}
+            ).items():
+                catalog.current_versions[name] = int(version)
         return len(manifest["tables"])
 
     def _load_table(self, entry: dict) -> DiskTable:
@@ -574,27 +624,35 @@ class StorageEngine:
                 for table in catalog.tables.values()
             ]
             models = [
-                {
-                    "model_name": metadata.model_name,
-                    "table_name": metadata.table_name,
-                    "input_width": metadata.input_width,
-                    "layers": [
-                        {
-                            "layer_type": layer.layer_type,
-                            "units": layer.units,
-                            "activation": layer.activation,
-                            "time_steps": layer.time_steps,
-                        }
-                        for layer in metadata.layers
-                    ],
-                }
+                _model_entry(metadata)
                 for metadata in catalog.models.values()
+            ]
+            model_versions = [
+                {
+                    "model_name": record.model_name,
+                    "version": record.version,
+                    "metadata": _model_entry(record.metadata),
+                    "created_at": record.created_at,
+                    "epochs": record.epochs,
+                    "batch_size": record.batch_size,
+                    "learning_rate": record.learning_rate,
+                    "seed": record.seed,
+                    "loss_name": record.loss_name,
+                    "final_loss": record.final_loss,
+                    "weight_checksum": record.weight_checksum,
+                    "source_fingerprint": record.source_fingerprint,
+                    "arch": record.arch,
+                }
+                for versions in catalog.model_versions.values()
+                for record in versions.values()
             ]
             manifest = {
                 "format_version": FORMAT_VERSION,
                 "generation": self._generation,
                 "tables": tables,
                 "models": models,
+                "model_versions": model_versions,
+                "current_versions": dict(catalog.current_versions),
             }
             save_manifest(self.root, manifest)
             self._persisted = {

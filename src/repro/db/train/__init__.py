@@ -1,0 +1,36 @@
+"""In-database training and the model lifecycle (docs/TRAINING.md).
+
+``CREATE MODEL <name> [VERSION v] AS TRAIN DENSE(...) ON (SELECT
+features..., label FROM ...) WITH (epochs=..., ...)`` plans and runs
+the source query through the regular pipeline, trains a dense stack
+with device-kernel minibatch SGD (:mod:`repro.nn.backward`), writes
+the result as a standard one-row-per-edge model table and registers
+it in the versioned model catalog (``system.models``).  ``AS
+RETRAIN`` trains the next version without publishing; ``ALTER MODEL
+... SET VERSION`` publishes atomically under the catalog lock so
+snapshot-pinned queries keep the old version while new admissions
+pick up the new one.
+"""
+
+from repro.db.train.executor import (
+    execute_alter_model,
+    execute_create_model,
+    render_create_model_explain,
+    source_fingerprint,
+    version_table_name,
+    weight_checksum,
+)
+from repro.db.train.operator import TrainOperator
+from repro.db.train.spec import TrainingSpec, describe_arch
+
+__all__ = [
+    "TrainOperator",
+    "TrainingSpec",
+    "describe_arch",
+    "execute_alter_model",
+    "execute_create_model",
+    "render_create_model_explain",
+    "source_fingerprint",
+    "version_table_name",
+    "weight_checksum",
+]

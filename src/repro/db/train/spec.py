@@ -1,0 +1,110 @@
+"""Hyperparameter parsing/validation for ``CREATE MODEL``.
+
+The ``WITH (key = literal, ...)`` clause maps onto a
+:class:`TrainingSpec`; everything has a sane default so
+``CREATE MODEL m AS TRAIN DENSE(1) ON (SELECT ...)`` works bare.
+The spec is part of the determinism contract (docs/TRAINING.md):
+training is a pure function of ``(seed, data, hyperparameters)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.sql.ast import CreateModel, LayerSpec
+from repro.errors import TrainingError
+from repro.nn.activations import supported_activations
+from repro.nn.backward import LOSS_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class TrainingSpec:
+    """Validated hyperparameters of one training run."""
+
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    seed: int = 0
+    loss: str = "mse"
+
+    @classmethod
+    def from_options(
+        cls, options: tuple[tuple[str, object], ...]
+    ) -> "TrainingSpec":
+        values: dict[str, object] = {}
+        for key, value in options:
+            name = {"lr": "learning_rate"}.get(key, key)
+            if name in values:
+                raise TrainingError(f"duplicate WITH option {key!r}")
+            if name in ("epochs", "batch_size", "seed"):
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise TrainingError(
+                        f"WITH option {key!r} must be an integer, "
+                        f"got {value!r}"
+                    )
+                if name != "seed" and value < 1:
+                    raise TrainingError(
+                        f"WITH option {key!r} must be >= 1, got {value}"
+                    )
+                values[name] = value
+            elif name in ("learning_rate", "momentum"):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise TrainingError(
+                        f"WITH option {key!r} must be a number, "
+                        f"got {value!r}"
+                    )
+                number = float(value)
+                if name == "learning_rate" and number <= 0.0:
+                    raise TrainingError("learning rate must be > 0")
+                if name == "momentum" and not 0.0 <= number < 1.0:
+                    raise TrainingError("momentum must be in [0, 1)")
+                values[name] = number
+            elif name == "loss":
+                if (
+                    not isinstance(value, str)
+                    or value.lower() not in LOSS_FUNCTIONS
+                ):
+                    raise TrainingError(
+                        f"unknown loss {value!r}; "
+                        f"supported: {sorted(LOSS_FUNCTIONS)}"
+                    )
+                values[name] = value.lower()
+            else:
+                raise TrainingError(
+                    f"unknown WITH option {key!r}; supported: epochs, "
+                    "batch_size, lr, momentum, seed, loss"
+                )
+        return cls(**values)
+
+    def describe(self) -> str:
+        return (
+            f"epochs={self.epochs}, batch_size={self.batch_size}, "
+            f"lr={self.learning_rate}, momentum={self.momentum}, "
+            f"seed={self.seed}, loss={self.loss}"
+        )
+
+
+def validate_layers(layers: tuple[LayerSpec, ...]) -> None:
+    if not layers:
+        raise TrainingError("CREATE MODEL needs at least one layer")
+    for layer in layers:
+        if layer.units < 1:
+            raise TrainingError(
+                f"layer must have at least one unit, got {layer.units}"
+            )
+        if layer.activation not in supported_activations():
+            raise TrainingError(
+                f"unknown activation {layer.activation!r}; "
+                f"supported: {list(supported_activations())}"
+            )
+
+
+def describe_arch(statement: CreateModel) -> str:
+    """``dense(8 relu, 1 sigmoid)`` — the catalog/EXPLAIN arch string."""
+    parts = ", ".join(
+        f"{layer.units} {layer.activation}" for layer in statement.layers
+    )
+    return f"dense({parts})"

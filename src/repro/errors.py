@@ -176,6 +176,14 @@ class ModelError(ReproError):
     """Base class for errors raised by the neural-network substrate."""
 
 
+class TrainingError(DatabaseError):
+    """``CREATE MODEL`` / ``ALTER MODEL`` failed (bad hyperparameters,
+    unusable training data, or an exhausted mid-epoch retry budget).
+
+    A failed training run is atomic: no model table is left behind and
+    no catalog entry is registered."""
+
+
 class ModelGraphError(ModelError):
     """The model architecture is invalid or unsupported."""
 
